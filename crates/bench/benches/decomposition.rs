@@ -1,0 +1,44 @@
+//! Criterion bench for E1: wall-clock of the full Theorem 1 decomposition
+//! across sizes and k (the `exp_decomposition` binary reports the
+//! simulated CONGEST rounds; this measures simulation cost).
+
+use bench_suite::ring_family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::ExpanderDecomposition;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    for n in [96usize, 192, 384] {
+        let (g, _) = ring_family(n);
+        group.bench_with_input(BenchmarkId::new("ring/k2", n), &g, |b, g| {
+            b.iter(|| {
+                ExpanderDecomposition::builder()
+                    .epsilon(0.3)
+                    .k(2)
+                    .seed(7)
+                    .build()
+                    .run(g)
+                    .unwrap()
+            })
+        });
+    }
+    let (g, _) = ring_family(192);
+    for k in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("ring192/k", k), &k, |b, &k| {
+            b.iter(|| {
+                ExpanderDecomposition::builder()
+                    .epsilon(0.3)
+                    .k(k)
+                    .seed(7)
+                    .build()
+                    .run(&g)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

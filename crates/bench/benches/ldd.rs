@@ -1,0 +1,30 @@
+//! Criterion bench for E4/E5: MPX clustering and the full Theorem 4
+//! decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::prelude::*;
+use graph::gen;
+
+fn bench_ldd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldd");
+    group.sample_size(10);
+    for n in [150usize, 300, 600] {
+        let g = gen::path(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("mpx_path", n), &g, |b, g| {
+            b.iter(|| clustering(g, 0.3, 7))
+        });
+        let params = LddParams::practical(0.3, n);
+        group.bench_with_input(BenchmarkId::new("theorem4_path", n), &g, |b, g| {
+            b.iter(|| low_diameter_decomposition(g, &params, 7))
+        });
+    }
+    let g = gen::gnp(300, 0.02, 3).unwrap();
+    let params = LddParams::practical(0.25, 300);
+    group.bench_function("theorem4_gnp300", |b| {
+        b.iter(|| low_diameter_decomposition(&g, &params, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldd);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E6: GKS routing hierarchy build and query
+//! simulation across depths.
+
+use bench_suite::expander_family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routing::{RoutingHierarchy, RoutingRequest};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    let g = expander_family(1024, 3);
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| RoutingHierarchy::build(&g, k, 11).unwrap())
+        });
+    }
+    let h = RoutingHierarchy::build(&g, 2, 11).unwrap();
+    let reqs: Vec<RoutingRequest> = (0..1024u32)
+        .map(|v| RoutingRequest { src: v, dst: (v * 131 + 7) % 1024 })
+        .collect();
+    group.bench_function("route_permutation", |b| {
+        b.iter(|| h.route(&g, &reqs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **E8 — ablations of §2's design choices.**
+//!
+//! (a) Phase 2 level schedule: sweep `k` at fixed workload — rounds should
+//!     fall with `k` while the conductance guarantee weakens (schedule
+//!     shrinks by `h⁻¹` per level).
+//! (b) Remove-1/2/3 budget split: the paper proves each stays under
+//!     `(ε/3)·|E|`; report the measured split.
+//! (c) Nibble truncation: sweep `ε_b` scaling — coarser truncation must
+//!     shrink the participating volume (Lemma 3's tradeoff) while still
+//!     finding planted cuts.
+
+use bench_suite::Table;
+use expander::prelude::*;
+use graph::gen;
+
+fn main() {
+    // (a) + (b): k sweep and budget split on a 4-block SBM.
+    let pp = gen::planted_partition(&[48, 48, 48, 48], 0.35, 0.004, 9).expect("sbm");
+    let g = &pp.graph;
+    let eps = 0.3;
+    let mut ka = Table::new(
+        "E8a: Phase-2 level schedule — k sweep (fixed sbm 4x48)",
+        &["k", "parts", "phi_promised", "run_phi_0", "run_phi_k", "rounds", "removed_frac"],
+    );
+    let mut kb = Table::new(
+        "E8b: Remove-1/2/3 budget split (budget per tag = eps/3)",
+        &["k", "remove1_frac", "remove2_frac", "remove3_frac", "per_tag_budget", "all_ok"],
+    );
+    for k in [1usize, 2, 3, 4] {
+        let res = ExpanderDecomposition::builder()
+            .epsilon(eps)
+            .k(k)
+            .seed(5)
+            .build()
+            .run(g)
+            .expect("non-empty");
+        ka.row(vec![
+            k.to_string(),
+            res.parts.len().to_string(),
+            format!("{:.2e}", res.phi),
+            format!("{:.4}", res.params.run_schedule[0]),
+            format!("{:.2e}", res.params.run_schedule[k]),
+            res.ledger.total().to_string(),
+            format!("{:.4}", res.inter_cluster_fraction()),
+        ]);
+        let tags = res.removed_by_tag();
+        let frac = |c: usize| c as f64 / g.m() as f64;
+        let budget = eps / 3.0;
+        kb.row(vec![
+            k.to_string(),
+            format!("{:.4}", frac(tags[0])),
+            format!("{:.4}", frac(tags[1])),
+            format!("{:.4}", frac(tags[2])),
+            format!("{budget:.4}"),
+            tags.iter().all(|&c| frac(c) <= budget + 1e-9).to_string(),
+        ]);
+    }
+    ka.print();
+    kb.print();
+
+    // (c) truncation ablation: scale ε_b up/down and watch participation
+    // volume vs detection on a barbell.
+    let (bar, _) = gen::barbell(14).expect("barbell");
+    let base = NibbleParams::new(0.05, bar.m(), ParamMode::Practical);
+    let mut kc = Table::new(
+        "E8c: truncation ablation (Lemma 3 tradeoff)",
+        &["eps_scale", "eps_b(3)", "participation_vol", "lemma3_bound", "cut_found"],
+    );
+    for scale in [0.1f64, 1.0, 10.0, 100.0] {
+        let mut params = base.clone();
+        params.eps_base = base.eps_base * scale;
+        let out = approximate_nibble(&bar, 0, &params, 3);
+        let vol: usize = out.participants.iter().map(|v| bar.degree(v)).sum();
+        let bound = (params.t0 as f64 + 1.0) / (2.0 * params.eps_b(3));
+        kc.row(vec![
+            format!("{scale}"),
+            format!("{:.2e}", params.eps_b(3)),
+            vol.to_string(),
+            format!("{bound:.0}"),
+            out.found().to_string(),
+        ]);
+    }
+    kc.print();
+
+    // (d) empty-streak early exit: certification cost on expanders with
+    // and without the practical early break.
+    let expander = gen::random_regular(96, 8, 3).expect("regular");
+    let mut kd = Table::new(
+        "E8d: Partition early-exit ablation (expander certification cost)",
+        &["empty_streak_break", "iterations", "rounds"],
+    );
+    for streak in [2usize, 4, 8, usize::MAX] {
+        let mut params = SparseCutParams::new(
+            0.002,
+            expander.m(),
+            expander.total_volume(),
+            ParamMode::Practical,
+        );
+        params.empty_streak_break = streak;
+        params.s_iterations = 16;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let out = expander::partition::partition(&expander, &params, 4, &mut rng);
+        kd.row(vec![
+            if streak == usize::MAX { "off".into() } else { streak.to_string() },
+            out.iterations.to_string(),
+            out.ledger.total().to_string(),
+        ]);
+    }
+    kd.print();
+}

@@ -1,0 +1,111 @@
+//! **E1 — Theorem 1**: expander decomposition quality and round scaling.
+//!
+//! For each family × n × ε × k: run the decomposition, verify the
+//! certificate, and report the measured inter-cluster fraction (must be
+//! ≤ ε), the minimum certified part conductance (must be ≥ φ), and the
+//! ledger rounds. The final block fits the round-growth exponent against
+//! `n` for each `k` — the paper's `n^{2/k}·poly(1/φ, log n)` claim says
+//! the exponent must *fall* as `k` grows.
+
+use bench_suite::{fit_exponent, ring_family, Table};
+use expander::prelude::*;
+use graph::gen;
+
+fn main() {
+    let mut table = Table::new(
+        "E1: (ε,φ)-expander decomposition (Theorem 1)",
+        &[
+            "family", "n", "m", "eps", "k", "parts", "removed_frac", "phi_promised",
+            "min_cert_phi", "cert_ok", "rounds",
+        ],
+    );
+    let mut scaling: Vec<(usize, usize, u64)> = Vec::new(); // (k, n, rounds)
+
+    for &n in &[96usize, 192, 384, 768] {
+        for &eps in &[0.1f64, 0.3] {
+            for &k in &[1usize, 2, 3] {
+                let (g, _) = ring_family(n);
+                let res = ExpanderDecomposition::builder()
+                    .epsilon(eps)
+                    .k(k)
+                    .seed(7)
+                    .build()
+                    .run(&g)
+                    .expect("non-empty graph");
+                let report = verify_decomposition(&g, &res);
+                table.row(vec![
+                    "ring".into(),
+                    g.n().to_string(),
+                    g.m().to_string(),
+                    format!("{eps:.2}"),
+                    k.to_string(),
+                    res.parts.len().to_string(),
+                    format!("{:.4}", res.inter_cluster_fraction()),
+                    format!("{:.2e}", res.phi),
+                    format!("{:.4}", report.min_certified_conductance()),
+                    (report.is_partition && report.edge_budget_ok() && report.conductance_ok())
+                        .to_string(),
+                    res.ledger.total().to_string(),
+                ]);
+                if (eps - 0.3).abs() < 1e-9 {
+                    scaling.push((k, g.n(), res.ledger.total()));
+                }
+            }
+        }
+    }
+
+    // A second family: SBM with 4 blocks.
+    for &half in &[24usize, 48, 96] {
+        let pp = gen::planted_partition(
+            &[half, half, half, half],
+            0.4,
+            0.4 / half as f64,
+            half as u64,
+        )
+        .expect("sbm");
+        let g = pp.graph;
+        let res = ExpanderDecomposition::builder()
+            .epsilon(0.3)
+            .k(2)
+            .seed(5)
+            .build()
+            .run(&g)
+            .expect("non-empty");
+        let report = verify_decomposition(&g, &res);
+        table.row(vec![
+            "sbm4".into(),
+            g.n().to_string(),
+            g.m().to_string(),
+            "0.30".into(),
+            "2".into(),
+            res.parts.len().to_string(),
+            format!("{:.4}", res.inter_cluster_fraction()),
+            format!("{:.2e}", res.phi),
+            format!("{:.4}", report.min_certified_conductance()),
+            (report.is_partition && report.edge_budget_ok() && report.conductance_ok())
+                .to_string(),
+            res.ledger.total().to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut fit = Table::new(
+        "E1b: round-growth exponent vs k (paper: n^{2/k}·polylog)",
+        &["k", "fitted_exponent", "paper_shape"],
+    );
+    for k in [1usize, 2, 3] {
+        let pts: Vec<(f64, f64)> = scaling
+            .iter()
+            .filter(|&&(kk, _, _)| kk == k)
+            .map(|&(_, n, r)| (n as f64, r.max(1) as f64))
+            .collect();
+        if pts.len() >= 2 {
+            fit.row(vec![
+                k.to_string(),
+                format!("{:.2}", fit_exponent(&pts)),
+                format!("2/k = {:.2} (+polylog)", 2.0 / k as f64),
+            ]);
+        }
+    }
+    fit.print();
+}

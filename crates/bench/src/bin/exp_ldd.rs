@@ -1,0 +1,154 @@
+//! **E4 + E5 — Theorem 4 and Lemma 12**: low-diameter decomposition.
+//!
+//! E4: over 100 seeds per (family, β): the empirical quantiles of the cut
+//! fraction vs the w.h.p. bound `3β`, and the worst part diameter vs
+//! `O(log²n/β²)`.
+//!
+//! E5: the per-edge MPX cut probability vs Lemma 12's `2β` bound,
+//! plus the comparison *plain MPX vs the V_D/V_S-filtered* decomposition —
+//! the filtered version must have no heavier tail.
+
+use bench_suite::Table;
+use expander::prelude::*;
+use graph::{gen, traversal};
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let trials = 100u64;
+    let mut e4 = Table::new(
+        "E4: LowDiamDecomposition over 100 seeds (Theorem 4)",
+        &[
+            "family", "n", "beta", "cut_frac_p50", "cut_frac_p95", "bound_3beta",
+            "within_whp", "diam_max", "diam_bound",
+        ],
+    );
+    // 1D families must be much longer than 4ab = Θ(log²n/β²) for the
+    // V_D/V_S classification to mark anything sparse; the compact families
+    // (grid, ring) stay all-dense at laptop scale and document the
+    // "no cut needed" contrast.
+    let families: Vec<(String, graph::Graph)> = vec![
+        ("path1500".into(), gen::path(1500).expect("path")),
+        ("cycle1500".into(), gen::cycle(1500).expect("cycle")),
+        ("grid17x17".into(), gen::grid(17, 17).expect("grid")),
+        ("ring20x6".into(), gen::ring_of_cliques(20, 6).expect("ring").0),
+    ];
+    for (name, g) in &families {
+        for &beta in &[0.25f64, 0.4] {
+            let params = LddParams::practical(beta, g.n());
+            let mut fracs = Vec::new();
+            let mut diam_max = 0u32;
+            for seed in 0..trials {
+                let out = low_diameter_decomposition(g, &params, seed);
+                fracs.push(out.cut_fraction(g));
+                if let Some(d) = out.max_part_diameter(g) {
+                    diam_max = diam_max.max(d);
+                }
+            }
+            fracs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let ln_n = (g.n() as f64).ln();
+            let diam_bound = 20.0 * (ln_n / beta) * (ln_n / beta);
+            let p95 = quantile(&fracs, 0.95);
+            e4.row(vec![
+                name.clone(),
+                g.n().to_string(),
+                format!("{beta:.2}"),
+                format!("{:.4}", quantile(&fracs, 0.5)),
+                format!("{p95:.4}"),
+                format!("{:.4}", 3.0 * beta),
+                (p95 <= 3.0 * beta).to_string(),
+                diam_max.to_string(),
+                format!("{diam_bound:.0}"),
+            ]);
+        }
+    }
+    e4.print();
+
+    // E5: per-edge cut probability for plain MPX (Lemma 12: ≤ 2β).
+    let mut e5 = Table::new(
+        "E5: MPX per-edge cut probability (Lemma 12: ≤ 2β)",
+        &["family", "beta", "max_edge_cut_prob", "mean_edge_cut_prob", "bound_2beta", "ok"],
+    );
+    let small: Vec<(String, graph::Graph)> = vec![
+        ("path300".into(), gen::path(300).expect("path")),
+        ("grid17x17".into(), gen::grid(17, 17).expect("grid")),
+        ("gnp200".into(), gen::gnp(200, 0.025, 7).expect("gnp")),
+        ("ring20x6".into(), gen::ring_of_cliques(20, 6).expect("ring").0),
+    ];
+    for (name, g) in &small {
+        let beta = 0.2;
+        let mut cut_count = vec![0usize; g.m()];
+        for seed in 0..trials {
+            let c = clustering(g, beta, seed);
+            for (idx, (u, v)) in g.edges().enumerate() {
+                if c.cluster_of[u as usize] != c.cluster_of[v as usize] {
+                    cut_count[idx] += 1;
+                }
+            }
+        }
+        let probs: Vec<f64> =
+            cut_count.iter().map(|&c| c as f64 / trials as f64).collect();
+        let max = probs.iter().cloned().fold(0.0f64, f64::max);
+        let mean = probs.iter().sum::<f64>() / probs.len().max(1) as f64;
+        e5.row(vec![
+            name.clone(),
+            format!("{beta:.2}"),
+            format!("{max:.4}"),
+            format!("{mean:.4}"),
+            format!("{:.4}", 2.0 * beta),
+            // The 2β bound is per-edge in expectation; allow binomial
+            // noise at 100 trials on the max.
+            (max <= 2.0 * beta + 3.0 * (2.0 * beta / trials as f64).sqrt()).to_string(),
+        ]);
+    }
+    e5.print();
+
+    // E5b: variance comparison — plain MPX cut fraction vs the filtered
+    // LowDiamDecomposition (the paper's point: the filtered version
+    // concentrates w.h.p.).
+    let mut e5b = Table::new(
+        "E5b: plain MPX vs V_D/V_S-filtered decomposition (cut-fraction tails)",
+        &["family", "plain_p95", "filtered_p95", "filtered_no_worse"],
+    );
+    for (name, g) in &small {
+        let beta = 0.25;
+        let params = LddParams::practical(beta, g.n());
+        let mut plain = Vec::new();
+        let mut filtered = Vec::new();
+        for seed in 0..trials {
+            let c = clustering(g, beta, seed);
+            plain.push(c.cut_edges(g).len() as f64 / g.m().max(1) as f64);
+            let out = low_diameter_decomposition(g, &params, seed);
+            filtered.push(out.cut_fraction(g));
+        }
+        plain.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        filtered.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let p_plain = quantile(&plain, 0.95);
+        let p_filt = quantile(&filtered, 0.95);
+        e5b.row(vec![
+            name.clone(),
+            format!("{p_plain:.4}"),
+            format!("{p_filt:.4}"),
+            (p_filt <= p_plain + 1e-9).to_string(),
+        ]);
+    }
+    e5b.print();
+
+    // Sanity: the diameter machinery on one long path, printed for the
+    // record.
+    let g = gen::path(1500).expect("path");
+    let params = LddParams::practical(0.35, 1500);
+    let out = low_diameter_decomposition(&g, &params, 1);
+    println!(
+        "path1500 detail: {} parts, diameter(input) = {}, max part diameter = {:?}",
+        out.parts.len(),
+        traversal::diameter(&g).expect("connected"),
+        out.max_part_diameter(&g)
+    );
+}

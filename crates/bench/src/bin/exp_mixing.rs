@@ -1,0 +1,45 @@
+//! **E7 — §1 inequality (Jerrum–Sinclair)**:
+//! `Θ(1/Φ_G) ≤ τ_mix(G) ≤ Θ(log n/Φ_G²)`.
+//!
+//! For families sweeping conductance from Θ(1/n²) (barbell) to Θ(1)
+//! (clique), measure τ_mix by walking to TV distance 1/4 and check both
+//! sides of the sandwich. Φ is exact where the family admits it, else the
+//! sweep-cut upper bound paired with the Cheeger lower bound.
+
+use bench_suite::{mixing_family, Table};
+use graph::spectral;
+
+fn main() {
+    let mut table = Table::new(
+        "E7: mixing time vs conductance (Jerrum–Sinclair sandwich)",
+        &["family", "n", "phi", "phi_kind", "tau_mix", "lower_c/phi", "upper_logn/phi2", "sandwich_ok"],
+    );
+    for (name, g, exact_phi) in mixing_family() {
+        let (phi, kind) = match exact_phi {
+            Some(p) => (p, "exact"),
+            None => {
+                // Cheeger lower bound as the conservative stand-in.
+                let gap = spectral::lazy_walk_lambda2(&g, 500).expect("connected");
+                (spectral::cheeger_lower_bound(&gap).max(1e-6), "cheeger_lb")
+            }
+        };
+        let starts = spectral::extreme_starts(&g);
+        let tau = spectral::mixing_time(&g, &starts, 0.25, 2_000_000)
+            .expect("graphs small enough to mix") as f64;
+        // Constants: lower side uses c = 1/20 (lazy walk halves movement;
+        // TV target 1/4 softens it further); upper uses C = 40.
+        let lower = 0.05 / phi;
+        let upper = 40.0 * (g.n() as f64).ln() / (phi * phi);
+        table.row(vec![
+            name,
+            g.n().to_string(),
+            format!("{phi:.5}"),
+            kind.into(),
+            format!("{tau:.0}"),
+            format!("{lower:.1}"),
+            format!("{upper:.0}"),
+            (tau >= lower && tau <= upper).to_string(),
+        ]);
+    }
+    table.print();
+}

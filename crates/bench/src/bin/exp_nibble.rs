@@ -1,0 +1,57 @@
+//! **E9 — Lemma 3 and the ParallelNibble congestion cap.**
+//!
+//! Lemma 3 bounds the volume touched by one Nibble:
+//! `Vol(Z_{u,φ,b}) ≤ (t₀+1)/(2ε_b)`. Running k parallel instances, the
+//! expected per-edge participation is O(1) and the `w = 10⌈ln Vol⌉` cap is
+//! exceeded only with vanishing probability (the event `B` of Lemma 7).
+//! We measure participation volumes per scale `b` and the distribution of
+//! max edge participation across seeds.
+
+use bench_suite::Table;
+use expander::prelude::*;
+use graph::gen;
+use rand::SeedableRng as _;
+
+fn main() {
+    let g = gen::gnp(300, 0.03, 17).expect("gnp");
+    let params = SparseCutParams::new(
+        0.002,
+        g.m(),
+        g.total_volume(),
+        ParamMode::Practical,
+    );
+    let mut e9 = Table::new(
+        "E9a: Nibble participation volume vs Lemma 3 bound",
+        &["b", "eps_b", "participation_vol", "bound_(t0+1)/2eps", "within"],
+    );
+    for b in 1..=params.nibble.ell.min(8) {
+        let out = approximate_nibble(&g, 0, &params.nibble, b);
+        let vol: usize = out.participants.iter().map(|v| g.degree(v)).sum();
+        let bound = (params.nibble.t0 as f64 + 1.0) / (2.0 * params.nibble.eps_b(b));
+        e9.row(vec![
+            b.to_string(),
+            format!("{:.2e}", params.nibble.eps_b(b)),
+            vol.to_string(),
+            format!("{bound:.0}"),
+            ((vol as f64) <= bound).to_string(),
+        ]);
+    }
+    e9.print();
+
+    let mut e9b = Table::new(
+        "E9b: ParallelNibble max edge participation across seeds (cap w)",
+        &["seed", "k_instances", "max_participation", "w_cap", "aborted"],
+    );
+    for seed in 0..8u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = parallel_nibble(&g, &params, 6, &mut rng);
+        e9b.row(vec![
+            seed.to_string(),
+            params.k_parallel.to_string(),
+            out.max_edge_participation.to_string(),
+            params.w_cap.to_string(),
+            out.aborted_on_congestion.to_string(),
+        ]);
+    }
+    e9b.print();
+}

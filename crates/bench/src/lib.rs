@@ -1,0 +1,12 @@
+//! Experiment harness shared by the `exp_*` binaries and the Criterion
+//! benches: table formatting, exponent fitting, and the workload builders
+//! every experiment in EXPERIMENTS.md uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;
+pub mod workloads;
+
+pub use tables::{fit_exponent, Table};
+pub use workloads::*;

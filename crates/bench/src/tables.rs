@@ -1,0 +1,145 @@
+//! Aligned-text + CSV table output and scaling-exponent fits.
+
+/// A simple result table: named columns, rows of strings, printed both as
+/// aligned text (for eyeballs) and CSV (for plots).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column names.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned-text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("## {}\n", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the CSV form (comma-separated, header first).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints text and CSV to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+        println!("csv:\n{}", self.to_csv());
+    }
+}
+
+/// Least-squares fit of `y = c·x^α` in log space; returns the exponent α.
+///
+/// # Panics
+///
+/// Panics if fewer than two points or non-positive values are supplied.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "fit requires positive values");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new("demo", &["n", "rounds"]);
+        t.row(vec!["16".into(), "100".into()]);
+        t.row(vec!["1024".into(), "9000".into()]);
+        let text = t.to_text();
+        assert!(text.contains("demo") && text.contains("1024"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,rounds\n"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_power_laws() {
+        let pts: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64, 3.0 * (i as f64).powf(1.5))).collect();
+        let alpha = fit_exponent(&pts);
+        assert!((alpha - 1.5).abs() < 1e-9);
+        let flat: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 7.0)).collect();
+        assert!(fit_exponent(&flat).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! The workload families used by the experiments, with their ground-truth
+//! structure where applicable.
+
+use graph::{gen, Graph, VertexSet};
+
+/// A graph plus the most balanced planted sparse cut we know it contains.
+#[derive(Debug, Clone)]
+pub struct PlantedCutWorkload {
+    /// Short family label for tables.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// The planted cut (one side).
+    pub planted: VertexSet,
+}
+
+/// Dumbbell workloads with planted balance sweeping from 1/2 downward.
+pub fn dumbbell_sweep() -> Vec<PlantedCutWorkload> {
+    [(16usize, 16usize), (22, 12), (28, 8), (32, 5)]
+        .into_iter()
+        .map(|(a, b)| {
+            let (graph, left) = gen::dumbbell(a, b, 1).expect("valid dumbbell");
+            PlantedCutWorkload {
+                name: format!("K{a}+K{b}"),
+                graph,
+                planted: left,
+            }
+        })
+        .collect()
+}
+
+/// SBM two-block workloads of increasing size (balanced planted cut).
+pub fn sbm_sweep(sizes: &[usize]) -> Vec<PlantedCutWorkload> {
+    sizes
+        .iter()
+        .map(|&half| {
+            let pp = gen::planted_partition(&[half, half], 0.4, 4.0 / half as f64 * 0.05, half as u64)
+                .expect("valid SBM");
+            PlantedCutWorkload {
+                name: format!("sbm{}", 2 * half),
+                planted: pp.blocks[0].clone(),
+                graph: pp.graph,
+            }
+        })
+        .collect()
+}
+
+/// The decomposition scaling family: rings of cliques with `n` vertices.
+pub fn ring_family(n: usize) -> (Graph, usize) {
+    let clique = 8usize;
+    let count = (n / clique).max(3);
+    let (g, _) = gen::ring_of_cliques(count, clique).expect("valid ring");
+    (g, count)
+}
+
+/// The triangle scaling family: `G(n, p)` as in the Ω̃(n^{1/3}) lower
+/// bound construction (which uses p = 1/2).
+pub fn gnp_family(n: usize, p: f64, seed: u64) -> Graph {
+    gen::gnp(n, p, seed).expect("valid gnp")
+}
+
+/// Expander family for routing experiments.
+pub fn expander_family(n: usize, seed: u64) -> Graph {
+    gen::random_regular(n, 8, seed).expect("valid regular graph")
+}
+
+/// Conductance-sweep family for the mixing-time experiment: (name, graph,
+/// analytic conductance when known).
+pub fn mixing_family() -> Vec<(String, Graph, Option<f64>)> {
+    let mut out: Vec<(String, Graph, Option<f64>)> = Vec::new();
+    let (bar, left) = gen::barbell(12).expect("barbell");
+    let phi_bar = bar.conductance(&left).expect("cut exists");
+    out.push(("barbell12".into(), bar, Some(phi_bar)));
+    let cyc = gen::cycle(64).expect("cycle");
+    out.push(("cycle64".into(), cyc, Some(2.0 / 64.0)));
+    let grid = gen::grid(8, 8).expect("grid");
+    out.push(("grid8x8".into(), grid, None));
+    let reg = gen::random_regular(64, 8, 5).expect("regular");
+    out.push(("regular8".into(), reg, None));
+    let k = gen::complete(32).expect("complete");
+    out.push(("K32".into(), k, Some(0.5 * 32.0 / 62.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_sweep_has_decreasing_balance() {
+        let ws = dumbbell_sweep();
+        assert_eq!(ws.len(), 4);
+        let balances: Vec<f64> = ws
+            .iter()
+            .map(|w| w.graph.balance(&w.planted).unwrap())
+            .collect();
+        for pair in balances.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9, "balances {balances:?}");
+        }
+    }
+
+    #[test]
+    fn sbm_sweep_blocks_are_sparse() {
+        for w in sbm_sweep(&[24, 48]) {
+            let phi = w.graph.conductance(&w.planted).unwrap();
+            assert!(phi < 0.2, "{}: Φ = {phi}", w.name);
+        }
+    }
+
+    #[test]
+    fn ring_family_scales() {
+        let (g, count) = ring_family(128);
+        assert_eq!(g.n(), count * 8);
+    }
+
+    #[test]
+    fn mixing_family_is_diverse() {
+        let fam = mixing_family();
+        assert!(fam.len() >= 5);
+        for (name, g, _) in fam {
+            assert!(g.n() > 0, "{name} empty");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The CONGESTED-CLIQUE model: all-to-all communication with the same
+//! `O(log n)`-bit-per-message budget, plus the Lenzen routing cost model.
+//!
+//! In CONGESTED-CLIQUE every pair of vertices has a (virtual) link, so per
+//! round a vertex may send one message to **every** other vertex. The model
+//! matters to the paper as the setting of the `Ω̃(n^{1/3})` triangle
+//! enumeration lower bound and of the Dolev–Lenzen–Peled `O(n^{1/3})`
+//! upper bound — Theorem 2 shows CONGEST matches it up to polylog factors.
+//!
+//! **Lenzen's routing theorem** is exposed as a cost model
+//! ([`lenzen_rounds`]): any multi-commodity routing instance in which every
+//! vertex is the source of at most `n` messages and the destination of at
+//! most `n` messages can be delivered in `O(1)` rounds. Algorithms built on
+//! it (the DLP triangle lister) count `⌈load/n⌉·C_LENZEN` rounds per batch.
+
+use crate::{CongestError, Payload, Result, RunReport};
+use graph::VertexId;
+
+/// The constant hidden in Lenzen's `O(1)`-round routing theorem.
+///
+/// Lenzen's deterministic protocol delivers any instance with per-vertex
+/// in/out load `≤ n` in 16 rounds; we charge this constant.
+pub const LENZEN_CONSTANT: usize = 16;
+
+/// Rounds needed to deliver a routing instance in CONGESTED-CLIQUE under
+/// Lenzen's theorem: each batch of per-vertex load `n` costs
+/// [`LENZEN_CONSTANT`] rounds.
+///
+/// `max_out` / `max_in` are the maximum number of messages any vertex
+/// sends / receives.
+///
+/// # Example
+///
+/// ```
+/// use congest::clique::{lenzen_rounds, LENZEN_CONSTANT};
+/// // Load exactly n on both sides: one batch.
+/// assert_eq!(lenzen_rounds(1000, 1000, 1000), LENZEN_CONSTANT);
+/// // 2.5n outgoing load: three batches.
+/// assert_eq!(lenzen_rounds(2500, 100, 1000), 3 * LENZEN_CONSTANT);
+/// ```
+pub fn lenzen_rounds(max_out: usize, max_in: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let batches = max_out.max(max_in).div_ceil(n);
+    batches * LENZEN_CONSTANT
+}
+
+/// A per-vertex program in the CONGESTED-CLIQUE model.
+///
+/// Identical contract to [`crate::VertexProgram`] except sends may target
+/// *any* other vertex.
+pub trait CliqueProgram {
+    /// Message type (bit-accounted like in CONGEST).
+    type Msg: Payload;
+
+    /// One-time initialization.
+    fn init(&mut self, ctx: &mut CliqueCtx<'_, Self::Msg>);
+
+    /// One synchronous round; `inbox` is sorted by sender.
+    fn round(&mut self, ctx: &mut CliqueCtx<'_, Self::Msg>, inbox: &[(VertexId, Self::Msg)]);
+
+    /// Whether this vertex votes to halt.
+    fn halted(&self) -> bool;
+}
+
+/// Per-vertex context in the clique model.
+#[derive(Debug)]
+pub struct CliqueCtx<'a, M> {
+    me: VertexId,
+    n: usize,
+    round: usize,
+    outbox: &'a mut Vec<(VertexId, M)>,
+}
+
+impl<M: Payload> CliqueCtx<'_, M> {
+    /// This vertex's id.
+    pub fn me(&self) -> VertexId {
+        self.me
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round (0 during init).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Queues a message to any other vertex.
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+}
+
+/// A CONGESTED-CLIQUE network on `n` vertices.
+#[derive(Debug, Clone)]
+pub struct Clique {
+    n: usize,
+    bandwidth_bits: usize,
+}
+
+impl Clique {
+    /// A clique network on `n` vertices with the default
+    /// `max(128, 16·⌈log₂ n⌉)`-bit message budget.
+    pub fn new(n: usize) -> Self {
+        let log_n = (n.max(2) as f64).log2().ceil() as usize;
+        Clique { n, bandwidth_bits: (16 * log_n).max(128) }
+    }
+
+    /// Overrides the per-message bandwidth budget in bits.
+    pub fn with_bandwidth_bits(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Runs one program instance per vertex until global halt.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::CliqueQuotaExceeded`] if a vertex sends more than
+    /// `n − 1` messages in one round or sends twice to the same recipient;
+    /// [`CongestError::BandwidthExceeded`] / `RoundLimitExceeded` as in
+    /// CONGEST.
+    pub fn run_collect<P, F>(&self, mut make: F, max_rounds: usize) -> Result<(RunReport, Vec<P>)>
+    where
+        P: CliqueProgram,
+        F: FnMut(VertexId) -> P,
+    {
+        let n = self.n;
+        let mut programs: Vec<P> = (0..n as VertexId).map(&mut make).collect();
+        let mut report = RunReport::default();
+        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        let mut in_flight = 0usize;
+
+        for v in 0..n as VertexId {
+            let mut outbox = Vec::new();
+            let mut ctx = CliqueCtx { me: v, n, round: 0, outbox: &mut outbox };
+            programs[v as usize].init(&mut ctx);
+            in_flight += self.dispatch(v, outbox, &mut inboxes, &mut report)?;
+        }
+
+        let mut round = 0usize;
+        loop {
+            if in_flight == 0 && programs.iter().all(CliqueProgram::halted) {
+                break;
+            }
+            if round >= max_rounds {
+                return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+            }
+            round += 1;
+            let mut delivered: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+            std::mem::swap(&mut delivered, &mut inboxes);
+            in_flight = 0;
+            for v in 0..n as VertexId {
+                let inbox = &mut delivered[v as usize];
+                if inbox.is_empty() && programs[v as usize].halted() {
+                    continue;
+                }
+                inbox.sort_by_key(|&(from, _)| from);
+                let mut outbox = Vec::new();
+                let mut ctx = CliqueCtx { me: v, n, round, outbox: &mut outbox };
+                programs[v as usize].round(&mut ctx, inbox);
+                in_flight += self.dispatch(v, outbox, &mut inboxes, &mut report)?;
+            }
+        }
+        report.rounds = round;
+        Ok((report, programs))
+    }
+
+    fn dispatch<M: Payload>(
+        &self,
+        from: VertexId,
+        outbox: Vec<(VertexId, M)>,
+        inboxes: &mut [Vec<(VertexId, M)>],
+        report: &mut RunReport,
+    ) -> Result<usize> {
+        if outbox.len() > self.n.saturating_sub(1) {
+            return Err(CongestError::CliqueQuotaExceeded {
+                vertex: from,
+                count: outbox.len(),
+                quota: self.n - 1,
+            });
+        }
+        let mut seen: Vec<VertexId> = Vec::with_capacity(outbox.len());
+        let count = outbox.len();
+        for (to, msg) in outbox {
+            if to == from || (to as usize) >= self.n || seen.contains(&to) {
+                return Err(CongestError::CliqueQuotaExceeded {
+                    vertex: from,
+                    count: count + 1,
+                    quota: self.n - 1,
+                });
+            }
+            seen.push(to);
+            let bits = msg.encoded_bits();
+            if bits > self.bandwidth_bits {
+                return Err(CongestError::BandwidthExceeded {
+                    from,
+                    bits,
+                    budget: self.bandwidth_bits,
+                });
+            }
+            report.messages += 1;
+            report.bits += bits;
+            report.max_link_bits_per_round = report.max_link_bits_per_round.max(bits);
+            inboxes[to as usize].push((from, msg));
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenzen_batching() {
+        assert_eq!(lenzen_rounds(0, 0, 100), 0);
+        assert_eq!(lenzen_rounds(1, 1, 100), LENZEN_CONSTANT);
+        assert_eq!(lenzen_rounds(100, 100, 100), LENZEN_CONSTANT);
+        assert_eq!(lenzen_rounds(101, 1, 100), 2 * LENZEN_CONSTANT);
+        assert_eq!(lenzen_rounds(1, 350, 100), 4 * LENZEN_CONSTANT);
+        assert_eq!(lenzen_rounds(5, 5, 0), 0);
+    }
+
+    /// Every vertex sends its id to vertex 0, which sums them.
+    struct Gather {
+        sum: u64,
+        sent: bool,
+    }
+
+    impl CliqueProgram for Gather {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut CliqueCtx<'_, u64>) {
+            if ctx.me() != 0 {
+                ctx.send(0, ctx.me() as u64);
+            }
+            self.sent = true;
+        }
+        fn round(&mut self, _ctx: &mut CliqueCtx<'_, u64>, inbox: &[(VertexId, u64)]) {
+            self.sum += inbox.iter().map(|&(_, x)| x).sum::<u64>();
+        }
+        fn halted(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn all_to_one_gather_is_one_round() {
+        let clique = Clique::new(10);
+        let (report, progs) = clique
+            .run_collect(|_| Gather { sum: 0, sent: false }, 10)
+            .unwrap();
+        assert_eq!(report.rounds, 1);
+        assert_eq!(progs[0].sum, (1..10).sum::<u64>());
+    }
+
+    #[derive(Debug)]
+    struct Spammer;
+    impl CliqueProgram for Spammer {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut CliqueCtx<'_, u64>) {
+            if ctx.me() == 0 {
+                // Send twice to vertex 1.
+                ctx.send(1, 1);
+                ctx.send(1, 2);
+            }
+        }
+        fn round(&mut self, _: &mut CliqueCtx<'_, u64>, _: &[(VertexId, u64)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn duplicate_recipient_rejected() {
+        let err = Clique::new(4).run_collect(|_| Spammer, 10).unwrap_err();
+        assert!(matches!(err, CongestError::CliqueQuotaExceeded { vertex: 0, .. }));
+    }
+
+    #[derive(Debug)]
+    struct SelfSender;
+    impl CliqueProgram for SelfSender {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut CliqueCtx<'_, u64>) {
+            let me = ctx.me();
+            ctx.send(me, 1);
+        }
+        fn round(&mut self, _: &mut CliqueCtx<'_, u64>, _: &[(VertexId, u64)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let err = Clique::new(4).run_collect(|_| SelfSender, 10).unwrap_err();
+        assert!(matches!(err, CongestError::CliqueQuotaExceeded { .. }));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the CONGEST simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while running a distributed program on the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CongestError {
+    /// A vertex tried to send to a non-neighbor (CONGEST only allows
+    /// messages along incident edges).
+    NotANeighbor {
+        /// Sender vertex.
+        from: u32,
+        /// Intended (non-adjacent) recipient.
+        to: u32,
+    },
+    /// A vertex sent two messages over the same edge in one round.
+    DuplicateSend {
+        /// Sender vertex.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Round in which the violation happened.
+        round: usize,
+    },
+    /// A message exceeded the per-edge bandwidth budget.
+    BandwidthExceeded {
+        /// Sender vertex.
+        from: u32,
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The enforced budget in bits.
+        budget: usize,
+    },
+    /// The program did not halt within the round limit.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// In the CONGESTED-CLIQUE, a vertex exceeded its per-round send or
+    /// receive quota of `n − 1` messages.
+    CliqueQuotaExceeded {
+        /// The offending vertex.
+        vertex: u32,
+        /// Messages it tried to send or receive this round.
+        count: usize,
+        /// The quota.
+        quota: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NotANeighbor { from, to } => {
+                write!(f, "vertex {from} attempted to send to non-neighbor {to}")
+            }
+            CongestError::DuplicateSend { from, to, round } => write!(
+                f,
+                "vertex {from} sent twice over edge to {to} in round {round}"
+            ),
+            CongestError::BandwidthExceeded { from, bits, budget } => write!(
+                f,
+                "vertex {from} sent a {bits}-bit message exceeding the {budget}-bit budget"
+            ),
+            CongestError::RoundLimitExceeded { limit } => {
+                write!(f, "program did not halt within {limit} rounds")
+            }
+            CongestError::CliqueQuotaExceeded { vertex, count, quota } => write!(
+                f,
+                "clique vertex {vertex} moved {count} messages in one round (quota {quota})"
+            ),
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CongestError::NotANeighbor { from: 1, to: 2 };
+        assert!(e.to_string().contains("non-neighbor"));
+        let e = CongestError::RoundLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CongestError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Message payloads and their bit-size accounting.
+//!
+//! CONGEST allows `O(log n)` bits per edge per round. Every message type
+//! reports its encoded size through [`Payload::encoded_bits`]; the network
+//! checks it against the per-edge budget (a configurable multiple of
+//! `⌈log₂ n⌉`).
+//!
+//! Floating-point payloads deserve a note: the paper's walk-mass messages
+//! are real numbers, but the algorithms only need them to additive accuracy
+//! `poly(1/n)` (the truncation threshold `ε_b` is the precision floor), so
+//! an `O(log n)`-bit fixed-point encoding suffices. We transmit `f64` for
+//! implementation convenience and charge it as one `O(log n)`-bit word,
+//! matching the paper's accounting.
+
+/// A message payload with a declared encoded size in bits.
+///
+/// Implemented for the primitive types used by the algorithms in this
+/// repository. Sizes are the *model* sizes (see module docs), not Rust
+/// memory sizes.
+pub trait Payload: Clone {
+    /// Size of this message in bits under the model's encoding.
+    fn encoded_bits(&self) -> usize;
+}
+
+macro_rules! impl_payload_fixed {
+    ($($ty:ty => $bits:expr),* $(,)?) => {
+        $(impl Payload for $ty {
+            fn encoded_bits(&self) -> usize { $bits }
+        })*
+    };
+}
+
+impl_payload_fixed! {
+    u8 => 8,
+    u16 => 16,
+    u32 => 32,
+    u64 => 64,
+    i32 => 32,
+    i64 => 64,
+    usize => 64,
+    bool => 1,
+    // One O(log n)-bit fixed-point word (see module docs).
+    f64 => 64,
+}
+
+impl Payload for () {
+    fn encoded_bits(&self) -> usize {
+        1
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn encoded_bits(&self) -> usize {
+        self.0.encoded_bits() + self.1.encoded_bits()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn encoded_bits(&self) -> usize {
+        self.0.encoded_bits() + self.1.encoded_bits() + self.2.encoded_bits()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload, D: Payload> Payload for (A, B, C, D) {
+    fn encoded_bits(&self) -> usize {
+        self.0.encoded_bits()
+            + self.1.encoded_bits()
+            + self.2.encoded_bits()
+            + self.3.encoded_bits()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn encoded_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, Payload::encoded_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(5u32.encoded_bits(), 32);
+        assert_eq!(true.encoded_bits(), 1);
+        assert_eq!(().encoded_bits(), 1);
+        assert_eq!(1.5f64.encoded_bits(), 64);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u32).encoded_bits(), 64);
+        assert_eq!((1u32, 2u32, 3u8).encoded_bits(), 72);
+        assert_eq!((1u8, 2u8, 3u8, 4u8).encoded_bits(), 32);
+        assert_eq!(Some(7u16).encoded_bits(), 17);
+        assert_eq!(None::<u16>.encoded_bits(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Run statistics: the quantities the paper's theorems bound.
+
+/// Statistics from one simulated execution.
+///
+/// `rounds` is the headline complexity measure; the message/bit counters
+/// support congestion analyses (e.g. the `w`-cap of ParallelNibble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Number of synchronous rounds until every vertex halted.
+    pub rounds: usize,
+    /// Total messages delivered across the whole run.
+    pub messages: usize,
+    /// Total payload bits delivered across the whole run.
+    pub bits: usize,
+    /// Maximum number of bits carried by any single edge-direction in any
+    /// single round (≤ the bandwidth budget by construction).
+    pub max_link_bits_per_round: usize,
+}
+
+impl RunReport {
+    /// Merges two reports as if the runs happened back to back.
+    pub fn sequenced_with(&self, later: &RunReport) -> RunReport {
+        RunReport {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            bits: self.bits + later.bits,
+            max_link_bits_per_round: self
+                .max_link_bits_per_round
+                .max(later.max_link_bits_per_round),
+        }
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits (max link load {} bits/round)",
+            self.rounds, self.messages, self.bits, self.max_link_bits_per_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequencing_adds_rounds_and_takes_max_load() {
+        let a = RunReport { rounds: 3, messages: 10, bits: 320, max_link_bits_per_round: 32 };
+        let b = RunReport { rounds: 2, messages: 4, bits: 256, max_link_bits_per_round: 64 };
+        let c = a.sequenced_with(&b);
+        assert_eq!(c.rounds, 5);
+        assert_eq!(c.messages, 14);
+        assert_eq!(c.bits, 576);
+        assert_eq!(c.max_link_bits_per_round, 64);
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let a = RunReport { rounds: 7, ..Default::default() };
+        assert!(a.to_string().contains("7 rounds"));
+    }
+}

@@ -1,0 +1,433 @@
+//! The synchronous round engine for the CONGEST model.
+
+use crate::{CongestError, Payload, Result, RunReport};
+use graph::{Graph, VertexId};
+
+/// A per-vertex distributed program.
+///
+/// The engine drives all vertices in lock step:
+///
+/// 1. [`VertexProgram::init`] runs once for every vertex ("round 0") and
+///    may send messages.
+/// 2. Each subsequent round delivers the messages sent in the previous
+///    step and invokes [`VertexProgram::round`] on every vertex that is
+///    either not halted or has a non-empty inbox.
+/// 3. The run stops when **every** vertex has halted and no messages are
+///    in flight.
+///
+/// A halted vertex is woken up again if a message arrives — halting is a
+/// vote, not a termination.
+pub trait VertexProgram {
+    /// Message type; its [`Payload::encoded_bits`] is charged against the
+    /// per-edge bandwidth budget.
+    type Msg: Payload;
+
+    /// One-time initialization; may send messages via `ctx`.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// One synchronous round. `inbox` holds `(sender, message)` pairs
+    /// sorted by sender id.
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(VertexId, Self::Msg)]);
+
+    /// Whether this vertex currently votes to halt.
+    fn halted(&self) -> bool;
+}
+
+/// Per-vertex view of the network available during a round.
+///
+/// Provides the local information CONGEST permits: own id, own neighbor
+/// list, the round number, plus global constants (`n` and the bandwidth,
+/// which are common knowledge in the model).
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    me: VertexId,
+    g: &'a Graph,
+    round: usize,
+    outbox: Vec<(VertexId, M)>,
+}
+
+impl<M: Payload> Ctx<'_, M> {
+    /// This vertex's id.
+    pub fn me(&self) -> VertexId {
+        self.me
+    }
+
+    /// Number of vertices in the network (common knowledge in CONGEST).
+    pub fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    /// Current round number (0 during `init`).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Degree of this vertex (self loops included).
+    pub fn degree(&self) -> usize {
+        self.g.degree(self.me)
+    }
+
+    /// Sorted neighbor list of this vertex.
+    pub fn neighbors(&self) -> &[VertexId] {
+        self.g.neighbors(self.me)
+    }
+
+    /// Queues a message to neighbor `to` for delivery next round.
+    ///
+    /// Validity (adjacency, one message per edge per round, bandwidth) is
+    /// checked by the engine when the round ends; violations abort the run
+    /// with the corresponding [`CongestError`].
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        let neighbors: Vec<VertexId> = self.g.neighbors(self.me).to_vec();
+        for w in neighbors {
+            self.send(w, msg.clone());
+        }
+    }
+}
+
+/// A CONGEST network over a fixed communication graph.
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Network<'g> {
+    g: &'g Graph,
+    bandwidth_bits: usize,
+}
+
+impl<'g> Network<'g> {
+    /// A network over `g` with the default bandwidth budget of
+    /// `max(128, 16·⌈log₂ n⌉)` bits per edge per round — a fixed constant
+    /// number of `O(log n)`-bit words.
+    pub fn new(g: &'g Graph) -> Self {
+        let log_n = (g.n().max(2) as f64).log2().ceil() as usize;
+        Network { g, bandwidth_bits: (16 * log_n).max(128) }
+    }
+
+    /// Overrides the per-edge-per-round bandwidth budget in bits.
+    pub fn with_bandwidth_bits(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// The enforced per-edge-per-round budget in bits.
+    pub fn bandwidth_bits(&self) -> usize {
+        self.bandwidth_bits
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// Runs one program instance per vertex until global halt.
+    ///
+    /// `make` constructs the program for each vertex (it receives the
+    /// vertex id, so programs can embed their identity or seed their local
+    /// randomness from it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CongestError`] on any model violation or if the run
+    /// exceeds `max_rounds`.
+    pub fn run<P, F>(&self, make: F, max_rounds: usize) -> Result<RunReport>
+    where
+        P: VertexProgram,
+        F: FnMut(VertexId) -> P,
+    {
+        self.run_collect(make, max_rounds).map(|(report, _)| report)
+    }
+
+    /// Like [`Network::run`] but also returns the final program states,
+    /// indexed by vertex id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CongestError`] on any model violation or if the run
+    /// exceeds `max_rounds`.
+    pub fn run_collect<P, F>(&self, mut make: F, max_rounds: usize) -> Result<(RunReport, Vec<P>)>
+    where
+        P: VertexProgram,
+        F: FnMut(VertexId) -> P,
+    {
+        let n = self.g.n();
+        let mut programs: Vec<P> = (0..n as VertexId).map(&mut make).collect();
+        let mut report = RunReport::default();
+        // inboxes[v] = messages to deliver to v at the start of next round.
+        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        let mut in_flight = 0usize;
+
+        // Round 0: init.
+        for v in 0..n as VertexId {
+            let mut ctx = Ctx { me: v, g: self.g, round: 0, outbox: Vec::new() };
+            programs[v as usize].init(&mut ctx);
+            in_flight += self.dispatch(v, 0, ctx.outbox, &mut inboxes, &mut report)?;
+        }
+
+        let mut round = 0usize;
+        loop {
+            let all_halted = programs.iter().all(VertexProgram::halted);
+            if all_halted && in_flight == 0 {
+                break;
+            }
+            if round >= max_rounds {
+                return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+            }
+            round += 1;
+            // Deliver: swap out the inboxes filled last round.
+            let mut delivered: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+            std::mem::swap(&mut delivered, &mut inboxes);
+            in_flight = 0;
+            for v in 0..n as VertexId {
+                let inbox = &mut delivered[v as usize];
+                if inbox.is_empty() && programs[v as usize].halted() {
+                    continue;
+                }
+                inbox.sort_by_key(|&(from, _)| from);
+                let mut ctx = Ctx { me: v, g: self.g, round, outbox: Vec::new() };
+                programs[v as usize].round(&mut ctx, inbox);
+                in_flight += self.dispatch(v, round, ctx.outbox, &mut inboxes, &mut report)?;
+            }
+        }
+        report.rounds = round;
+        Ok((report, programs))
+    }
+
+    /// Validates and enqueues one vertex's outbox; returns how many
+    /// messages were dispatched.
+    fn dispatch<M: Payload>(
+        &self,
+        from: VertexId,
+        round: usize,
+        outbox: Vec<(VertexId, M)>,
+        inboxes: &mut [Vec<(VertexId, M)>],
+        report: &mut RunReport,
+    ) -> Result<usize> {
+        let mut sent_to: Vec<VertexId> = Vec::with_capacity(outbox.len());
+        let count = outbox.len();
+        for (to, msg) in outbox {
+            if !self.g.neighbors(from).contains(&to) {
+                return Err(CongestError::NotANeighbor { from, to });
+            }
+            if sent_to.contains(&to) {
+                return Err(CongestError::DuplicateSend { from, to, round });
+            }
+            sent_to.push(to);
+            let bits = msg.encoded_bits();
+            if bits > self.bandwidth_bits {
+                return Err(CongestError::BandwidthExceeded {
+                    from,
+                    bits,
+                    budget: self.bandwidth_bits,
+                });
+            }
+            report.messages += 1;
+            report.bits += bits;
+            report.max_link_bits_per_round = report.max_link_bits_per_round.max(bits);
+            inboxes[to as usize].push((from, msg));
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    /// Echoes one message to the next higher neighbor id, `hops` times.
+    struct Relay {
+        budget: usize,
+        done: bool,
+    }
+
+    impl VertexProgram for Relay {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send(1, self.budget as u32);
+                self.done = true;
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+            self.done = true;
+            for &(_, hops) in inbox {
+                if hops > 0 {
+                    let me = ctx.me();
+                    if let Some(&next) = ctx.neighbors().iter().find(|&&w| w > me) {
+                        ctx.send(next, hops - 1);
+                    }
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn relay_round_count_matches_hops() {
+        let g = gen::path(10).unwrap();
+        let report = Network::new(&g)
+            .run(|_| Relay { budget: 5, done: false }, 100)
+            .unwrap();
+        // Message travels 0->1 (round 1) then 5 more hops.
+        assert_eq!(report.rounds, 6);
+        assert_eq!(report.messages, 6);
+    }
+
+    struct SendToStranger;
+    impl VertexProgram for SendToStranger {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send(3, 1); // not adjacent on a path
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(VertexId, u32)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_fails() {
+        let g = gen::path(4).unwrap();
+        let err = Network::new(&g).run(|_| SendToStranger, 10).unwrap_err();
+        assert_eq!(err, CongestError::NotANeighbor { from: 0, to: 3 });
+    }
+
+    struct DoubleSend;
+    impl VertexProgram for DoubleSend {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send(1, 1);
+                ctx.send(1, 2);
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(VertexId, u32)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn duplicate_send_fails() {
+        let g = gen::path(2).unwrap();
+        let err = Network::new(&g).run(|_| DoubleSend, 10).unwrap_err();
+        assert!(matches!(err, CongestError::DuplicateSend { from: 0, to: 1, .. }));
+    }
+
+    struct FatMessage;
+    impl VertexProgram for FatMessage {
+        type Msg = (u64, u64, u64, u64);
+        fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.me() == 0 {
+                ctx.send(1, (0, 0, 0, 0)); // 256 bits
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, Self::Msg>, _: &[(VertexId, Self::Msg)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn bandwidth_violation_fails() {
+        let g = gen::path(2).unwrap();
+        let err = Network::new(&g)
+            .with_bandwidth_bits(128)
+            .run(|_| FatMessage, 10)
+            .unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 256, .. }));
+    }
+
+    struct NeverHalts;
+    impl VertexProgram for NeverHalts {
+        type Msg = u32;
+        fn init(&mut self, _: &mut Ctx<'_, u32>) {}
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(VertexId, u32)]) {}
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = gen::path(2).unwrap();
+        let err = Network::new(&g).run(|_| NeverHalts, 7).unwrap_err();
+        assert_eq!(err, CongestError::RoundLimitExceeded { limit: 7 });
+    }
+
+    struct InstantHalt;
+    impl VertexProgram for InstantHalt {
+        type Msg = u32;
+        fn init(&mut self, _: &mut Ctx<'_, u32>) {}
+        fn round(&mut self, _: &mut Ctx<'_, u32>, _: &[(VertexId, u32)]) {}
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn silent_program_takes_zero_rounds() {
+        let g = gen::path(5).unwrap();
+        let report = Network::new(&g).run(|_| InstantHalt, 10).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn run_collect_returns_states() {
+        let g = gen::path(3).unwrap();
+        let (_, progs) = Network::new(&g)
+            .run_collect(|_| InstantHalt, 10)
+            .unwrap();
+        assert_eq!(progs.len(), 3);
+    }
+
+    /// Every vertex learns the minimum id in its connected component by
+    /// iterated min-flooding; checks a multi-round convergence pattern.
+    struct MinFlood {
+        best: u32,
+        changed: bool,
+    }
+
+    impl VertexProgram for MinFlood {
+        type Msg = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            self.best = ctx.me();
+            ctx.broadcast(self.best);
+            self.changed = false;
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+            let incoming = inbox.iter().map(|&(_, b)| b).min();
+            if let Some(b) = incoming {
+                if b < self.best {
+                    self.best = b;
+                    ctx.broadcast(b);
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            true // quiescence-driven: only woken by messages
+        }
+    }
+
+    #[test]
+    fn min_flooding_converges_in_eccentricity_rounds() {
+        let g = gen::cycle(9).unwrap();
+        let (report, progs) = Network::new(&g)
+            .run_collect(|_| MinFlood { best: u32::MAX, changed: false }, 100)
+            .unwrap();
+        assert!(progs.iter().all(|p| p.best == 0));
+        // Vertex 0's eccentricity on C9 is 4; one extra round of silence
+        // is impossible because halting is quiescence-driven.
+        assert!(report.rounds <= 5, "took {} rounds", report.rounds);
+    }
+}

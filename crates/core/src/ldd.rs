@@ -1,0 +1,548 @@
+//! **Theorem 4** — low-diameter decomposition with a w.h.p. guarantee
+//! (Appendix B).
+//!
+//! The base algorithm is Miller–Peng–Xu `Clustering(β)`: every vertex
+//! draws an exponential shift `δ_v ~ Exp(β)` and wakes at epoch
+//! `start_v = max(1, 2·ln n/β − ⌊δ_v⌋)`; an awake unclustered vertex
+//! becomes a center, and unclustered vertices join any already-clustered
+//! neighbor. Each cluster has radius ≤ `2·ln n/β` epochs and each edge is
+//! cut with probability ≤ 2β (Lemma 12) — but only **in expectation** over
+//! the whole graph.
+//!
+//! The paper's contribution is upgrading the cut-edge bound to hold
+//! **w.h.p.** without spending diameter time: compute a partition
+//! `V = V_D ∪ V_S` such that `V_D` already induces low-diameter clusters
+//! that are pairwise far apart (invariant `H`), and the edges incident to
+//! `V_S` are "good" — every such edge's cut indicator depends on few
+//! others, so a Chernoff bound with bounded dependence applies. Then run
+//! `Clustering(β)` but cut only the inter-cluster edges incident to `V_S`.
+
+use crate::rounds::RoundLedger;
+use graph::traversal;
+use graph::{Graph, VertexId, VertexSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of `Clustering(β)` (MPX): a cluster id per vertex.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster id of each vertex (cluster ids are center vertex ids).
+    pub cluster_of: Vec<VertexId>,
+    /// Epochs executed (= measured CONGEST rounds of the procedure).
+    pub epochs: usize,
+}
+
+impl Clustering {
+    /// The inter-cluster edges, each reported once.
+    pub fn cut_edges(&self, g: &Graph) -> Vec<(VertexId, VertexId)> {
+        g.edges()
+            .filter(|&(u, v)| self.cluster_of[u as usize] != self.cluster_of[v as usize])
+            .collect()
+    }
+
+    /// The clusters as vertex sets (non-empty ones only).
+    pub fn clusters(&self, n: usize) -> Vec<VertexSet> {
+        use std::collections::HashMap;
+        let mut groups: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for (v, &c) in self.cluster_of.iter().enumerate() {
+            groups.entry(c).or_default().push(v as VertexId);
+        }
+        let mut keys: Vec<VertexId> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| VertexSet::from_iter(n, groups.remove(&k).expect("key exists")))
+            .collect()
+    }
+}
+
+/// Samples `Exp(β)` by inverse transform: `−ln(U)/β`.
+fn sample_exponential(beta: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random::<f64>();
+    -(1.0 - u).ln() / beta
+}
+
+/// `Clustering(β)` of Miller–Peng–Xu, in the Haeupler–Wajc presentation
+/// the paper uses. Runs in `2·ln n/β` synchronous epochs.
+///
+/// Every vertex ends up clustered: any vertex whose `start_v` epoch
+/// arrives while it is unclustered becomes a center itself.
+///
+/// # Panics
+///
+/// Panics unless `0 < beta < 1`.
+pub fn clustering(g: &Graph, beta: f64, seed: u64) -> Clustering {
+    assert!(beta > 0.0 && beta < 1.0, "beta = {beta} outside (0, 1)");
+    let n = g.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = (2.0 * (n.max(2) as f64).ln() / beta).ceil() as usize;
+    let start: Vec<usize> = (0..n)
+        .map(|_| {
+            let delta = sample_exponential(beta, &mut rng);
+            // start_v = max(1, 2·ln n/β − ⌊δ_v⌋).
+            let s = horizon as f64 - delta.floor();
+            s.max(1.0) as usize
+        })
+        .collect();
+    clustering_with_starts(g, &start, horizon)
+}
+
+/// `Clustering` driven by explicit start epochs (the deterministic core of
+/// [`clustering`], exposed so the exact CONGEST simulation can be run with
+/// identical randomness and compared epoch for epoch).
+///
+/// # Panics
+///
+/// Panics if `starts.len() != g.n()`.
+pub fn clustering_with_starts(g: &Graph, starts: &[usize], horizon: usize) -> Clustering {
+    let n = g.n();
+    assert_eq!(starts.len(), n, "one start epoch per vertex");
+    let start = starts;
+    let mut cluster_of: Vec<Option<VertexId>> = vec![None; n];
+    let mut epochs = 0usize;
+    for t in 1..=horizon {
+        if cluster_of.iter().all(Option::is_some) {
+            break;
+        }
+        epochs = t;
+        // Epoch t: snapshot who was clustered before this epoch.
+        let before: Vec<Option<VertexId>> = cluster_of.clone();
+        for v in 0..n {
+            if before[v].is_some() {
+                continue;
+            }
+            if start[v] == t {
+                cluster_of[v] = Some(v as VertexId);
+            } else if start[v] > t {
+                // Join the smallest-id clustered neighbor (ties arbitrary).
+                let joined = g
+                    .neighbors(v as VertexId)
+                    .iter()
+                    .filter_map(|&w| before[w as usize])
+                    .min();
+                if let Some(c) = joined {
+                    cluster_of[v] = Some(c);
+                }
+            }
+        }
+    }
+    // Stragglers whose start epoch never fired (can't happen: start ≤
+    // horizon by construction) — defensive fallback to singletons.
+    let cluster_of = cluster_of
+        .into_iter()
+        .enumerate()
+        .map(|(v, c)| c.unwrap_or(v as VertexId))
+        .collect();
+    Clustering { cluster_of, epochs }
+}
+
+/// Parameters of the Theorem 4 procedure, exposing the `a`/`b` radii so
+/// experiments can sweep them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LddParams {
+    /// Cut-edge budget `β`.
+    pub beta: f64,
+    /// Separation radius `a` (paper: `5·ln n/β`).
+    pub a: usize,
+    /// Density threshold divisor `b` (paper: `K·ln n/β`).
+    pub b: usize,
+    /// Radius used for the reference ball when classifying `V_D`/`V_S`
+    /// (paper: `100·a·b`; capped at `n` — a ball can never exceed the
+    /// graph).
+    pub reference_radius: usize,
+}
+
+impl LddParams {
+    /// Paper-faithful radii for an `n`-vertex graph.
+    pub fn paper(beta: f64, n: usize) -> Self {
+        let ln_n = (n.max(2) as f64).ln();
+        let a = (5.0 * ln_n / beta).ceil() as usize;
+        let b = (20.0 * ln_n / beta).ceil() as usize; // K = 20
+        LddParams { beta, a, b, reference_radius: (100 * a * b).min(n) }
+    }
+
+    /// Practical radii: same `Θ(log n/β)` shape with halved constants, so
+    /// the machinery engages on laptop-sized graphs.
+    pub fn practical(beta: f64, n: usize) -> Self {
+        let ln_n = (n.max(2) as f64).ln();
+        let a = (0.5 * ln_n / beta).ceil().max(1.0) as usize;
+        let b = (0.5 * ln_n / beta).ceil().max(2.0) as usize;
+        LddParams { beta, a, b, reference_radius: (4 * a * b).min(n) }
+    }
+}
+
+/// Result of `LowDiamDecomposition(β)` (Theorem 4).
+#[derive(Debug, Clone)]
+pub struct LddOutcome {
+    /// The final partition `V = V₁ ∪ … ∪ V_x`.
+    pub parts: Vec<VertexSet>,
+    /// The inter-part edges that were cut.
+    pub cut_edges: Vec<(VertexId, VertexId)>,
+    /// The dense side `V_D` of the auxiliary partition.
+    pub v_dense: VertexSet,
+    /// Measured round charges (Lemma 21 accounting).
+    pub ledger: RoundLedger,
+}
+
+impl LddOutcome {
+    /// Fraction of edges cut, relative to `m`.
+    pub fn cut_fraction(&self, g: &Graph) -> f64 {
+        if g.m() == 0 {
+            return 0.0;
+        }
+        self.cut_edges.len() as f64 / g.m() as f64
+    }
+
+    /// Maximum diameter over the parts (`None` if some part is
+    /// internally disconnected, which the guarantee forbids).
+    pub fn max_part_diameter(&self, g: &Graph) -> Option<u32> {
+        let mut worst = 0;
+        for p in &self.parts {
+            match traversal::set_diameter(g, p) {
+                Ok(d) => worst = worst.max(d),
+                Err(_) => return None,
+            }
+        }
+        Some(worst)
+    }
+}
+
+/// `LowDiamDecomposition(β)`: each output part has diameter
+/// `O(log²n/β²)` and w.h.p. at most `3β·|E|` edges are cut.
+///
+/// # Panics
+///
+/// Panics unless `0 < β < 1`.
+pub fn low_diameter_decomposition(g: &Graph, params: &LddParams, seed: u64) -> LddOutcome {
+    let n = g.n();
+    let mut ledger = RoundLedger::new();
+    if n == 0 {
+        return LddOutcome {
+            parts: Vec::new(),
+            cut_edges: Vec::new(),
+            v_dense: VertexSet::empty(0),
+            ledger,
+        };
+    }
+    // Step 2a: classify V'_D vs V'_S by ball edge-counts (Lemmas 14–16;
+    // we compute the counts exactly and charge the estimator's rounds:
+    // O(a·b·log²n) per Lemma 16 with d = reference radius).
+    let a = params.a.max(1) as u32;
+    let radius = params.reference_radius.max(params.a) as u32;
+    // Round charges cap every radius at n: a BFS/estimator over a graph of
+    // n vertices finishes within its diameter regardless of the nominal
+    // radius parameter (Lemma 16 with d clamped to the graph).
+    let a_eff = (params.a as u64).min(n as u64);
+    let b_eff = (params.b as u64).min(n as u64);
+    let radius_eff = (radius as u64).min(n as u64);
+    let log_n = (n.max(2) as f64).ln();
+    ledger.charge("ldd.classify", radius_eff * (log_n * log_n).ceil() as u64);
+    let mut dense_seed: Vec<VertexId> = Vec::new();
+    for comp in traversal::connected_components(g) {
+        // Fast path: if the a-ball covers the whole component, every
+        // vertex sees near == reference ≥ reference/2b, i.e. dense.
+        let comp_diam_ub = traversal::set_diameter(g, &comp).unwrap_or(u32::MAX);
+        if comp_diam_ub <= a {
+            dense_seed.extend(comp.iter());
+            continue;
+        }
+        for v in comp.iter() {
+            let near = traversal::ball_edge_count(g, v, a);
+            let reference = traversal::ball_edge_count(g, v, radius);
+            if (near as f64) >= reference as f64 / (2.0 * params.b as f64) {
+                dense_seed.push(v);
+            }
+        }
+    }
+    let v_dense_core = VertexSet::from_iter(n, dense_seed);
+
+    // Step 2b: grow W₀ = {u : dist(u, V'_D) ≤ a} and merge any two
+    // components within distance a until none remain (invariant H bounds
+    // the iteration count by 2b and each component's diameter by O(ab)).
+    let mut w = expand_by_distance(g, &v_dense_core, a);
+    let mut merge_iters = 0usize;
+    loop {
+        merge_iters += 1;
+        let comps = components_within(g, &w);
+        let (merged, changed) = merge_close_components(g, &w, &comps, a);
+        w = merged;
+        if !changed || merge_iters > 2 * params.b + 2 {
+            break;
+        }
+    }
+    // Lemma 21: O(a·b) per iteration (radii capped at the graph).
+    ledger.charge("ldd.dense_merge", (merge_iters as u64) * a_eff * b_eff.max(1));
+    let v_dense = w;
+
+    // Step 3: run Clustering(β), but cut only inter-cluster edges with an
+    // endpoint in V_S.
+    let clus = clustering(g, params.beta, seed.wrapping_add(0x9E3779B97F4A7C15));
+    ledger.charge("ldd.clustering", clus.epochs as u64);
+    let mut cut_edges = Vec::new();
+    for (u, v) in g.edges() {
+        if clus.cluster_of[u as usize] != clus.cluster_of[v as usize]
+            && (!v_dense.contains(u) || !v_dense.contains(v))
+        {
+            cut_edges.push((u, v));
+        }
+    }
+    let remaining = g.remove_edges(cut_edges.iter().copied(), false);
+    let parts = traversal::connected_components(&remaining);
+    LddOutcome { parts, cut_edges, v_dense, ledger }
+}
+
+/// `{u : dist(u, S) ≤ r}` — multi-source BFS ball around a set.
+fn expand_by_distance(g: &Graph, s: &VertexSet, r: u32) -> VertexSet {
+    use std::collections::VecDeque;
+    let n = g.n();
+    if s.is_empty() {
+        return VertexSet::empty(n);
+    }
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for v in s.iter() {
+        dist[v as usize] = 0;
+        queue.push_back(v);
+    }
+    let mut members: Vec<VertexId> = s.iter().collect();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == r {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = du + 1;
+                members.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    VertexSet::from_iter(n, members)
+}
+
+/// Connected components of the subgraph induced by `w` (as parent-id sets).
+fn components_within(g: &Graph, w: &VertexSet) -> Vec<VertexSet> {
+    use std::collections::VecDeque;
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in w.iter() {
+        if seen[start as usize] {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        seen[start as usize] = true;
+        let mut members = vec![start];
+        while let Some(u) = queue.pop_front() {
+            for &x in g.neighbors(u) {
+                if w.contains(x) && !seen[x as usize] {
+                    seen[x as usize] = true;
+                    members.push(x);
+                    queue.push_back(x);
+                }
+            }
+        }
+        comps.push(VertexSet::from_iter(n, members));
+    }
+    comps
+}
+
+/// One merge iteration: any component with another component within
+/// distance `a` absorbs its `a`-ball. Returns the new `W` and whether
+/// anything changed.
+fn merge_close_components(
+    g: &Graph,
+    w: &VertexSet,
+    comps: &[VertexSet],
+    a: u32,
+) -> (VertexSet, bool) {
+    let n = g.n();
+    if comps.len() <= 1 {
+        return (w.clone(), false);
+    }
+    // Label vertices by component; BFS out to distance a from each
+    // component to detect proximity.
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, c) in comps.iter().enumerate() {
+        for v in c.iter() {
+            comp_of[v as usize] = ci;
+        }
+    }
+    let mut grow: Vec<bool> = vec![false; comps.len()];
+    for (ci, c) in comps.iter().enumerate() {
+        let ball = expand_by_distance(g, c, a);
+        for v in ball.iter() {
+            let other = comp_of[v as usize];
+            if other != usize::MAX && other != ci {
+                grow[ci] = true;
+                grow[other] = true;
+            }
+        }
+    }
+    if grow.iter().all(|&x| !x) {
+        return (w.clone(), false);
+    }
+    let mut next = w.clone();
+    for (ci, c) in comps.iter().enumerate() {
+        if grow[ci] {
+            next = next.union(&expand_by_distance(g, c, a));
+        }
+    }
+    (next, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn clustering_covers_every_vertex() {
+        let g = gen::gnp(80, 0.05, 3).unwrap();
+        let c = clustering(&g, 0.3, 7);
+        assert_eq!(c.cluster_of.len(), 80);
+        // Every cluster id is a real center.
+        for &cid in &c.cluster_of {
+            assert!((cid as usize) < 80);
+        }
+    }
+
+    #[test]
+    fn clustering_respects_radius_bound() {
+        // Each cluster has (strong) diameter ≤ 4·ln n/β in the paper; check
+        // on a path where distances are easy.
+        let g = gen::path(200).unwrap();
+        let beta = 0.3;
+        let c = clustering(&g, beta, 11);
+        let bound = (4.0 * (200f64).ln() / beta).ceil() as u32;
+        for cl in c.clusters(200) {
+            let d = traversal::set_diameter(&g, &cl).expect("clusters are connected");
+            assert!(d <= bound, "cluster diameter {d} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn clustering_clusters_are_connected() {
+        let g = gen::gnp(60, 0.08, 9).unwrap();
+        let c = clustering(&g, 0.4, 13);
+        for cl in c.clusters(60) {
+            if cl.len() > 1 {
+                assert!(
+                    traversal::set_diameter(&g, &cl).is_ok(),
+                    "cluster must induce a connected subgraph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpx_cut_probability_bound_empirically() {
+        // Lemma 12: Pr[edge cut] ≤ 2β. Average over seeds on a path.
+        let g = gen::path(120).unwrap();
+        let beta = 0.1;
+        let trials = 200;
+        let mut cut_total = 0usize;
+        for seed in 0..trials {
+            cut_total += clustering(&g, beta, seed).cut_edges(&g).len();
+        }
+        let avg_fraction = cut_total as f64 / (trials as f64 * g.m() as f64);
+        assert!(
+            avg_fraction <= 2.0 * beta * 1.2,
+            "empirical cut fraction {avg_fraction} above 2β = {}",
+            2.0 * beta
+        );
+    }
+
+    #[test]
+    fn ldd_parts_partition_the_graph() {
+        let g = gen::gnp(70, 0.07, 21).unwrap();
+        let params = LddParams::practical(0.2, 70);
+        let out = low_diameter_decomposition(&g, &params, 3);
+        let mut seen = vec![false; 70];
+        for p in &out.parts {
+            for v in p.iter() {
+                assert!(!seen[v as usize], "vertex {v} in two parts");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some vertex missing from the partition");
+    }
+
+    #[test]
+    fn ldd_diameter_bound_on_path() {
+        let n = 300;
+        let g = gen::path(n).unwrap();
+        let beta = 0.4;
+        let params = LddParams::practical(beta, n);
+        let out = low_diameter_decomposition(&g, &params, 5);
+        // Theorem 4: each part has diameter O(log²n/β²); with practical
+        // constants the bound is c·(ln n/β)² with a generous c.
+        let ln_n = (n as f64).ln();
+        let bound = 8.0 * (ln_n / beta) * (ln_n / beta);
+        let d = out.max_part_diameter(&g).expect("parts connected") as f64;
+        assert!(d <= bound, "diameter {d} above bound {bound}");
+        // A 300-path must actually be split.
+        assert!(out.parts.len() > 1, "path should be cut into pieces");
+    }
+
+    #[test]
+    fn ldd_cut_fraction_within_budget_on_average() {
+        let g = gen::gnp(100, 0.06, 2).unwrap();
+        let beta = 0.15;
+        let params = LddParams::practical(beta, 100);
+        let mut worst: f64 = 0.0;
+        let mut total = 0.0;
+        let trials = 30;
+        for seed in 0..trials {
+            let out = low_diameter_decomposition(&g, &params, seed);
+            let f = out.cut_fraction(&g);
+            worst = worst.max(f);
+            total += f;
+        }
+        let avg = total / trials as f64;
+        assert!(avg <= 3.0 * beta, "average cut fraction {avg} above 3β");
+    }
+
+    #[test]
+    fn dense_core_suppresses_cuts() {
+        // On a clique everything is dense: V_D = V and no edge is cut.
+        let g = gen::complete(30).unwrap();
+        let params = LddParams::practical(0.2, 30);
+        let out = low_diameter_decomposition(&g, &params, 9);
+        assert_eq!(out.v_dense.len(), 30);
+        assert!(out.cut_edges.is_empty());
+        assert_eq!(out.parts.len(), 1);
+    }
+
+    #[test]
+    fn ledger_has_all_phases() {
+        let g = gen::path(100).unwrap();
+        let params = LddParams::practical(0.3, 100);
+        let out = low_diameter_decomposition(&g, &params, 4);
+        assert!(out.ledger.category("ldd.classify") > 0);
+        assert!(out.ledger.category("ldd.clustering") > 0);
+    }
+
+    #[test]
+    fn paper_params_scale_with_beta() {
+        let p1 = LddParams::paper(0.1, 1000);
+        let p2 = LddParams::paper(0.2, 1000);
+        assert!(p1.a > p2.a, "a ∝ 1/β");
+        assert!(p1.b > p2.b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn clustering_rejects_bad_beta() {
+        let g = gen::path(4).unwrap();
+        let _ = clustering(&g, 1.5, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = graph::Graph::from_edges(0, []).unwrap();
+        let params = LddParams::practical(0.2, 1);
+        let out = low_diameter_decomposition(&g, &params, 0);
+        assert!(out.parts.is_empty());
+    }
+}

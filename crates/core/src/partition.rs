@@ -1,0 +1,164 @@
+//! `Partition(G, φ, p)` (Appendix A.4): the sequential driver that turns
+//! ParallelNibble into a nearly most balanced sparse cut.
+//!
+//! Starting from `W₀ = V`, each iteration runs `ParallelNibble` on the
+//! loop-augmented remainder `G{W_{i−1}}`, removes the returned cut `Cᵢ`
+//! from `W`, and stops as soon as the remainder has lost a `1/48` fraction
+//! of the volume (or after `s` iterations). The output is `C = ∪ᵢ Cᵢ`.
+//!
+//! Lemma 8 gives the three guarantees the decomposition relies on:
+//! `Vol(C) ≤ (47/48)·Vol(V)`; if `C ≠ ∅` then `Φ(C) = O(φ·log n)`; and for
+//! any sparse enough `S` (`Φ(S) ≤ f(φ)`), with probability `1 − p` either
+//! `Vol(C) ≥ Vol(V)/48` or `C` captures half of `S`'s volume.
+
+use crate::parallel_nibble::{parallel_nibble, ParallelNibbleOutcome};
+use crate::params::SparseCutParams;
+use crate::rounds::RoundLedger;
+use graph::view::Subgraph;
+use graph::{Graph, VertexSet};
+use rand::rngs::StdRng;
+
+/// Result of one `Partition` run.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// The accumulated cut `C = ∪ᵢ Cᵢ` (possibly empty).
+    pub cut: VertexSet,
+    /// Number of ParallelNibble iterations actually executed.
+    pub iterations: usize,
+    /// Whether the run stopped because the volume threshold was crossed
+    /// (as opposed to exhausting `s` iterations or the empty-streak break).
+    pub hit_volume_threshold: bool,
+    /// Measured round charges (Lemma 11 accounting: the sum of its
+    /// sequential ParallelNibble calls).
+    pub ledger: RoundLedger,
+}
+
+/// Runs `Partition(G, φ, p)` on `g` with the given parameter set.
+///
+/// `diameter_hint` is the diameter of the communication graph (all edges of
+/// the enclosing component may be used even when `W` becomes disconnected —
+/// §2 "Round Complexity").
+pub fn partition(
+    g: &Graph,
+    params: &SparseCutParams,
+    diameter_hint: u32,
+    rng: &mut StdRng,
+) -> PartitionOutcome {
+    let n = g.n();
+    let total_vol = g.total_volume();
+    let mut ledger = RoundLedger::new();
+    let mut w_set = VertexSet::full(n);
+    let mut cut = VertexSet::empty(n);
+    let mut iterations = 0usize;
+    let mut hit_volume_threshold = false;
+    let mut empty_streak = 0usize;
+
+    if total_vol == 0 {
+        return PartitionOutcome { cut, iterations, hit_volume_threshold, ledger };
+    }
+
+    for _ in 0..params.s_iterations {
+        iterations += 1;
+        // Extract G{W_{i-1}}: degrees preserved by loop augmentation.
+        let sub = Subgraph::loop_augmented(g, &w_set);
+        if sub.graph().total_volume() == 0 {
+            break;
+        }
+        let out: ParallelNibbleOutcome =
+            parallel_nibble(sub.graph(), params, diameter_hint, rng);
+        ledger.absorb(&out.ledger);
+        let c_local = out.cut;
+        if c_local.is_empty() {
+            empty_streak += 1;
+            if empty_streak >= params.empty_streak_break {
+                break;
+            }
+            continue;
+        }
+        empty_streak = 0;
+        let c_parent = sub.set_to_parent(&c_local, n);
+        cut = cut.union(&c_parent);
+        w_set = w_set.difference(&c_parent);
+        let w_vol: usize = w_set.iter().map(|v| g.degree(v)).sum();
+        if (w_vol as f64) <= 47.0 / 48.0 * total_vol as f64 {
+            hit_volume_threshold = true;
+            break;
+        }
+    }
+    PartitionOutcome { cut, iterations, hit_volume_threshold, ledger }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ParamMode, SparseCutParams};
+    use graph::gen;
+    use rand::SeedableRng;
+
+    fn run(g: &Graph, phi_target: f64, seed: u64) -> PartitionOutcome {
+        let params =
+            SparseCutParams::new(phi_target, g.m(), g.total_volume(), ParamMode::Practical);
+        let mut rng = StdRng::seed_from_u64(seed);
+        partition(g, &params, 4, &mut rng)
+    }
+
+    #[test]
+    fn cut_volume_respects_lemma8_bound() {
+        let (g, _) = gen::barbell(10).unwrap();
+        let out = run(&g, 0.001, 3);
+        let vol = g.volume(&out.cut);
+        assert!(
+            (vol as f64) <= 47.0 / 48.0 * g.total_volume() as f64,
+            "Vol(C) too large: {vol}"
+        );
+    }
+
+    #[test]
+    fn finds_balanced_cut_on_barbell() {
+        let (g, _) = gen::barbell(12).unwrap();
+        let out = run(&g, 0.001, 5);
+        assert!(!out.cut.is_empty());
+        let bal = g.balance(&out.cut).unwrap();
+        // The barbell's most balanced sparse cut has balance 1/2; Theorem 3
+        // promises ≥ min(b/2, 1/48).
+        assert!(bal >= 1.0 / 48.0, "balance {bal} below Theorem 3 floor");
+        let phi = g.conductance(&out.cut).unwrap();
+        assert!(phi < 0.2, "conductance {phi} not sparse");
+    }
+
+    #[test]
+    fn empty_on_expander_with_early_break() {
+        let g = gen::complete(18).unwrap();
+        let out = run(&g, 0.0005, 7);
+        assert!(out.cut.is_empty());
+        assert!(!out.hit_volume_threshold);
+        // The empty-streak break must have fired well before s iterations.
+        assert!(out.iterations <= 4, "took {} iterations", out.iterations);
+    }
+
+    #[test]
+    fn ring_of_cliques_yields_large_cut() {
+        let (g, _) = gen::ring_of_cliques(6, 6).unwrap();
+        let out = run(&g, 0.001, 11);
+        assert!(!out.cut.is_empty(), "ring of cliques has many sparse cuts");
+        let phi = g.conductance(&out.cut).unwrap();
+        assert!(phi < 0.3, "Φ(C) = {phi}");
+    }
+
+    #[test]
+    fn ledger_accumulates_across_iterations() {
+        let (g, _) = gen::barbell(8).unwrap();
+        let out = run(&g, 0.001, 13);
+        assert!(out.ledger.total() > 0);
+        assert!(out.ledger.category("parallel_nibble.execution") > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (g, _) = gen::barbell(9).unwrap();
+        let a = run(&g, 0.001, 42);
+        let b = run(&g, 0.001, 42);
+        assert_eq!(a.cut.iter().collect::<Vec<_>>(), b.cut.iter().collect::<Vec<_>>());
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

@@ -1,0 +1,157 @@
+//! **Theorem 3** — the nearly most balanced sparse cut.
+//!
+//! Given a target conductance `φ`, the driver re-parameterizes: it runs
+//! [`crate::partition::partition`] at
+//! `φ_run = min(f⁻¹(φ), 1/12)` so that any cut `S` with `Φ(S) ≤ φ`
+//! satisfies the `Φ(S) ≤ f(φ_run)` precondition of Lemma 8. The returned
+//! cut `C` then has `Φ(C) = O(φ_run·log n) = O(φ^{1/3}·log^{5/3} n) = h(φ)`
+//! and balance `bal(C) ≥ min{b/2, 1/48}` where `b` is the balance of the
+//! *most balanced* cut of conductance `≤ φ` — the guarantee no previous
+//! distributed sparse-cut algorithm provided.
+
+use crate::params::{ParamMode, SparseCutParams};
+use crate::partition::{partition, PartitionOutcome};
+use crate::rounds::RoundLedger;
+use graph::{Cut, Graph, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Result of the Theorem 3 sparse-cut algorithm.
+#[derive(Debug, Clone)]
+pub struct SparseCutOutcome {
+    /// The cut found, with its statistics — `None` means the algorithm
+    /// certified (probabilistically) that no `φ`-sparse cut exists.
+    pub cut: Option<Cut>,
+    /// The parameters used (including the derived `φ_run`).
+    pub params: SparseCutParams,
+    /// Measured CONGEST round charges.
+    pub ledger: RoundLedger,
+    /// Iterations the Partition loop used.
+    pub partition_iterations: usize,
+}
+
+impl SparseCutOutcome {
+    /// The conductance bound `h(φ)` Theorem 3 promises for this run.
+    pub fn promised_conductance(&self, n: usize) -> f64 {
+        self.params.h_bound(n)
+    }
+}
+
+/// Runs Theorem 3 on `g`: returns a nearly most balanced cut of
+/// conductance `O(φ^{1/3} log^{5/3} n)` if `Φ(G) ≤ phi_target`, or (w.h.p.)
+/// nothing if `G` is already an expander at that scale.
+///
+/// `diameter_hint` is the communication diameter used for round
+/// accounting; `seed` fixes all randomness.
+///
+/// # Panics
+///
+/// Panics if `g` has no edges (the cut problem is vacuous) or
+/// `phi_target ∉ (0, 1)`.
+pub fn nearly_most_balanced_sparse_cut(
+    g: &Graph,
+    phi_target: f64,
+    mode: ParamMode,
+    diameter_hint: u32,
+    seed: u64,
+) -> SparseCutOutcome {
+    let params = SparseCutParams::new(phi_target, g.m().max(1), g.total_volume(), mode);
+    sparse_cut_with_params(g, &params, diameter_hint, seed)
+}
+
+/// Like [`nearly_most_balanced_sparse_cut`] with an explicit parameter
+/// set (the decomposition reuses parameter objects across components).
+pub fn sparse_cut_with_params(
+    g: &Graph,
+    params: &SparseCutParams,
+    diameter_hint: u32,
+    seed: u64,
+) -> SparseCutOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out: PartitionOutcome = partition(g, params, diameter_hint, &mut rng);
+    let mut ledger = RoundLedger::new();
+    ledger.absorb(&out.ledger);
+    let cut = non_trivial_cut(g, out.cut);
+    SparseCutOutcome {
+        cut,
+        params: params.clone(),
+        ledger,
+        partition_iterations: out.iterations,
+    }
+}
+
+fn non_trivial_cut(g: &Graph, side: VertexSet) -> Option<Cut> {
+    if side.is_empty() {
+        return None;
+    }
+    Cut::new(g, side).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn barbell_cut_meets_theorem3_balance_floor() {
+        let (g, _) = gen::barbell(12).unwrap();
+        let out =
+            nearly_most_balanced_sparse_cut(&g, 0.001, ParamMode::Practical, 3, 17);
+        let cut = out.cut.expect("Φ(barbell) ≈ 0.007 … a cut must be found");
+        // b = 1/2 ⇒ promised balance min(b/2, 1/48) = 1/48.
+        assert!(cut.balance() >= 1.0 / 48.0, "balance {}", cut.balance());
+    }
+
+    #[test]
+    fn dumbbell_with_small_planted_balance() {
+        // Planted cut: the small clique; b ≈ Vol(K6)/Vol(total) ≈ 0.08.
+        let (g, small_side) = gen::dumbbell(20, 6, 0).unwrap();
+        let small = small_side.complement(); // right clique has small volume
+        let b = g.balance(&small).unwrap();
+        let out =
+            nearly_most_balanced_sparse_cut(&g, 0.01, ParamMode::Practical, 3, 23);
+        let cut = out.cut.expect("dumbbell has a very sparse cut");
+        assert!(
+            cut.balance() >= (b / 2.0).min(1.0 / 48.0) - 1e-9,
+            "balance {} below min(b/2, 1/48) with b = {b}",
+            cut.balance()
+        );
+    }
+
+    #[test]
+    fn expander_returns_none_or_sparse() {
+        // Theorem 3 case 2: on Φ(G) > φ the algorithm may return ∅ or a
+        // cut with the h(φ) conductance guarantee — never a dense cut.
+        let g = gen::random_regular(48, 6, 5).unwrap();
+        let out =
+            nearly_most_balanced_sparse_cut(&g, 0.0001, ParamMode::Practical, 3, 29);
+        if let Some(ref cut) = out.cut {
+            assert!(
+                cut.conductance() <= out.promised_conductance(g.n()),
+                "cut conductance {} above promise {}",
+                cut.conductance(),
+                out.promised_conductance(g.n())
+            );
+        }
+    }
+
+    #[test]
+    fn promised_conductance_has_cube_root_shape() {
+        let (g, _) = gen::barbell(10).unwrap();
+        let out1 =
+            nearly_most_balanced_sparse_cut(&g, 1e-9, ParamMode::Practical, 3, 1);
+        let out8 =
+            nearly_most_balanced_sparse_cut(&g, 8e-9, ParamMode::Practical, 3, 1);
+        let ratio =
+            out8.promised_conductance(g.n()) / out1.promised_conductance(g.n());
+        assert!((ratio - 2.0).abs() < 1e-6, "h(θ) ∝ θ^(1/3): ratio {ratio}");
+    }
+
+    #[test]
+    fn ledger_and_iterations_populated() {
+        let (g, _) = gen::barbell(8).unwrap();
+        let out = nearly_most_balanced_sparse_cut(&g, 0.001, ParamMode::Practical, 3, 31);
+        assert!(out.ledger.total() > 0);
+        assert!(out.partition_iterations >= 1);
+    }
+}

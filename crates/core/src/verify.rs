@@ -1,0 +1,225 @@
+//! Decomposition certificates: machine-checkable evidence that an output
+//! actually satisfies Theorem 1's two guarantees.
+//!
+//! 1. **Inter-cluster budget** — removed edges ≤ `ε·|E|`: counted exactly.
+//! 2. **Per-part conductance** — `Φ(G{Vᵢ}) ≥ φ`: certified exactly by cut
+//!    enumeration for parts with ≤ 16 vertices, and bounded from below by
+//!    the spectral Cheeger inequality (`Φ ≥ 1 − λ₂` for the lazy walk) on
+//!    larger parts. Sweep cuts supply complementary *upper* bounds so the
+//!    report also shows how tight the certificate is.
+
+use crate::decomposition::DecompositionResult;
+use graph::view::Subgraph;
+use graph::{spectral, Graph, VertexSet};
+
+/// Conductance evidence for one part.
+#[derive(Debug, Clone)]
+pub struct PartCertificate {
+    /// Number of vertices in the part.
+    pub size: usize,
+    /// A certified lower bound on `Φ(G{Vᵢ})` (exact value for small
+    /// parts; Cheeger bound otherwise). `f64::INFINITY` for parts whose
+    /// conductance is vacuous (singletons: no cut exists).
+    pub conductance_lower: f64,
+    /// Whether the lower bound is exact (small-part enumeration).
+    pub exact: bool,
+    /// A sweep-cut upper bound (`f64::INFINITY` when no non-trivial
+    /// sweep prefix exists).
+    pub conductance_upper: f64,
+}
+
+/// Result of verifying a decomposition.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Whether the parts form a partition of `V`.
+    pub is_partition: bool,
+    /// Measured inter-cluster edge fraction.
+    pub inter_cluster_fraction: f64,
+    /// The ε that was promised.
+    pub epsilon: f64,
+    /// The φ that was promised.
+    pub phi: f64,
+    /// Per-part conductance evidence.
+    pub parts: Vec<PartCertificate>,
+}
+
+impl VerificationReport {
+    /// Whether the ε budget held.
+    pub fn edge_budget_ok(&self) -> bool {
+        self.inter_cluster_fraction <= self.epsilon + 1e-12
+    }
+
+    /// Minimum certified conductance lower bound across non-singleton
+    /// parts (`f64::INFINITY` when all parts are singletons).
+    pub fn min_certified_conductance(&self) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.conductance_lower)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every part met the promised φ, judged by the certified
+    /// lower bounds.
+    pub fn conductance_ok(&self) -> bool {
+        self.min_certified_conductance() >= self.phi
+    }
+}
+
+/// Verifies `result` against the original input graph.
+///
+/// The conductance of each part is evaluated on `G{Vᵢ}` built from the
+/// **original** graph (degrees never changed, so loop augmentation against
+/// the original reproduces the working graph's view exactly).
+pub fn verify_decomposition(g: &Graph, result: &DecompositionResult) -> VerificationReport {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut is_partition = true;
+    for p in &result.parts {
+        for v in p.iter() {
+            if seen[v as usize] {
+                is_partition = false;
+            }
+            seen[v as usize] = true;
+        }
+    }
+    if !seen.iter().all(|&b| b) {
+        is_partition = false;
+    }
+    let parts = result
+        .parts
+        .iter()
+        .map(|p| certify_part(g, result, p))
+        .collect();
+    VerificationReport {
+        is_partition,
+        inter_cluster_fraction: result.inter_cluster_fraction(),
+        epsilon: result.params.epsilon,
+        phi: result.phi,
+        parts,
+    }
+}
+
+/// Builds `G{Vᵢ}` as the *final working view*: the induced subgraph of the
+/// original graph plus loops compensating every incident removed edge.
+fn part_view(g: &Graph, result: &DecompositionResult, part: &VertexSet) -> Graph {
+    // Remove the recorded edges from the original, with compensation, then
+    // take the loop-augmented subgraph — identical to the working graph's
+    // G{Vᵢ} because degrees are preserved throughout.
+    let stripped = g.remove_edges(
+        result.removed_edges.iter().map(|&(u, v, _)| (u, v)),
+        true,
+    );
+    Subgraph::loop_augmented(&stripped, part).graph().clone()
+}
+
+fn certify_part(g: &Graph, result: &DecompositionResult, part: &VertexSet) -> PartCertificate {
+    let size = part.len();
+    if size <= 1 {
+        return PartCertificate {
+            size,
+            conductance_lower: f64::INFINITY,
+            exact: true,
+            conductance_upper: f64::INFINITY,
+        };
+    }
+    let view = part_view(g, result, part);
+    // Upper bound from a degree-ordered sweep.
+    let mut order: Vec<graph::VertexId> = (0..view.n() as graph::VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(view.degree(v)));
+    let upper = spectral::sweep_cut(&view, &order)
+        .map(|s| s.conductance)
+        .unwrap_or(f64::INFINITY);
+    if size <= 16 {
+        let exact = spectral::exact_conductance(&view).unwrap_or(f64::INFINITY);
+        PartCertificate {
+            size,
+            conductance_lower: exact,
+            exact: true,
+            conductance_upper: upper.min(exact),
+        }
+    } else {
+        let gap = spectral::lazy_walk_lambda2(&view, 300)
+            .map(|s| spectral::cheeger_lower_bound(&s))
+            .unwrap_or(0.0);
+        PartCertificate {
+            size,
+            conductance_lower: gap.max(0.0),
+            exact: false,
+            conductance_upper: upper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::ExpanderDecomposition;
+    use graph::gen;
+
+    #[test]
+    fn ring_of_cliques_certifies() {
+        let (g, _) = gen::ring_of_cliques(6, 6).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .epsilon(0.3)
+            .seed(5)
+            .build()
+            .run(&g)
+            .unwrap();
+        let report = verify_decomposition(&g, &res);
+        assert!(report.is_partition);
+        assert!(report.edge_budget_ok());
+        // Every part's certified conductance should beat the (tiny)
+        // practical-mode φ.
+        assert!(
+            report.conductance_ok(),
+            "min certified Φ {} below promised {}",
+            report.min_certified_conductance(),
+            report.phi
+        );
+    }
+
+    #[test]
+    fn certificates_have_consistent_bounds() {
+        let pp = gen::planted_partition(&[20, 20], 0.5, 0.02, 3).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .epsilon(0.4)
+            .seed(9)
+            .build()
+            .run(&pp.graph)
+            .unwrap();
+        let report = verify_decomposition(&pp.graph, &res);
+        for cert in &report.parts {
+            assert!(
+                cert.conductance_lower <= cert.conductance_upper + 1e-9,
+                "lower {} above upper {}",
+                cert.conductance_lower,
+                cert.conductance_upper
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_parts_are_vacuously_expanding() {
+        let g = gen::path(2).unwrap();
+        let res = ExpanderDecomposition::builder().seed(1).build().run(&g).unwrap();
+        let report = verify_decomposition(&g, &res);
+        assert!(report.is_partition);
+        for cert in &report.parts {
+            if cert.size == 1 {
+                assert!(cert.conductance_lower.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn detects_non_partition() {
+        let g = gen::path(4).unwrap();
+        let mut res = ExpanderDecomposition::builder().seed(2).build().run(&g).unwrap();
+        // Corrupt: drop one part.
+        if !res.parts.is_empty() {
+            res.parts.pop();
+        }
+        let report = verify_decomposition(&g, &res);
+        assert!(!report.is_partition);
+    }
+}

@@ -1,0 +1,108 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::{Graph, Result, VertexId};
+
+/// Builder for [`Graph`] supporting incremental edge insertion.
+///
+/// Useful when a generator or a parser produces edges one at a time. For a
+/// ready-made edge list, [`Graph::from_edges`] is equivalent and shorter.
+///
+/// # Example
+///
+/// ```
+/// use graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.edge(0, 1).edge(1, 2);
+/// b.edges([(2, 3), (3, 0)]);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.m(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    loops: Vec<(VertexId, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), loops: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}` (or a self loop when `u == v`).
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from the iterator.
+    pub fn edges<I>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Adds `count` self loops at `v`.
+    pub fn self_loops(&mut self, v: VertexId, count: u32) -> &mut Self {
+        self.loops.push((v, count));
+        self
+    }
+
+    /// Number of edges recorded so far (loops included).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len() + self.loops.len()
+    }
+
+    /// Builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::VertexOutOfRange`] if any recorded
+    /// endpoint is `>= n`.
+    pub fn build(&self) -> Result<Graph> {
+        let loop_edges = self
+            .loops
+            .iter()
+            .flat_map(|&(v, c)| std::iter::repeat((v, v)).take(c as usize));
+        Graph::from_edges(self.n, self.edges.iter().copied().chain(loop_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_from_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2).self_loops(2, 2);
+        let g = b.build().unwrap();
+        let h = Graph::from_edges(3, [(0, 1), (1, 2), (2, 2), (2, 2)]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn builder_reports_pending() {
+        let mut b = GraphBuilder::new(2);
+        b.edges([(0, 1)]);
+        b.self_loops(0, 5);
+        assert_eq!(b.pending_edges(), 2);
+    }
+
+    #[test]
+    fn builder_propagates_range_errors() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 9);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn default_builder_is_empty_graph() {
+        let g = GraphBuilder::default().build().unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Vertex sets and cuts: `∂(S)`, conductance `Φ(S)`, balance `bal(S)`.
+
+use crate::{Graph, GraphError, Result, VertexId};
+
+/// A subset of the vertices of an `n`-vertex graph with `O(1)` membership
+/// tests and ordered iteration.
+///
+/// Internally a sorted member list plus a dense membership mask; the
+/// redundancy buys `O(1)` `contains` and cache-friendly iteration, which the
+/// sweep-cut inner loops need.
+///
+/// # Example
+///
+/// ```
+/// use graph::VertexSet;
+///
+/// let s = VertexSet::from_iter(10, [3u32, 1, 7, 3]);
+/// assert_eq!(s.len(), 3); // duplicates collapse
+/// assert!(s.contains(7));
+/// assert!(!s.contains(2));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct VertexSet {
+    members: Vec<VertexId>,
+    mask: Vec<bool>,
+}
+
+impl VertexSet {
+    /// The empty subset of an `n`-vertex graph.
+    pub fn empty(n: usize) -> Self {
+        VertexSet { members: Vec::new(), mask: vec![false; n] }
+    }
+
+    /// The full vertex set `{0, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        VertexSet { members: (0..n as VertexId).collect(), mask: vec![true; n] }
+    }
+
+    /// Builds a set from an iterator of vertex ids; duplicates collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= n`.
+    pub fn from_iter<I>(n: usize, iter: I) -> Self
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let mut mask = vec![false; n];
+        for v in iter {
+            assert!((v as usize) < n, "vertex {v} out of range for n = {n}");
+            mask[v as usize] = true;
+        }
+        let members = (0..n as VertexId).filter(|&v| mask[v as usize]).collect();
+        VertexSet { members, mask }
+    }
+
+    /// Builds a set from a membership predicate over `0..n`.
+    pub fn from_fn<F>(n: usize, mut pred: F) -> Self
+    where
+        F: FnMut(VertexId) -> bool,
+    {
+        let mut mask = vec![false; n];
+        let mut members = Vec::new();
+        for v in 0..n as VertexId {
+            if pred(v) {
+                mask[v as usize] = true;
+                members.push(v);
+            }
+        }
+        VertexSet { members, mask }
+    }
+
+    /// Size of the universe `n` this set lives in.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `O(1)` membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.mask[v as usize]
+    }
+
+    /// Iterator over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Sorted member slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// The complement `V ∖ S` within the same universe.
+    pub fn complement(&self) -> VertexSet {
+        let n = self.universe();
+        VertexSet::from_fn(n, |v| !self.mask[v as usize])
+    }
+
+    /// Set union (universes must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        VertexSet::from_fn(self.universe(), |v| self.contains(v) || other.contains(v))
+    }
+
+    /// Set intersection (universes must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        VertexSet::from_fn(self.universe(), |v| self.contains(v) && other.contains(v))
+    }
+
+    /// Set difference `self ∖ other` (universes must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        VertexSet::from_fn(self.universe(), |v| self.contains(v) && !other.contains(v))
+    }
+
+    /// Adds a vertex; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!((v as usize) < self.universe());
+        if self.mask[v as usize] {
+            return false;
+        }
+        self.mask[v as usize] = true;
+        let pos = self.members.partition_point(|&m| m < v);
+        self.members.insert(pos, v);
+        true
+    }
+}
+
+impl std::fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VertexSet({}/{}; ", self.len(), self.universe())?;
+        f.debug_set().entries(self.members.iter().take(16)).finish()?;
+        if self.len() > 16 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A cut `(S, S̄)` together with its quality statistics, all computed against
+/// a fixed graph at construction time.
+///
+/// # Example
+///
+/// ```
+/// use graph::{Graph, VertexSet, Cut};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let cut = Cut::new(&g, VertexSet::from_iter(4, [0u32, 1])).unwrap();
+/// assert_eq!(cut.boundary(), 1);
+/// assert!((cut.conductance() - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((cut.balance() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cut {
+    side: VertexSet,
+    boundary: usize,
+    vol_side: usize,
+    vol_total: usize,
+}
+
+impl Cut {
+    /// Evaluates the cut `(s, V∖s)` on `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroVolumeSide`] when either side has zero
+    /// volume (conductance would be undefined).
+    pub fn new(g: &Graph, s: VertexSet) -> Result<Self> {
+        let vol_side = g.volume(&s);
+        let vol_total = g.total_volume();
+        if vol_side == 0 || vol_side == vol_total {
+            return Err(GraphError::ZeroVolumeSide);
+        }
+        let boundary = g.boundary(&s);
+        Ok(Cut { side: s, boundary, vol_side, vol_total })
+    }
+
+    /// The side `S` of the cut this object stores.
+    pub fn side(&self) -> &VertexSet {
+        &self.side
+    }
+
+    /// Consumes the cut and returns its side.
+    pub fn into_side(self) -> VertexSet {
+        self.side
+    }
+
+    /// `|∂(S)|`.
+    pub fn boundary(&self) -> usize {
+        self.boundary
+    }
+
+    /// `Vol(S)`.
+    pub fn volume(&self) -> usize {
+        self.vol_side
+    }
+
+    /// `min{Vol(S), Vol(S̄)}`.
+    pub fn small_side_volume(&self) -> usize {
+        self.vol_side.min(self.vol_total - self.vol_side)
+    }
+
+    /// Conductance `Φ(S) = |∂(S)| / min{Vol(S), Vol(S̄)}`.
+    pub fn conductance(&self) -> f64 {
+        self.boundary as f64 / self.small_side_volume() as f64
+    }
+
+    /// Balance `bal(S) = min{Vol(S), Vol(S̄)} / Vol(V)`.
+    pub fn balance(&self) -> f64 {
+        self.small_side_volume() as f64 / self.vol_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = VertexSet::empty(5);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = VertexSet::full(5);
+        assert_eq!(f.len(), 5);
+        assert!(f.contains(4));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let s = VertexSet::from_iter(6, [0u32, 2, 4]);
+        let c = s.complement();
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_iter(6, [0u32, 1, 2]);
+        let b = VertexSet::from_iter(6, [2u32, 3]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut s = VertexSet::empty(8);
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(!s.insert(5));
+        assert_eq!(s.as_slice(), &[1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_iter_panics_out_of_range() {
+        let _ = VertexSet::from_iter(3, [7u32]);
+    }
+
+    #[test]
+    fn cut_statistics_on_barbell_bridge() {
+        // K3 - K3 joined by one bridge.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let cut = Cut::new(&g, VertexSet::from_iter(6, [0u32, 1, 2])).unwrap();
+        assert_eq!(cut.boundary(), 1);
+        assert_eq!(cut.volume(), 7);
+        assert_eq!(cut.small_side_volume(), 7);
+        assert!((cut.conductance() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((cut.balance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_rejects_trivial_sides() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(Cut::new(&g, VertexSet::empty(3)).is_err());
+        assert!(Cut::new(&g, VertexSet::full(3)).is_err());
+    }
+
+    #[test]
+    fn cut_side_accessors() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let cut = Cut::new(&g, VertexSet::from_iter(3, [0u32])).unwrap();
+        assert!(cut.side().contains(0));
+        let side = cut.into_side();
+        assert_eq!(side.len(), 1);
+    }
+
+    #[test]
+    fn debug_output_truncates() {
+        let s = VertexSet::full(40);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("40/40"));
+        assert!(dbg.contains('…'));
+    }
+}

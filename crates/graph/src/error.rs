@@ -1,0 +1,88 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and graph queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// An operation required a non-empty graph or set.
+    Empty {
+        /// Which object was empty.
+        what: &'static str,
+    },
+    /// A conductance/sparsity query was made against a cut with zero volume
+    /// on one side (conductance is undefined there).
+    ZeroVolumeSide,
+    /// The requested generator parameters are infeasible
+    /// (e.g. a `d`-regular graph with `n * d` odd).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Failure while parsing an edge-list document.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The operation requires a connected graph.
+    NotConnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Empty { what } => write!(f, "{what} is empty"),
+            GraphError::ZeroVolumeSide => {
+                write!(f, "conductance undefined: one side of the cut has zero volume")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = GraphError::Parse { line: 3, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Composite families with engineered sparse cuts: barbells, dumbbells and
+//! rings of cliques.
+
+use crate::{Graph, GraphError, Result, VertexId, VertexSet};
+
+/// Barbell graph: two cliques `K_k` joined by a single edge.
+///
+/// The clique boundary is a cut with one crossing edge and volume
+/// `Θ(k²)`, so `Φ = Θ(1/k²)` — the canonical extreme sparse cut.
+///
+/// Returns the graph and the left-clique vertex set (the planted cut).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k < 2`.
+pub fn barbell(k: usize) -> Result<(Graph, VertexSet)> {
+    dumbbell(k, k, 0)
+}
+
+/// Dumbbell: a clique `K_a`, a clique `K_b`, and a path of `bridge_len`
+/// intermediate vertices joining them (`bridge_len = 0` means a direct
+/// edge).
+///
+/// Returns the graph and the vertex set of the left clique
+/// (`{0, …, a−1}`) — a planted sparse cut with balance
+/// `≈ Vol(K_a)/Vol(total)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `a < 2` or `b < 2`.
+pub fn dumbbell(a: usize, b: usize, bridge_len: usize) -> Result<(Graph, VertexSet)> {
+    if a < 2 || b < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "dumbbell cliques need at least 2 vertices each".to_string(),
+        });
+    }
+    let n = a + bridge_len + b;
+    let mut edges = Vec::new();
+    for u in 0..a {
+        for v in (u + 1)..a {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    let right_start = a + bridge_len;
+    for u in 0..b {
+        for v in (u + 1)..b {
+            edges.push(((right_start + u) as VertexId, (right_start + v) as VertexId));
+        }
+    }
+    // Bridge path: last left-clique vertex -> bridge vertices -> first right.
+    let mut prev = (a - 1) as VertexId;
+    for i in 0..bridge_len {
+        let w = (a + i) as VertexId;
+        edges.push((prev, w));
+        prev = w;
+    }
+    edges.push((prev, right_start as VertexId));
+    let g = Graph::from_edges(n, edges)?;
+    let left = VertexSet::from_fn(n, |v| (v as usize) < a);
+    Ok((g, left))
+}
+
+/// Ring of cliques: `count` cliques `K_size` arranged in a cycle, adjacent
+/// cliques joined by a single edge.
+///
+/// Every contiguous arc of cliques is a sparse cut (2 crossing edges), so
+/// the graph has sparse cuts of every balance `j/count` — the decomposition
+/// should split it into (roughly) the cliques.
+///
+/// Returns the graph and the ground-truth clique sets.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `count < 3` or `size < 2`.
+pub fn ring_of_cliques(count: usize, size: usize) -> Result<(Graph, Vec<VertexSet>)> {
+    if count < 3 || size < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "ring of cliques needs count >= 3, size >= 2".to_string(),
+        });
+    }
+    let n = count * size;
+    let mut edges = Vec::new();
+    for c in 0..count {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                edges.push(((base + u) as VertexId, (base + v) as VertexId));
+            }
+        }
+        // Connector: vertex 0 of this clique to vertex 1 of the next.
+        let next = ((c + 1) % count) * size;
+        edges.push((base as VertexId, (next + 1) as VertexId));
+    }
+    let g = Graph::from_edges(n, edges)?;
+    let cliques = (0..count)
+        .map(|c| VertexSet::from_fn(n, |v| (v as usize) / size == c))
+        .collect();
+    Ok((g, cliques))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn barbell_cut_is_extremely_sparse() {
+        let (g, left) = barbell(10).unwrap();
+        assert_eq!(g.boundary(&left), 1);
+        let phi = g.conductance(&left).unwrap();
+        // Vol(left) = 10·9 + 1 = 91 -> phi = 1/91.
+        assert!((phi - 1.0 / 91.0).abs() < 1e-12);
+        let bal = g.balance(&left).unwrap();
+        assert!((bal - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn dumbbell_bridge_lengthens_diameter() {
+        let (g, _) = dumbbell(4, 4, 5).unwrap();
+        assert_eq!(g.n(), 13);
+        assert_eq!(traversal::diameter(&g).unwrap(), 1 + 6 + 1);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn dumbbell_asymmetric_balance() {
+        let (g, left) = dumbbell(20, 5, 0).unwrap();
+        let bal = g.balance(&left).unwrap();
+        // Left volume dominates, so min side is the right clique.
+        assert!(bal < 0.2, "balance {bal}");
+        assert_eq!(g.boundary(&left), 1);
+    }
+
+    #[test]
+    fn dumbbell_rejects_tiny_cliques() {
+        assert!(dumbbell(1, 5, 0).is_err());
+        assert!(dumbbell(5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let (g, cliques) = ring_of_cliques(6, 5).unwrap();
+        assert_eq!(g.n(), 30);
+        assert!(traversal::is_connected(&g));
+        assert_eq!(cliques.len(), 6);
+        for c in &cliques {
+            assert_eq!(c.len(), 5);
+            assert_eq!(g.boundary(c), 2, "each clique touches 2 connectors");
+            let phi = g.conductance(c).unwrap();
+            assert!(phi < 0.1, "clique cut conductance {phi}");
+        }
+        assert!(ring_of_cliques(2, 5).is_err());
+        assert!(ring_of_cliques(5, 1).is_err());
+    }
+
+    #[test]
+    fn ring_arc_is_balanced_sparse_cut() {
+        let (g, cliques) = ring_of_cliques(8, 4).unwrap();
+        // Take the union of cliques 0..4 — half the ring.
+        let mut arc = cliques[0].clone();
+        for c in &cliques[1..4] {
+            arc = arc.union(c);
+        }
+        assert_eq!(g.boundary(&arc), 2);
+        let bal = g.balance(&arc).unwrap();
+        assert!((bal - 0.5).abs() < 0.05, "arc balance {bal}");
+    }
+}

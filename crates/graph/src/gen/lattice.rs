@@ -1,0 +1,165 @@
+//! Deterministic structured families: paths, cycles, grids, hypercubes,
+//! cliques, stars.
+
+use crate::{Graph, GraphError, Result, VertexId};
+
+/// The path `P_n` on `n` vertices (`n − 1` edges).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn path(n: usize) -> Result<Graph> {
+    require(n >= 1, "path needs n >= 1")?;
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)))
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph> {
+    require(n >= 3, "cycle needs n >= 3")?;
+    Graph::from_edges(
+        n,
+        (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)),
+    )
+}
+
+/// The `rows × cols` grid graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
+    require(rows >= 1 && cols >= 1, "grid needs rows, cols >= 1")?;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` on `2^dim` vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim > 24` (size guard).
+pub fn hypercube(dim: u32) -> Result<Graph> {
+    require(dim <= 24, "hypercube dimension capped at 24")?;
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim as usize / 2);
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if u > v {
+                edges.push((v as VertexId, u as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph> {
+    require(n >= 1, "complete graph needs n >= 1")?;
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// The star `K_{1,n-1}`: vertex 0 joined to all others.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph> {
+    require(n >= 2, "star needs n >= 2")?;
+    Graph::from_edges(n, (1..n).map(|v| (0, v as VertexId)))
+}
+
+fn require(cond: bool, reason: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameter { reason: reason.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6).unwrap();
+        assert_eq!(g.m(), 5);
+        assert_eq!(traversal::diameter(&g).unwrap(), 5);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8).unwrap();
+        assert_eq!(g.m(), 8);
+        assert!(g.has_edge(7, 0));
+        assert!((0..8).all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(traversal::diameter(&g).unwrap(), 2 + 3);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert_eq!(traversal::diameter(&g).unwrap(), 4);
+        assert!(hypercube(25).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(traversal::diameter(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5).unwrap();
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(traversal::diameter(&g).unwrap(), 2);
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn singleton_path() {
+        let g = path(1).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+}

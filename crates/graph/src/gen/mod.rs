@@ -1,0 +1,22 @@
+//! Graph generators: the workload families for every experiment.
+//!
+//! All randomized generators take an explicit `seed` so experiments are
+//! reproducible; deterministic families (paths, grids, cliques…) take none.
+//!
+//! | family | why the experiments need it |
+//! |---|---|
+//! | [`gnp`] | Theorem 2's scaling workload (the Ω̃(n^{1/3}) lower-bound instances are `G(n, 1/2)`) |
+//! | [`random_regular`] | constant-degree expanders w.h.p. — routing + mixing-time workloads |
+//! | [`planted_partition`] | known sparse cuts with tunable balance — Theorem 3's workload |
+//! | [`barbell`], [`dumbbell`] | extreme low-conductance cuts (Φ = Θ(1/n²)) |
+//! | [`ring_of_cliques`] | many balanced sparse cuts — decomposition stress test |
+//! | [`path`], [`cycle`], [`grid`], [`hypercube`], [`complete`], [`star`] | structured baselines with known conductance/diameter |
+//! | [`chung_lu`] | power-law degrees — heterogeneous-volume stress test |
+
+mod composite;
+mod lattice;
+mod random;
+
+pub use composite::{barbell, dumbbell, ring_of_cliques};
+pub use lattice::{complete, cycle, grid, hypercube, path, star};
+pub use random::{chung_lu, gnp, planted_partition, random_regular, PlantedPartition};

@@ -1,0 +1,379 @@
+//! Randomized generators: Erdős–Rényi, random regular, planted partition
+//! (stochastic block model), Chung–Lu power-law.
+
+use crate::{Graph, GraphError, Result, VertexId, VertexSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: every pair becomes an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping, so the cost is `O(n + m)` rather than `O(n²)`
+/// for small `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+///
+/// # Example
+///
+/// ```
+/// use graph::gen;
+/// let g = gen::gnp(100, 0.1, 7).unwrap();
+/// assert_eq!(g.n(), 100);
+/// // Expected m = p · n(n-1)/2 = 495; the seed makes it deterministic.
+/// assert!(g.m() > 300 && g.m() < 700);
+/// ```
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability p = {p} outside [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+        return Graph::from_edges(n, edges);
+    }
+    if p > 0.0 && n >= 2 {
+        // Geometric skipping over the lexicographic pair order.
+        let log_q = (1.0 - p).ln();
+        let total_pairs = n * (n - 1) / 2;
+        let mut idx: usize = 0;
+        loop {
+            let r: f64 = rng.random::<f64>();
+            let skip = ((1.0 - r).ln() / log_q).floor() as usize;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= total_pairs {
+                break;
+            }
+            edges.push(pair_from_index(n, idx));
+            idx += 1;
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[inline]
+fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Maps a lexicographic pair index to the pair `(u, v)`, `u < v`.
+///
+/// Row `u` holds the `n − 1 − u` pairs `(u, u+1)…(u, n−1)` and starts at
+/// offset `S(u) = u·(2n − u − 1)/2`; invert with a float guess + fix-up.
+fn pair_from_index(n: usize, idx: usize) -> (VertexId, VertexId) {
+    let row_start = |u: usize| u * (2 * n - u - 1) / 2;
+    let guess = ((2 * n - 1) as f64
+        - ((((2 * n - 1) * (2 * n - 1)) as f64) - 8.0 * idx as f64).max(0.0).sqrt())
+        / 2.0;
+    let mut u = guess.max(0.0) as usize;
+    u = u.min(n.saturating_sub(2));
+    while u + 1 < n && row_start(u + 1) <= idx {
+        u += 1;
+    }
+    while u > 0 && row_start(u) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - row_start(u));
+    (u as VertexId, v as VertexId)
+}
+
+/// Random `d`-regular simple graph via the configuration (pairing) model
+/// with rejection of loops/parallel edges; retries until success.
+///
+/// W.h.p. such graphs are expanders with conductance bounded below by a
+/// constant (for `d ≥ 3`), which is exactly what the routing and
+/// mixing-time experiments need.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n·d` is odd, `d ≥ n`, or
+/// `d == 0`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
+    if d == 0 || d >= n || (n * d) % 2 == 1 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("no {d}-regular simple graph on {n} vertices"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<VertexId> = (0..n as VertexId)
+        .flat_map(|v| std::iter::repeat(v).take(d))
+        .collect();
+    stubs.shuffle(&mut rng);
+    let mut edges: Vec<(VertexId, VertexId)> = stubs
+        .chunks(2)
+        .map(|pair| norm(pair[0], pair[1]))
+        .collect();
+    let mut seen: std::collections::HashSet<(VertexId, VertexId)> =
+        std::collections::HashSet::with_capacity(edges.len());
+    let is_bad = |e: (VertexId, VertexId), seen: &std::collections::HashSet<_>| {
+        e.0 == e.1 || seen.contains(&e)
+    };
+    // Repair pass: a bad pair (loop or duplicate) is fixed by a random
+    // 2-swap with another pair; this converges in O(d²) expected swaps.
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &e) in edges.iter().enumerate() {
+        if is_bad(e, &seen) {
+            bad.push(i);
+        } else {
+            seen.insert(e);
+        }
+    }
+    let budget = 1000 * (bad.len() + 1) * (d + 1);
+    let mut spent = 0usize;
+    while let Some(&i) = bad.last() {
+        spent += 1;
+        if spent > budget {
+            return Err(GraphError::InvalidParameter {
+                reason: format!(
+                    "pairing-model repair failed to produce a simple {d}-regular graph on {n} vertices"
+                ),
+            });
+        }
+        let j = rng.random_range(0..edges.len());
+        if j == i || bad.contains(&j) {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (x, y) = edges[j];
+        // Candidate rewiring: {a,x} and {b,y}.
+        let e1 = norm(a, x);
+        let e2 = norm(b, y);
+        if e1 == e2 || is_bad(e1, &seen) || is_bad(e2, &seen) {
+            continue;
+        }
+        seen.remove(&edges[j]);
+        edges[i] = e1;
+        edges[j] = e2;
+        seen.insert(e1);
+        seen.insert(e2);
+        bad.pop();
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A planted-partition (stochastic block model) graph together with its
+/// ground-truth blocks. Produced by [`planted_partition`].
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: Graph,
+    /// Ground-truth block of each vertex.
+    pub block_of: Vec<usize>,
+    /// The blocks as vertex sets.
+    pub blocks: Vec<VertexSet>,
+}
+
+impl PlantedPartition {
+    /// The planted cut separating block `b` from the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_cut(&self, b: usize) -> &VertexSet {
+        &self.blocks[b]
+    }
+}
+
+/// Stochastic block model: vertices are split into consecutive blocks of
+/// the given sizes; intra-block pairs connect with probability `p_in`,
+/// inter-block pairs with `p_out`.
+///
+/// With `p_in ≫ p_out` every block boundary is a sparse cut of known
+/// balance — the ground truth for the Theorem 3 experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for empty blocks or
+/// probabilities outside `[0, 1]`.
+pub fn planted_partition(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<PlantedPartition> {
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(GraphError::InvalidParameter {
+            reason: "planted partition needs non-empty blocks".to_string(),
+        });
+    }
+    for &p in &[p_in, p_out] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("probability {p} outside [0, 1]"),
+            });
+        }
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block_of = vec![0usize; n];
+    let mut start = 0usize;
+    for (b, &sz) in sizes.iter().enumerate() {
+        for v in start..start + sz {
+            block_of[v] = b;
+        }
+        start += sz;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    let graph = Graph::from_edges(n, edges)?;
+    let blocks = (0..sizes.len())
+        .map(|b| VertexSet::from_fn(n, |v| block_of[v as usize] == b))
+        .collect();
+    Ok(PlantedPartition { graph, block_of, blocks })
+}
+
+/// Chung–Lu power-law graph: vertex `v` gets weight `w_v ∝ (v+1)^{-1/(γ−1)}`
+/// and pair `{u, v}` connects with probability
+/// `min(1, w_u·w_v / Σw)` — expected degrees follow a power law with
+/// exponent `γ`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `γ > 2` (finite mean).
+pub fn chung_lu(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Result<Graph> {
+    if gamma <= 2.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("chung-lu exponent gamma = {gamma} must be > 2"),
+        });
+    }
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    // Scale so the expected average degree matches the request.
+    let scale = (avg_degree * n as f64 / sum).sqrt();
+    for w in &mut weights {
+        *w *= scale;
+    }
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if rng.random::<f64>() < p {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(50, 0.2, 42).unwrap();
+        let b = gnp(50, 0.2, 42).unwrap();
+        assert_eq!(a, b);
+        let c = gnp(50, 0.2, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.3;
+        let g = gnp(n, p, 1).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.m() as f64;
+        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected {expected}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(30, 0.0, 0).unwrap();
+        assert_eq!(empty.m(), 0);
+        let full = gnp(10, 1.0, 0).unwrap();
+        assert_eq!(full.m(), 45);
+        assert!(gnp(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let n = 17;
+        let mut idx = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(n, idx), (u as VertexId, v as VertexId));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        let g = random_regular(60, 4, 9).unwrap();
+        assert!((0..60).all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 120);
+    }
+
+    #[test]
+    fn regular_rejects_infeasible() {
+        assert!(random_regular(5, 3, 0).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+        assert!(random_regular(4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn regular_is_simple() {
+        let g = random_regular(40, 6, 3).unwrap();
+        for v in 0..40u32 {
+            assert_eq!(g.self_loops(v), 0);
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                assert!(w[0] < w[1], "parallel edge at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_partition_blocks_are_sparse_cuts() {
+        let pp = planted_partition(&[50, 50], 0.5, 0.01, 11).unwrap();
+        let phi_block = pp.graph.conductance(pp.block_cut(0)).unwrap();
+        assert!(phi_block < 0.1, "block cut conductance {phi_block} not sparse");
+        assert_eq!(pp.blocks[0].len(), 50);
+        assert_eq!(pp.block_of[0], 0);
+        assert_eq!(pp.block_of[99], 1);
+    }
+
+    #[test]
+    fn planted_partition_rejects_bad_input() {
+        assert!(planted_partition(&[], 0.5, 0.1, 0).is_err());
+        assert!(planted_partition(&[3, 0], 0.5, 0.1, 0).is_err());
+        assert!(planted_partition(&[3, 3], 1.5, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn chung_lu_has_skewed_degrees() {
+        let g = chung_lu(300, 2.5, 8.0, 5).unwrap();
+        let max = g.max_degree();
+        let avg = g.total_volume() as f64 / g.n() as f64;
+        assert!(max as f64 > 3.0 * avg, "max {max} vs avg {avg} not heavy-tailed");
+        assert!(chung_lu(10, 1.5, 2.0, 0).is_err());
+    }
+}

@@ -1,0 +1,568 @@
+//! The core [`Graph`] type: an immutable undirected multigraph in CSR form
+//! with explicit self-loop bookkeeping.
+
+use crate::cut::VertexSet;
+use crate::{GraphError, Result, VertexId};
+
+/// An undirected multigraph in compressed sparse row (CSR) form.
+///
+/// Self loops are stored separately from ordinary edges because the paper's
+/// algorithms add a self loop at both endpoints of every removed edge so that
+/// **degrees never change**. Each self loop contributes exactly 1 to
+/// `deg(v)` (the convention of Spielman–Srivastava adopted by the paper).
+///
+/// The adjacency list of every vertex is sorted, which makes
+/// [`Graph::has_edge`] logarithmic and supports merge-based triangle
+/// enumeration downstream.
+///
+/// # Example
+///
+/// ```
+/// use graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets; `adj[offsets[v]..offsets[v + 1]]` are `v`'s neighbors.
+    offsets: Vec<usize>,
+    /// Flattened sorted neighbor lists (self loops excluded).
+    adj: Vec<VertexId>,
+    /// Number of self loops at each vertex (each counts 1 toward the degree).
+    loops: Vec<u32>,
+    /// Number of non-loop undirected edges (with multiplicity).
+    m: usize,
+    /// Total number of self loops in the graph.
+    total_loops: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over vertices `0..n`.
+    ///
+    /// Edges of the form `(v, v)` become self loops. Parallel edges are kept
+    /// (the type is a multigraph).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use graph::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 2)]).unwrap();
+    /// assert_eq!(g.m(), 2);
+    /// assert_eq!(g.self_loops(2), 1);
+    /// assert_eq!(g.degree(2), 2); // one real edge + one loop
+    /// ```
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut loops = vec![0u32; n];
+        let mut deg = vec![0usize; n];
+        let mut plain: Vec<(VertexId, VertexId)> = Vec::new();
+        for (u, v) in edges {
+            check_vertex(u, n)?;
+            check_vertex(v, n)?;
+            if u == v {
+                loops[u as usize] += 1;
+            } else {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+                plain.push((u, v));
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut adj = vec![0 as VertexId; acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v) in &plain {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let total_loops = loops.iter().map(|&l| l as usize).sum();
+        Ok(Graph { offsets, adj, loops, m: plain.len(), total_loops })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of non-loop undirected edges (with multiplicity).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of self loops across all vertices.
+    #[inline]
+    pub fn total_self_loops(&self) -> usize {
+        self.total_loops
+    }
+
+    /// Degree of `v`: incident non-loop edge endpoints plus self loops
+    /// (each loop counts 1, per the paper's convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` (degree lookups are on the hot path; use
+    /// [`Graph::n`] to validate externally supplied ids).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) + self.loops[v] as usize
+    }
+
+    /// Number of non-loop edge endpoints at `v` (i.e. `|N(v)|` with
+    /// multiplicity, loops excluded).
+    #[inline]
+    pub fn degree_without_loops(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Number of self loops at `v`.
+    #[inline]
+    pub fn self_loops(&self, v: VertexId) -> u32 {
+        self.loops[v as usize]
+    }
+
+    /// `Vol(V) = Σ_v deg(v) = 2·m + total self loops`.
+    #[inline]
+    pub fn total_volume(&self) -> usize {
+        2 * self.m + self.total_loops
+    }
+
+    /// Sorted slice of `v`'s neighbors (self loops excluded).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterator over `v`'s neighbors (self loops excluded).
+    pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        NeighborIter { inner: self.neighbors(v).iter() }
+    }
+
+    /// Whether the non-loop edge `{u, v}` is present (any multiplicity).
+    ///
+    /// Runs in `O(log deg(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return self.loops[u as usize] > 0;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree_without_loops(u) <= self.degree_without_loops(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over every non-loop undirected edge once, as `(u, v)` with
+    /// `u < v` for simple edges (parallel edges repeat).
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { g: self, v: 0, idx: 0 }
+    }
+
+    /// Volume of a vertex set: `Vol(S) = Σ_{v ∈ S} deg(v)`.
+    pub fn volume(&self, s: &VertexSet) -> usize {
+        s.iter().map(|v| self.degree(v)).sum()
+    }
+
+    /// `|∂(S)|`: the number of non-loop edges with exactly one endpoint in
+    /// `S`. Self loops never cross a cut.
+    pub fn boundary(&self, s: &VertexSet) -> usize {
+        let mut count = 0usize;
+        for u in s.iter() {
+            for &w in self.neighbors(u) {
+                if !s.contains(w) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Conductance `Φ(S) = |∂(S)| / min{Vol(S), Vol(V \ S)}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroVolumeSide`] if either side has volume 0.
+    pub fn conductance(&self, s: &VertexSet) -> Result<f64> {
+        let vol_s = self.volume(s);
+        let vol_rest = self.total_volume() - vol_s;
+        if vol_s == 0 || vol_rest == 0 {
+            return Err(GraphError::ZeroVolumeSide);
+        }
+        Ok(self.boundary(s) as f64 / vol_s.min(vol_rest) as f64)
+    }
+
+    /// Balance `bal(S) = min{Vol(S), Vol(S̄)} / Vol(V)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if the graph has zero volume.
+    pub fn balance(&self, s: &VertexSet) -> Result<f64> {
+        let total = self.total_volume();
+        if total == 0 {
+            return Err(GraphError::Empty { what: "graph volume" });
+        }
+        let vol_s = self.volume(s);
+        let vol_rest = total - vol_s;
+        Ok(vol_s.min(vol_rest) as f64 / total as f64)
+    }
+
+    /// The edges of `E(S, V∖S)`, each reported once as `(inside, outside)`.
+    pub fn cut_edges(&self, s: &VertexSet) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for u in s.iter() {
+            for &w in self.neighbors(u) {
+                if !s.contains(w) {
+                    out.push((u, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of edges with **both** endpoints in `S` (`|E(S)|`), loops at
+    /// members of `S` excluded.
+    pub fn internal_edges(&self, s: &VertexSet) -> usize {
+        let mut twice = 0usize;
+        for u in s.iter() {
+            for &w in self.neighbors(u) {
+                if s.contains(w) {
+                    twice += 1;
+                }
+            }
+        }
+        twice / 2
+    }
+
+    /// Returns a new graph with the given non-loop edges removed.
+    ///
+    /// When `compensate_with_loops` is true, each removed edge `{u, v}` adds
+    /// one self loop at `u` and one at `v`, exactly as the paper's
+    /// decomposition does (`Remove-1/2/3`), so every vertex degree is
+    /// preserved.
+    ///
+    /// Edges listed but not present are ignored; if an edge has multiplicity
+    /// `c` and is listed once, only one copy is removed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use graph::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    /// let h = g.remove_edges([(0, 1)], true);
+    /// assert_eq!(h.m(), 1);
+    /// assert_eq!(h.degree(0), g.degree(0));
+    /// assert_eq!(h.degree(1), g.degree(1));
+    /// assert_eq!(h.self_loops(0), 1);
+    /// ```
+    pub fn remove_edges<I>(&self, edges: I, compensate_with_loops: bool) -> Graph
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let n = self.n();
+        // Count removal requests per normalized edge.
+        let mut to_remove: std::collections::HashMap<(VertexId, VertexId), usize> =
+            std::collections::HashMap::new();
+        for (u, v) in edges {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            *to_remove.entry(key).or_insert(0) += 1;
+        }
+        let mut loops = self.loops.clone();
+        let mut kept: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.m);
+        for (u, v) in self.edges() {
+            let key = if u <= v { (u, v) } else { (v, u) };
+            match to_remove.get_mut(&key) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    if compensate_with_loops {
+                        loops[u as usize] += 1;
+                        loops[v as usize] += 1;
+                    }
+                }
+                _ => kept.push((u, v)),
+            }
+        }
+        let mut g = Graph::from_edges(n, kept).expect("kept edges are in range");
+        for v in 0..n {
+            g.loops[v] = loops[v];
+        }
+        g.total_loops = loops.iter().map(|&l| l as usize).sum();
+        g
+    }
+
+    /// Returns a copy with `extra` additional self loops at `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if `v >= n`.
+    pub fn with_extra_loops(&self, v: VertexId, extra: u32) -> Result<Graph> {
+        check_vertex(v, self.n())?;
+        let mut g = self.clone();
+        g.loops[v as usize] += extra;
+        g.total_loops += extra as usize;
+        Ok(g)
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as VertexId).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m)
+            .field("self_loops", &self.total_loops)
+            .finish()
+    }
+}
+
+fn check_vertex(v: VertexId, n: usize) -> Result<()> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(GraphError::VertexOutOfRange { vertex: v as u64, n })
+    }
+}
+
+/// Iterator over a vertex's neighbors. Created by [`Graph::neighbor_iter`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    inner: std::slice::Iter<'a, VertexId>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+/// Iterator over undirected non-loop edges, each reported once.
+/// Created by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    g: &'a Graph,
+    v: usize,
+    idx: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.g.n();
+        while self.v < n {
+            let lo = self.g.offsets[self.v];
+            let hi = self.g.offsets[self.v + 1];
+            while lo + self.idx < hi {
+                let w = self.g.adj[lo + self.idx];
+                self.idx += 1;
+                // Report each undirected edge from its smaller endpoint.
+                // For parallel edges both directions have equal count, so
+                // reporting only (v < w) yields each copy exactly once.
+                if (self.v as VertexId) < w {
+                    return Some((self.v as VertexId, w));
+                }
+            }
+            self.v += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.total_volume(), 6);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn self_loop_counts_one_toward_degree() {
+        let g = Graph::from_edges(2, [(0, 1), (1, 1), (1, 1)]).unwrap();
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.self_loops(1), 2);
+        assert_eq!(g.total_volume(), 2 + 2);
+        assert!(g.has_edge(1, 1));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edge_iter_reports_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn edge_iter_handles_parallel_edges() {
+        let g = Graph::from_edges(2, [(0, 1), (0, 1)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 1)]);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn boundary_and_conductance() {
+        let g = path4();
+        let s = VertexSet::from_iter(4, [0u32, 1]);
+        assert_eq!(g.boundary(&s), 1);
+        assert_eq!(g.volume(&s), 3);
+        let phi = g.conductance(&s).unwrap();
+        assert!((phi - 1.0 / 3.0).abs() < 1e-12);
+        let b = g.balance(&s).unwrap();
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_rejects_zero_volume_side() {
+        let g = path4();
+        let empty = VertexSet::empty(4);
+        assert_eq!(g.conductance(&empty), Err(GraphError::ZeroVolumeSide));
+        let all = VertexSet::full(4);
+        assert_eq!(g.conductance(&all), Err(GraphError::ZeroVolumeSide));
+    }
+
+    #[test]
+    fn boundary_ignores_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (1, 1)]).unwrap();
+        let s = VertexSet::from_iter(3, [1u32]);
+        assert_eq!(g.boundary(&s), 2); // the loop at 1 does not cross
+    }
+
+    #[test]
+    fn remove_edges_with_compensation_preserves_degrees() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let degs: Vec<_> = (0..4).map(|v| g.degree(v)).collect();
+        let h = g.remove_edges([(1, 2), (3, 0)], true);
+        assert_eq!(h.m(), 2);
+        let degs2: Vec<_> = (0..4).map(|v| h.degree(v)).collect();
+        assert_eq!(degs, degs2);
+        assert_eq!(h.total_volume(), g.total_volume());
+    }
+
+    #[test]
+    fn remove_edges_without_compensation() {
+        let g = path4();
+        let h = g.remove_edges([(1, 2)], false);
+        assert_eq!(h.m(), 2);
+        assert_eq!(h.degree(1), 1);
+        assert_eq!(h.total_self_loops(), 0);
+    }
+
+    #[test]
+    fn remove_only_one_copy_of_parallel_edge() {
+        let g = Graph::from_edges(2, [(0, 1), (0, 1)]).unwrap();
+        let h = g.remove_edges([(0, 1)], false);
+        assert_eq!(h.m(), 1);
+        assert!(h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_absent_edge_is_noop() {
+        let g = path4();
+        let h = g.remove_edges([(0, 3)], true);
+        assert_eq!(h.m(), 3);
+        assert_eq!(h.total_self_loops(), 0);
+    }
+
+    #[test]
+    fn internal_edges_counts_both_endpoint_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let s = VertexSet::from_iter(4, [0u32, 1, 2]);
+        assert_eq!(g.internal_edges(&s), 3);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+    }
+
+    #[test]
+    fn with_extra_loops() {
+        let g = path4();
+        let h = g.with_extra_loops(1, 3).unwrap();
+        assert_eq!(h.degree(1), 5);
+        assert_eq!(h.total_volume(), g.total_volume() + 3);
+        assert!(h.with_extra_loops(99, 1).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = path4();
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("Graph") && dbg.contains('4'));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.total_volume(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first non-comment line `n <vertices>`, then one `u v` pair per
+//! line; `#`-prefixed lines are comments. Self loops are written as `v v`.
+
+use crate::{Graph, GraphError, Result};
+
+/// Serializes a graph to the edge-list format.
+///
+/// # Example
+///
+/// ```
+/// use graph::{Graph, io};
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 2)]).unwrap();
+/// let text = io::to_edge_list(&g);
+/// let h = io::from_edge_list(&text).unwrap();
+/// assert_eq!(g, h);
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("n {}\n", g.n()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    for v in 0..g.n() as u32 {
+        for _ in 0..g.self_loops(v) {
+            out.push_str(&format!("{v} {v}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and
+/// [`GraphError::VertexOutOfRange`] when an edge endpoint exceeds the
+/// declared vertex count.
+pub fn from_edge_list(text: &str) -> Result<Graph> {
+    let mut n: Option<usize> = None;
+    let mut edges = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("n"), Some(count), None) if n.is_none() => {
+                n = Some(count.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    reason: format!("bad vertex count {count:?}"),
+                })?);
+            }
+            (Some(a), Some(b), None) if n.is_some() => {
+                let u: u32 = a.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    reason: format!("bad vertex id {a:?}"),
+                })?;
+                let v: u32 = b.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    reason: format!("bad vertex id {b:?}"),
+                })?;
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("unrecognized record {line:?}"),
+                });
+            }
+        }
+    }
+    let n = n.ok_or(GraphError::Parse {
+        line: 0,
+        reason: "missing 'n <count>' header".to_string(),
+    })?;
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = gen::gnp(40, 0.15, 8).unwrap();
+        let h = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn roundtrip_preserves_loops() {
+        let g = Graph::from_edges(2, [(0, 1), (0, 0), (0, 0), (1, 1)]).unwrap();
+        let h = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(h.self_loops(0), 2);
+        assert_eq!(h.self_loops(1), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a comment\n\nn 3\n0 1\n# another\n1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_edge_list("n 3\n0 x\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = from_edge_list("0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_edge_list("").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
+        let err = from_edge_list("n 2\n0 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = from_edge_list("n 2\n0 7\n").unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+}

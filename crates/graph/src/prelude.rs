@@ -1,0 +1,11 @@
+//! Convenience re-exports: `use graph::prelude::*;` pulls in the types
+//! needed by almost every consumer of this crate.
+
+pub use crate::cut::{Cut, VertexSet};
+pub use crate::gen;
+pub use crate::graph_impl::Graph;
+pub use crate::spectral;
+pub use crate::traversal;
+pub use crate::view::Subgraph;
+pub use crate::walks::WalkDistribution;
+pub use crate::{GraphBuilder, GraphError, VertexId};

@@ -1,0 +1,300 @@
+//! Breadth-first traversal, connected components, diameter, and `N^k(v)`
+//! distance balls.
+
+use crate::{Graph, GraphError, Result, VertexId, VertexSet};
+use std::collections::VecDeque;
+
+/// Distance label for unreachable vertices in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances (self loops never shorten paths).
+///
+/// Unreachable vertices get [`UNREACHABLE`].
+///
+/// # Example
+///
+/// ```
+/// use graph::{Graph, traversal};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+/// let d = traversal::bfs_distances(&g, 0);
+/// assert_eq!(&d[..3], &[0, 1, 2]);
+/// assert_eq!(d[3], traversal::UNREACHABLE);
+/// ```
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The ball `N^k(v) = {u : dist(u, v) ≤ k}` (includes `v` itself).
+pub fn ball(g: &Graph, v: VertexId, k: u32) -> VertexSet {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[v as usize] = 0;
+    queue.push_back(v);
+    let mut members = vec![v];
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == k {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                members.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    VertexSet::from_iter(g.n(), members)
+}
+
+/// Number of edges with both endpoints inside the ball `N^k(v)`
+/// (`|E(N^k(v))|` in the paper's notation; self loops excluded).
+pub fn ball_edge_count(g: &Graph, v: VertexId, k: u32) -> usize {
+    let b = ball(g, v, k);
+    g.internal_edges(&b)
+}
+
+/// Connected components as vertex sets (singletons included).
+pub fn connected_components(g: &Graph) -> Vec<VertexSet> {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for start in 0..n as VertexId {
+        if comp[start as usize] != usize::MAX {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        comp[start as usize] = id;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if comp[w as usize] == usize::MAX {
+                    comp[w as usize] = id;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut sets: Vec<Vec<VertexId>> = vec![Vec::new(); count];
+    for v in 0..n as VertexId {
+        sets[comp[v as usize]].push(v);
+    }
+    sets.into_iter().map(|vs| VertexSet::from_iter(n, vs)).collect()
+}
+
+/// Whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Exact diameter via BFS from every vertex: `O(n·m)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotConnected`] for disconnected graphs and
+/// [`GraphError::Empty`] for the empty graph.
+pub fn diameter(g: &Graph) -> Result<u32> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty { what: "graph" });
+    }
+    let mut best = 0u32;
+    for v in 0..g.n() as VertexId {
+        let d = bfs_distances(g, v);
+        for &x in &d {
+            if x == UNREACHABLE {
+                return Err(GraphError::NotConnected);
+            }
+            best = best.max(x);
+        }
+    }
+    Ok(best)
+}
+
+/// Lower bound on the diameter by a double BFS sweep: `O(m)`.
+///
+/// Exact on trees; never exceeds the true diameter.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotConnected`] / [`GraphError::Empty`] as
+/// [`diameter`] does.
+pub fn diameter_double_sweep(g: &Graph) -> Result<u32> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty { what: "graph" });
+    }
+    let d0 = bfs_distances(g, 0);
+    let far = farthest(&d0)?;
+    let d1 = bfs_distances(g, far);
+    let far2 = farthest(&d1)?;
+    Ok(d1[far2 as usize])
+}
+
+fn farthest(dist: &[u32]) -> Result<VertexId> {
+    let mut best = 0;
+    let mut arg = 0;
+    for (v, &d) in dist.iter().enumerate() {
+        if d == UNREACHABLE {
+            return Err(GraphError::NotConnected);
+        }
+        if d >= best {
+            best = d;
+            arg = v;
+        }
+    }
+    Ok(arg as VertexId)
+}
+
+/// Diameter of the subgraph induced by `s` (distances constrained to `s`).
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from [`diameter`] (empty / disconnected piece).
+pub fn set_diameter(g: &Graph, s: &VertexSet) -> Result<u32> {
+    let sub = crate::view::Subgraph::induced(g, s);
+    diameter(sub.graph())
+}
+
+/// Eccentricity of `v`: `max_u dist(v, u)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotConnected`] if some vertex is unreachable.
+pub fn eccentricity(g: &Graph, v: VertexId) -> Result<u32> {
+    let d = bfs_distances(g, v);
+    let mut best = 0;
+    for &x in &d {
+        if x == UNREACHABLE {
+            return Err(GraphError::NotConnected);
+        }
+        best = best.max(x);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_ignores_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 0)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ball_growth() {
+        let g = path(7);
+        assert_eq!(ball(&g, 3, 0).len(), 1);
+        assert_eq!(ball(&g, 3, 1).iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(ball(&g, 3, 2).len(), 5);
+        assert_eq!(ball(&g, 3, 100).len(), 7);
+    }
+
+    #[test]
+    fn ball_edge_counts() {
+        let g = path(7);
+        assert_eq!(ball_edge_count(&g, 3, 1), 2);
+        assert_eq!(ball_edge_count(&g, 3, 2), 4);
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![3, 1, 2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&path(6)).unwrap(), 5);
+        let c6 =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(diameter(&c6).unwrap(), 3);
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees() {
+        let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(diameter_double_sweep(&star).unwrap(), 2);
+        assert_eq!(diameter_double_sweep(&path(9)).unwrap(), 8);
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_diameter() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let exact = diameter(&g).unwrap();
+        let sweep = diameter_double_sweep(&g).unwrap();
+        assert!(sweep <= exact);
+    }
+
+    #[test]
+    fn diameter_error_cases() {
+        let empty = Graph::from_edges(0, []).unwrap();
+        assert!(matches!(diameter(&empty), Err(GraphError::Empty { .. })));
+        let disc = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(diameter(&disc), Err(GraphError::NotConnected));
+        assert_eq!(diameter_double_sweep(&disc), Err(GraphError::NotConnected));
+        assert_eq!(eccentricity(&disc, 0), Err(GraphError::NotConnected));
+    }
+
+    #[test]
+    fn set_diameter_restricts_paths() {
+        // Cycle C6: the set {0,1,2,3} has induced diameter 3 even though
+        // dist_G(0,3) == 3 both ways; removing 4,5 forces the long way.
+        let c6 =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let s = VertexSet::from_iter(6, [0u32, 1, 2, 3]);
+        assert_eq!(set_diameter(&c6, &s).unwrap(), 3);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, 2).unwrap(), 2);
+        assert_eq!(eccentricity(&g, 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn singleton_graph_connected() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g).unwrap(), 0);
+    }
+}

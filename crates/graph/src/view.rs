@@ -1,0 +1,223 @@
+//! Subgraph extraction: the induced subgraph `G[S]` and the paper's
+//! degree-preserving loop-augmented subgraph `G{S}`.
+//!
+//! `G{S}` is `G[S]` plus `deg_G(v) − deg_{G[S]}(v)` self loops at every
+//! `v ∈ S`, so each vertex keeps the degree it had in the *original* graph.
+//! The paper works with `G{S}` throughout because conductance statements
+//! about pieces must be measured against original volumes; it always holds
+//! that `Φ(G{S}) ≤ Φ(G[S])`.
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// A subgraph together with the mapping back to the parent graph's ids.
+///
+/// Vertices of the subgraph are relabeled densely to `0..s.len()`;
+/// [`Subgraph::to_parent`] and [`Subgraph::to_local`] translate ids.
+///
+/// # Example
+///
+/// ```
+/// use graph::{Graph, VertexSet};
+/// use graph::view::Subgraph;
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+/// let s = VertexSet::from_iter(5, [1u32, 2, 3]);
+/// let sub = Subgraph::loop_augmented(&g, &s); // G{S}
+/// // Degrees are preserved: vertex 1 had degree 2 in G.
+/// let local = sub.to_local(1).unwrap();
+/// assert_eq!(sub.graph().degree(local), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    graph: Graph,
+    /// `orig[i]` is the parent id of local vertex `i`.
+    orig: Vec<VertexId>,
+    /// Sparse inverse map: parent id -> local id.
+    inverse: std::collections::HashMap<VertexId, VertexId>,
+}
+
+impl Subgraph {
+    /// The plain induced subgraph `G[S]`: edges with both endpoints in `s`,
+    /// plus any self loops `G` already had at members of `s`.
+    pub fn induced(g: &Graph, s: &VertexSet) -> Subgraph {
+        Self::build(g, s, false)
+    }
+
+    /// The loop-augmented subgraph `G{S}`: `G[S]` plus enough self loops at
+    /// each `v ∈ S` to preserve `deg_G(v)`.
+    pub fn loop_augmented(g: &Graph, s: &VertexSet) -> Subgraph {
+        Self::build(g, s, true)
+    }
+
+    fn build(g: &Graph, s: &VertexSet, augment: bool) -> Subgraph {
+        let orig: Vec<VertexId> = s.iter().collect();
+        let inverse: std::collections::HashMap<VertexId, VertexId> = orig
+            .iter()
+            .enumerate()
+            .map(|(local, &parent)| (parent, local as VertexId))
+            .collect();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for (idx, &u) in orig.iter().enumerate() {
+            let lu = idx as VertexId;
+            for &w in g.neighbors(u) {
+                if w > u || !s.contains(w) {
+                    continue;
+                }
+                if let Some(&lw) = inverse.get(&w) {
+                    edges.push((lu, lw));
+                }
+            }
+            // Loops G already has at u.
+            for _ in 0..g.self_loops(u) {
+                edges.push((lu, lu));
+            }
+        }
+        let mut sub = Graph::from_edges(orig.len(), edges).expect("local ids in range");
+        if augment {
+            for (idx, &u) in orig.iter().enumerate() {
+                let lu = idx as VertexId;
+                let missing = g.degree(u).saturating_sub(sub.degree(lu));
+                if missing > 0 {
+                    sub = sub
+                        .with_extra_loops(lu, missing as u32)
+                        .expect("local id in range");
+                }
+            }
+        }
+        Subgraph { graph: sub, orig, inverse }
+    }
+
+    /// The subgraph itself (vertices relabeled to `0..len`).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn len(&self) -> usize {
+        self.orig.len()
+    }
+
+    /// Whether the subgraph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.orig.is_empty()
+    }
+
+    /// Parent id of a local vertex.
+    ///
+    /// Returns `None` when `local` is out of range.
+    pub fn to_parent(&self, local: VertexId) -> Option<VertexId> {
+        self.orig.get(local as usize).copied()
+    }
+
+    /// Local id of a parent vertex, if it is in the subgraph.
+    pub fn to_local(&self, parent: VertexId) -> Option<VertexId> {
+        self.inverse.get(&parent).copied()
+    }
+
+    /// Maps a local vertex set back to parent ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` contains ids outside the subgraph (impossible for
+    /// sets produced against [`Subgraph::graph`]).
+    pub fn set_to_parent(&self, local: &VertexSet, parent_n: usize) -> VertexSet {
+        VertexSet::from_iter(
+            parent_n,
+            local.iter().map(|l| self.orig[l as usize]),
+        )
+    }
+
+    /// The parent ids of all subgraph vertices, in local order.
+    pub fn parent_ids(&self) -> &[VertexId] {
+        &self.orig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c5() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+    }
+
+    #[test]
+    fn induced_drops_crossing_edges() {
+        let g = c5();
+        let s = VertexSet::from_iter(5, [0u32, 1, 2]);
+        let sub = Subgraph::induced(&g, &s);
+        assert_eq!(sub.graph().n(), 3);
+        assert_eq!(sub.graph().m(), 2); // 0-1, 1-2 survive
+        assert_eq!(sub.graph().total_self_loops(), 0);
+    }
+
+    #[test]
+    fn loop_augmented_preserves_degrees() {
+        let g = c5();
+        let s = VertexSet::from_iter(5, [0u32, 1, 2]);
+        let sub = Subgraph::loop_augmented(&g, &s);
+        for &parent in sub.parent_ids() {
+            let local = sub.to_local(parent).unwrap();
+            assert_eq!(sub.graph().degree(local), g.degree(parent), "vertex {parent}");
+        }
+        // Boundary endpoints 0 and 2 each gained one loop.
+        assert_eq!(sub.graph().total_self_loops(), 2);
+    }
+
+    #[test]
+    fn loop_augmented_conductance_at_most_induced() {
+        // Φ(G{S}) ≤ Φ(G[S]) — the paper's observation. Check on a set where
+        // loops make the denominator strictly larger.
+        let g = c5();
+        let s = VertexSet::from_iter(5, [0u32, 1, 2, 3]);
+        let induced = Subgraph::induced(&g, &s);
+        let augmented = Subgraph::loop_augmented(&g, &s);
+        let t_ind =
+            VertexSet::from_iter(induced.graph().n(), [induced.to_local(0).unwrap()]);
+        let t_aug =
+            VertexSet::from_iter(augmented.graph().n(), [augmented.to_local(0).unwrap()]);
+        let phi_ind = induced.graph().conductance(&t_ind).unwrap();
+        let phi_aug = augmented.graph().conductance(&t_aug).unwrap();
+        assert!(phi_aug <= phi_ind + 1e-12);
+    }
+
+    #[test]
+    fn id_mapping_roundtrips() {
+        let g = c5();
+        let s = VertexSet::from_iter(5, [1u32, 3, 4]);
+        let sub = Subgraph::induced(&g, &s);
+        for &p in sub.parent_ids() {
+            let l = sub.to_local(p).unwrap();
+            assert_eq!(sub.to_parent(l), Some(p));
+        }
+        assert_eq!(sub.to_local(0), None);
+        assert_eq!(sub.to_parent(99), None);
+    }
+
+    #[test]
+    fn set_to_parent_translates() {
+        let g = c5();
+        let s = VertexSet::from_iter(5, [1u32, 3, 4]);
+        let sub = Subgraph::induced(&g, &s);
+        let local = VertexSet::from_iter(3, [0u32, 2]);
+        let parent = sub.set_to_parent(&local, 5);
+        assert_eq!(parent.iter().collect::<Vec<_>>(), vec![1, 4]);
+    }
+
+    #[test]
+    fn existing_loops_survive_extraction() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (1, 1)]).unwrap();
+        let s = VertexSet::from_iter(3, [0u32, 1]);
+        let sub = Subgraph::induced(&g, &s);
+        let l1 = sub.to_local(1).unwrap();
+        assert_eq!(sub.graph().self_loops(l1), 1);
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let g = c5();
+        let sub = Subgraph::induced(&g, &VertexSet::empty(5));
+        assert!(sub.is_empty());
+        assert_eq!(sub.graph().n(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Lazy random walks and the truncation operator of Spielman–Teng.
+//!
+//! The walk matrix is `M = (A·D⁻¹ + I)/2`: with probability 1/2 stay put,
+//! otherwise move along a uniformly random incident edge. **Self loops are
+//! incident edges** — a walk that picks a loop stays where it is, which is
+//! exactly why the decomposition's loop-compensation keeps walk behaviour
+//! consistent after edge removals.
+//!
+//! [`WalkDistribution`] stores a sparse probability vector `p` together with
+//! the normalized masses `ρ(v) = p(v)/deg(v)` used everywhere in Nibble,
+//! and supports the truncation `[p]_ε(v) = p(v)·1[p(v) ≥ 2ε·deg(v)]`.
+
+use crate::{Graph, VertexId};
+use std::collections::BTreeMap;
+
+/// A sparse probability distribution over vertices, tracked together with
+/// the graph degrees so `ρ(v) = p(v)/deg(v)` is cheap.
+///
+/// # Example
+///
+/// ```
+/// use graph::{Graph, walks::WalkDistribution};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+/// let mut p = WalkDistribution::dirac(&g, 1);
+/// p.step(&g);
+/// // After one lazy step: half stays at 1, a quarter at each neighbor.
+/// assert!((p.mass(1) - 0.5).abs() < 1e-12);
+/// assert!((p.mass(0) - 0.25).abs() < 1e-12);
+/// assert!((p.total_mass() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkDistribution {
+    /// Sparse mass map; absent vertices have zero mass. Ordered so that
+    /// float accumulation order (and hence every downstream tie-break) is
+    /// deterministic across runs.
+    mass: BTreeMap<VertexId, f64>,
+}
+
+impl WalkDistribution {
+    /// The Dirac distribution `χ_v` (all mass on `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= g.n()`.
+    pub fn dirac(g: &Graph, v: VertexId) -> Self {
+        assert!((v as usize) < g.n(), "vertex {v} out of range");
+        let mut mass = BTreeMap::new();
+        mass.insert(v, 1.0);
+        WalkDistribution { mass }
+    }
+
+    /// The degree distribution `ψ_S` restricted to a slice of vertices:
+    /// `p(v) = deg(v)/Vol(S)` for `v ∈ S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vs` is empty or has zero volume.
+    pub fn degree_distribution(g: &Graph, vs: &[VertexId]) -> Self {
+        let vol: usize = vs.iter().map(|&v| g.degree(v)).sum();
+        assert!(vol > 0, "degree distribution over zero-volume set");
+        let mass = vs
+            .iter()
+            .map(|&v| (v, g.degree(v) as f64 / vol as f64))
+            .collect();
+        WalkDistribution { mass }
+    }
+
+    /// An empty (all-zero) distribution.
+    pub fn zero() -> Self {
+        WalkDistribution { mass: BTreeMap::new() }
+    }
+
+    /// Mass at `v` (`p(v)`).
+    pub fn mass(&self, v: VertexId) -> f64 {
+        self.mass.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Normalized mass `ρ(v) = p(v)/deg(v)`.
+    pub fn rho(&self, g: &Graph, v: VertexId) -> f64 {
+        let d = g.degree(v);
+        if d == 0 {
+            0.0
+        } else {
+            self.mass(v) / d as f64
+        }
+    }
+
+    /// Total mass `‖p‖₁` (≤ 1 once truncation has happened).
+    pub fn total_mass(&self) -> f64 {
+        self.mass.values().sum()
+    }
+
+    /// Number of vertices currently holding non-zero mass (the *support*).
+    pub fn support_size(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Iterator over `(vertex, mass)` pairs of the support, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        self.mass.iter().map(|(&v, &m)| (v, m))
+    }
+
+    /// The support sorted by decreasing `ρ(v) = p(v)/deg(v)`, ties broken by
+    /// vertex id — the permutation `π̃_t` of the paper.
+    pub fn support_by_rho(&self, g: &Graph) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self.mass.keys().copied().collect();
+        vs.sort_by(|&a, &b| {
+            let ra = self.rho(g, a);
+            let rb = self.rho(g, b);
+            rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        });
+        vs
+    }
+
+    /// One lazy walk step: `p ← M·p` with `M = (A·D⁻¹ + I)/2`.
+    ///
+    /// Each self loop at `u` routes `p(u)/(2·deg(u))` back to `u`.
+    /// Work is `O(Σ_{v ∈ supp} deg(v))` — the walk never touches vertices
+    /// outside the frontier, matching the distributed implementation where a
+    /// step is one CONGEST round.
+    pub fn step(&mut self, g: &Graph) {
+        let mut next: BTreeMap<VertexId, f64> = BTreeMap::new();
+        for (&u, &p) in &self.mass {
+            if p == 0.0 {
+                continue;
+            }
+            let deg = g.degree(u) as f64;
+            if deg == 0.0 {
+                // Isolated vertex keeps its mass.
+                *next.entry(u).or_insert(0.0) += p;
+                continue;
+            }
+            let stay = p / 2.0 + p / 2.0 * (g.self_loops(u) as f64 / deg);
+            *next.entry(u).or_insert(0.0) += stay;
+            let share = p / (2.0 * deg);
+            for &w in g.neighbors(u) {
+                *next.entry(w).or_insert(0.0) += share;
+            }
+        }
+        self.mass = next;
+    }
+
+    /// The truncation operator `[p]_ε`: zero out every `v` with
+    /// `p(v) < 2·ε·deg(v)`. Returns the amount of mass dropped.
+    pub fn truncate(&mut self, g: &Graph, eps: f64) -> f64 {
+        let mut dropped = 0.0;
+        self.mass.retain(|&v, p| {
+            if *p >= 2.0 * eps * g.degree(v) as f64 {
+                true
+            } else {
+                dropped += *p;
+                false
+            }
+        });
+        dropped
+    }
+
+    /// Convenience: `t` steps of step-then-truncate, the sequence
+    /// `p̃_t = [M p̃_{t−1}]_ε` from the paper, returning the distribution at
+    /// every time `0..=t`.
+    pub fn truncated_walk(g: &Graph, start: VertexId, eps: f64, t: usize) -> Vec<Self> {
+        let mut out = Vec::with_capacity(t + 1);
+        let mut p = WalkDistribution::dirac(g, start);
+        // The paper applies truncation to every p̃_t including comparing
+        // against the initial Dirac (which always survives truncation for
+        // sensible ε since p(v) = 1 ≥ 2ε·deg(v)).
+        out.push(p.clone());
+        for _ in 0..t {
+            p.step(g);
+            p.truncate(g, eps);
+            out.push(p.clone());
+        }
+        out
+    }
+
+    /// The stationary mass of `v`: `π(v) = deg(v)/Vol(V)`.
+    pub fn stationary(g: &Graph, v: VertexId) -> f64 {
+        g.degree(v) as f64 / g.total_volume() as f64
+    }
+
+    /// Total-variation distance from this distribution to stationarity:
+    /// `½·Σ_v |p(v) − π(v)|`.
+    pub fn tv_from_stationary(&self, g: &Graph) -> f64 {
+        let mut acc = 0.0;
+        let vol = g.total_volume() as f64;
+        for v in 0..g.n() as VertexId {
+            let pi = g.degree(v) as f64 / vol;
+            acc += (self.mass(v) - pi).abs();
+        }
+        acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dirac_mass() {
+        let g = gen::cycle(5).unwrap();
+        let p = WalkDistribution::dirac(&g, 2);
+        assert_eq!(p.mass(2), 1.0);
+        assert_eq!(p.mass(0), 0.0);
+        assert_eq!(p.support_size(), 1);
+    }
+
+    #[test]
+    fn step_conserves_mass() {
+        let g = gen::gnp(40, 0.2, 3).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 0);
+        for _ in 0..20 {
+            p.step(&g);
+            assert!((p.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn self_loops_keep_mass_in_place() {
+        // Vertex 0 has 3 loops and one edge: stay prob = 1/2 + 1/2·(3/4) = 7/8.
+        let g = Graph::from_edges(2, [(0, 1), (0, 0), (0, 0), (0, 0)]).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 0);
+        p.step(&g);
+        assert!((p.mass(0) - 7.0 / 8.0).abs() < 1e-12);
+        assert!((p.mass(1) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertex_traps_mass() {
+        let g = Graph::from_edges(2, []).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 0);
+        p.step(&g);
+        assert_eq!(p.mass(0), 1.0);
+    }
+
+    #[test]
+    fn truncation_drops_small_mass() {
+        let g = gen::path(3).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 0);
+        p.step(&g); // mass: 0 -> 1/2, 1 -> 1/2
+        // Thresholds 2·ε·deg: v0 (deg 1) -> 0.4 keeps its 0.5;
+        // v1 (deg 2) -> 0.8 drops its 0.5.
+        let dropped = p.truncate(&g, 0.2);
+        assert!((dropped - 0.5).abs() < 1e-12);
+        assert_eq!(p.mass(1), 0.0);
+        assert!((p.mass(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_is_pointwise_below_exact() {
+        let g = gen::gnp(30, 0.3, 7).unwrap();
+        let eps = 1e-3;
+        let exact: Vec<WalkDistribution> = {
+            let mut out = Vec::new();
+            let mut p = WalkDistribution::dirac(&g, 0);
+            out.push(p.clone());
+            for _ in 0..10 {
+                p.step(&g);
+                out.push(p.clone());
+            }
+            out
+        };
+        let truncated = WalkDistribution::truncated_walk(&g, 0, eps, 10);
+        for (pt, qt) in exact.iter().zip(&truncated) {
+            for v in 0..g.n() as VertexId {
+                assert!(
+                    qt.mass(v) <= pt.mass(v) + 1e-12,
+                    "truncated exceeded exact at {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let g = gen::gnp(25, 0.4, 5).unwrap();
+        let vs: Vec<VertexId> = (0..25).collect();
+        let mut p = WalkDistribution::degree_distribution(&g, &vs);
+        let before: Vec<f64> = (0..25).map(|v| p.mass(v)).collect();
+        p.step(&g);
+        for v in 0..25u32 {
+            assert!((p.mass(v) - before[v as usize]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn walk_converges_to_stationary_on_expander() {
+        let g = gen::random_regular(64, 6, 2).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 0);
+        for _ in 0..200 {
+            p.step(&g);
+        }
+        assert!(p.tv_from_stationary(&g) < 1e-6);
+    }
+
+    #[test]
+    fn support_by_rho_orders_descending() {
+        let g = gen::path(5).unwrap();
+        let mut p = WalkDistribution::dirac(&g, 2);
+        p.step(&g);
+        let order = p.support_by_rho(&g);
+        let rhos: Vec<f64> = order.iter().map(|&v| p.rho(&g, v)).collect();
+        for w in rhos.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(order[0], 2);
+    }
+
+    #[test]
+    fn rho_symmetry_identity() {
+        // ρ_t^v(u) == ρ_t^u(v) — the reversibility fact behind Lemma 3.
+        let g = gen::gnp(20, 0.3, 13).unwrap();
+        let t = 5;
+        for (a, b) in [(0u32, 7u32), (3, 15), (2, 19)] {
+            let mut pa = WalkDistribution::dirac(&g, a);
+            let mut pb = WalkDistribution::dirac(&g, b);
+            for _ in 0..t {
+                pa.step(&g);
+                pb.step(&g);
+            }
+            assert!(
+                (pa.rho(&g, b) - pb.rho(&g, a)).abs() < 1e-12,
+                "reversibility violated for ({a},{b})"
+            );
+        }
+    }
+}

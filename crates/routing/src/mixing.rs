@@ -1,0 +1,65 @@
+//! Mixing-time estimation for routing cost accounting.
+
+use graph::{spectral, Graph};
+
+/// Estimates the mixing time of `g` from the lazy-walk spectral gap:
+/// `τ_mix ≈ ln(Vol(V))/(1 − λ₂)`, clamped to at least 1.
+///
+/// This is the standard relaxation-time bound; for the expander components
+/// the routing structure runs on (`Φ = Ω(1/polylog)`), it is within the
+/// Jerrum–Sinclair window `Θ(1/Φ) ≤ τ_mix ≤ Θ(log n/Φ²)` the paper quotes.
+/// Falls back to `n` when the gap estimate degenerates (disconnected or
+/// near-disconnected graphs).
+pub fn estimate_mixing_time(g: &Graph) -> usize {
+    let n = g.n().max(2);
+    match spectral::lazy_walk_lambda2(g, 200) {
+        Ok(gap) => {
+            let spectral_gap = (1.0 - gap.lambda2).max(0.0);
+            if spectral_gap < 1.0 / (n * n) as f64 {
+                return n;
+            }
+            let ln_vol = (g.total_volume().max(2) as f64).ln();
+            ((ln_vol / spectral_gap).ceil() as usize).clamp(1, n * n)
+        }
+        Err(_) => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn expander_mixes_fast() {
+        let g = gen::random_regular(128, 8, 3).unwrap();
+        let t = estimate_mixing_time(&g);
+        assert!(t <= 40, "8-regular expander should mix in O(log n): {t}");
+    }
+
+    #[test]
+    fn barbell_mixes_slowly() {
+        let (g, _) = gen::barbell(12).unwrap();
+        let t_bar = estimate_mixing_time(&g);
+        let clique = gen::complete(24).unwrap();
+        let t_clq = estimate_mixing_time(&clique);
+        assert!(t_bar > 10 * t_clq, "barbell {t_bar} vs clique {t_clq}");
+    }
+
+    #[test]
+    fn mixing_estimate_respects_jerrum_sinclair_window() {
+        // On C32: Φ = 2/32 = 1/16; window [c/Φ, C·log n/Φ²].
+        let g = gen::cycle(32).unwrap();
+        let t = estimate_mixing_time(&g) as f64;
+        let phi = 2.0 / 32.0;
+        assert!(t >= 0.1 / phi, "estimate {t} too small");
+        assert!(t <= 40.0 * (32f64).ln() / (phi * phi), "estimate {t} too large");
+    }
+
+    #[test]
+    fn degenerate_graphs_fall_back() {
+        let g = graph::Graph::from_edges(5, [(0, 1)]).unwrap(); // disconnected
+        let t = estimate_mixing_time(&g);
+        assert!(t >= 5, "disconnected graph must report a large mixing time");
+    }
+}

@@ -1,0 +1,200 @@
+//! The Dolev–Lenzen–Peled deterministic CONGESTED-CLIQUE triangle lister
+//! (`O(n^{1/3}/log n)` rounds; we charge the `O(n^{1/3})` variant without
+//! the word-packing optimization).
+//!
+//! Vertices are split deterministically into `g = ⌈n^{1/3}⌉` groups
+//! `A_0 … A_{g−1}`. There are `g³` ordered group triples; each vertex is
+//! assigned `⌈g³/n⌉` of them. The vertex assigned triple `(A, B, C)`
+//! collects the three bipartite edge sets `E(A,B)`, `E(B,C)`, `E(A,C)` and
+//! reports every triangle with `a ∈ A, b ∈ B, c ∈ C`. Every triangle
+//! `{a,b,c}` belongs to at least one triple, so enumeration is complete.
+//! All deliveries are multi-commodity routing instances with per-vertex
+//! load `O(n^{4/3}·…/n)`, delivered by Lenzen's theorem in batches of `n`.
+
+use crate::count::Triangle;
+use congest::clique::lenzen_rounds;
+use graph::{Graph, VertexId};
+
+/// Result of the DLP clique algorithm.
+#[derive(Debug, Clone)]
+pub struct CliqueEnumeration {
+    /// All triangles, sorted and deduplicated.
+    pub triangles: Vec<Triangle>,
+    /// Charged CONGESTED-CLIQUE rounds (Lenzen batches).
+    pub rounds: u64,
+    /// The group count `g = ⌈n^{1/3}⌉`.
+    pub groups: usize,
+    /// Maximum number of edge-words any single vertex received.
+    pub max_receive_load: usize,
+}
+
+/// Runs the DLP algorithm on `g` (simulated; the grouping, assignment and
+/// loads are computed exactly, rounds are charged via Lenzen's theorem).
+///
+/// # Example
+///
+/// ```
+/// use triangle::{clique_enumerate, count_triangles};
+/// let g = graph::gen::gnp(60, 0.3, 7).unwrap();
+/// let out = clique_enumerate(&g);
+/// assert_eq!(out.triangles.len() as u64, count_triangles(&g));
+/// ```
+pub fn clique_enumerate(g: &Graph) -> CliqueEnumeration {
+    let n = g.n();
+    if n < 3 {
+        return CliqueEnumeration {
+            triangles: Vec::new(),
+            rounds: 0,
+            groups: 0,
+            max_receive_load: 0,
+        };
+    }
+    let groups = (n as f64).powf(1.0 / 3.0).ceil() as usize;
+    let group_of = |v: VertexId| (v as usize % groups) as u32;
+
+    // Bucket edges by group pair (unordered).
+    let pair_index = |x: u32, y: u32| {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        (lo as usize) * groups + hi as usize
+    };
+    let mut pair_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); groups * groups];
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        pair_edges[pair_index(group_of(u), group_of(v))].push((u, v));
+    }
+
+    // Assign the g³ ordered triples (a ≤ b ≤ c suffices for unordered
+    // triangles: C(g+2,3) triples) round-robin to vertices; track receive
+    // loads.
+    let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+    for a in 0..groups as u32 {
+        for b in a..groups as u32 {
+            for c in b..groups as u32 {
+                triples.push((a, b, c));
+            }
+        }
+    }
+    let mut load = vec![0usize; n];
+    let mut triangles: Vec<Triangle> = Vec::new();
+    for (i, &(a, b, c)) in triples.iter().enumerate() {
+        let owner = i % n;
+        let e_ab = &pair_edges[pair_index(a, b)];
+        let e_bc = &pair_edges[pair_index(b, c)];
+        let e_ac = &pair_edges[pair_index(a, c)];
+        load[owner] += e_ab.len() + e_bc.len() + e_ac.len();
+        // Local listing at the owner: index E(B,C) pairs, then for each
+        // (u ∈ A, v ∈ B) probe each w adjacent via E(A,C) … simplest
+        // correct local join: hash the needed edge sets.
+        let mut set = std::collections::HashSet::with_capacity(
+            e_ab.len() + e_bc.len() + e_ac.len(),
+        );
+        for &(u, v) in e_ab.iter().chain(e_bc.iter()).chain(e_ac.iter()) {
+            set.insert(if u < v { (u, v) } else { (v, u) });
+        }
+        // Candidate vertices per group inside this triple's edge sets.
+        for &(u, v) in e_ab {
+            let (x, y) = (u, v);
+            // Triangle third vertex must lie in group c and connect to
+            // both; scan neighbors of the lower-degree endpoint.
+            let probe = if g.degree_without_loops(x) <= g.degree_without_loops(y) {
+                x
+            } else {
+                y
+            };
+            let other = if probe == x { y } else { x };
+            for &w in g.neighbors(probe) {
+                if w == other || group_of(w) != c {
+                    continue;
+                }
+                let k1 = if other < w { (other, w) } else { (w, other) };
+                if set.contains(&k1) {
+                    triangles.push(Triangle::new(x, y, w));
+                }
+            }
+        }
+    }
+    triangles.sort_unstable();
+    triangles.dedup();
+
+    // Rounds: every vertex sends each of its incident edges to the owners
+    // that need it; receive load dominates. Lenzen batches of n.
+    let max_receive_load = load.iter().copied().max().unwrap_or(0);
+    let max_send_load = {
+        // Each edge is needed by every triple containing its group pair:
+        // ≤ g owners. Sender load ≈ deg·g.
+        (0..n as VertexId)
+            .map(|v| g.degree_without_loops(v) * groups)
+            .max()
+            .unwrap_or(0)
+    };
+    let rounds = lenzen_rounds(max_send_load, max_receive_load, n) as u64;
+    CliqueEnumeration { triangles, rounds, groups, max_receive_load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::enumerate_triangles;
+    use graph::gen;
+
+    #[test]
+    fn complete_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::gnp(50, 0.25, seed).unwrap();
+            let out = clique_enumerate(&g);
+            assert_eq!(out.triangles, enumerate_triangles(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_on_structured_graphs() {
+        for g in [
+            gen::complete(12).unwrap(),
+            gen::ring_of_cliques(4, 5).unwrap().0,
+            gen::planted_partition(&[20, 20], 0.5, 0.05, 3).unwrap().graph,
+        ] {
+            let out = clique_enumerate(&g);
+            assert_eq!(out.triangles, enumerate_triangles(&g));
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_reports_nothing() {
+        let g = gen::grid(6, 6).unwrap();
+        let out = clique_enumerate(&g);
+        assert!(out.triangles.is_empty());
+    }
+
+    #[test]
+    fn group_count_is_cube_root() {
+        let g = gen::gnp(64, 0.2, 1).unwrap();
+        let out = clique_enumerate(&g);
+        assert_eq!(out.groups, 4);
+    }
+
+    #[test]
+    fn rounds_scale_like_cube_root_on_dense_graphs() {
+        // On G(n, 1/2): receive load ≈ (g³/n)·3·(m/g²) = Θ(n^{4/3});
+        // rounds ≈ load/n = Θ(n^{1/3}).
+        let g1 = gen::gnp(64, 0.5, 3).unwrap();
+        let g2 = gen::gnp(512, 0.5, 3).unwrap();
+        let r1 = clique_enumerate(&g1).rounds.max(1);
+        let r2 = clique_enumerate(&g2).rounds.max(1);
+        let growth = r2 as f64 / r1 as f64;
+        let want = (512f64 / 64.0).powf(1.0 / 3.0); // = 2
+        assert!(
+            growth < want * want * 4.0,
+            "rounds grew by {growth}, expected ≈ {want}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_are_trivial() {
+        let g = gen::path(2).unwrap();
+        let out = clique_enumerate(&g);
+        assert!(out.triangles.is_empty());
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The paper's CONGEST triangle enumeration (§3): expander decomposition
+//! + cluster-local load-balanced listing via expander routing + recursion
+//! on the inter-cluster remainder `E*`.
+//!
+//! Per recursion level, on the current edge set `E`:
+//!
+//! 1. Compute an `(ε, φ)`-expander decomposition with `ε ≤ 1/6`
+//!    (Theorem 1). The removed edges form `E*` with `|E*| ≤ ε·|E|`.
+//! 2. Every kept edge is *intra-cluster*. Each cluster `Vᵢ` lists every
+//!    triangle with at least one intra-`Vᵢ` edge: vertices are hashed into
+//!    `gᵢ = ⌈|Vᵢ|^{1/3}⌉` groups; each group triple `(A,B,C)` is owned by
+//!    a cluster vertex (degree-proportional round robin); the owner
+//!    receives the `Vᵢ`-incident edges of the three group pairs and joins
+//!    them locally. Deliveries run over the GKS routing structure built
+//!    once per cluster; the per-query load bound `O(deg(v))` batches the
+//!    traffic into `Õ(n^{1/3})` queries (the DLP counting argument).
+//! 3. Triangles whose three edges all lie in `E*` survive; recurse on
+//!    `E*`. Since `|E*| ≤ |E|/6`, `O(log n)` levels suffice.
+//!
+//! Every triangle is therefore reported: the first level at which it has
+//! an intra-cluster edge lists it, and a triangle never survives past a
+//! level that listed it (its intra edge is not in `E*`).
+
+use crate::count::Triangle;
+use expander::{ExpanderDecomposition, ParamMode};
+use graph::{Graph, VertexId, VertexSet};
+use routing::RoutingHierarchy;
+
+/// Configuration for [`congest_enumerate`].
+#[derive(Debug, Clone)]
+pub struct TriangleConfig {
+    /// Decomposition edge budget (paper requires `ε ≤ 1/6`).
+    pub epsilon: f64,
+    /// Decomposition trade-off integer `k`.
+    pub decomposition_k: usize,
+    /// GKS hierarchy depth (constant, per the §3 observation).
+    pub routing_depth: usize,
+    /// Parameter calibration.
+    pub mode: ParamMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Maximum recursion levels before the residual is brute-forced.
+    pub max_levels: usize,
+}
+
+impl Default for TriangleConfig {
+    fn default() -> Self {
+        TriangleConfig {
+            epsilon: 1.0 / 6.0,
+            decomposition_k: 2,
+            routing_depth: 3,
+            mode: ParamMode::Practical,
+            seed: 0,
+            max_levels: 12,
+        }
+    }
+}
+
+/// Per-level statistics of the recursion.
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    /// Edges at this level.
+    pub m: usize,
+    /// Clusters in the decomposition (non-singleton).
+    pub clusters: usize,
+    /// Triangles first reported at this level.
+    pub triangles_found: usize,
+    /// Rounds charged to the expander decomposition.
+    pub decomposition_rounds: u64,
+    /// Rounds charged to routing preprocessing (max over clusters —
+    /// clusters work in parallel).
+    pub routing_build_rounds: u64,
+    /// Rounds charged to the listing queries (max over clusters).
+    pub listing_rounds: u64,
+    /// Maximum number of routing queries any cluster needed.
+    pub max_queries: u64,
+}
+
+impl LevelStats {
+    /// Total rounds of this level.
+    pub fn rounds(&self) -> u64 {
+        self.decomposition_rounds + self.routing_build_rounds + self.listing_rounds
+    }
+}
+
+/// Result of the CONGEST triangle enumeration.
+#[derive(Debug, Clone)]
+pub struct CongestEnumeration {
+    /// All triangles, sorted and deduplicated.
+    pub triangles: Vec<Triangle>,
+    /// Total charged CONGEST rounds.
+    pub rounds: u64,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelStats>,
+}
+
+/// Runs the Theorem 2 algorithm on `g`.
+///
+/// # Example
+///
+/// ```
+/// use triangle::{congest_enumerate, count_triangles, TriangleConfig};
+/// let g = graph::gen::gnp(48, 0.3, 5).unwrap();
+/// let out = congest_enumerate(&g, &TriangleConfig::default());
+/// assert_eq!(out.triangles.len() as u64, count_triangles(&g));
+/// ```
+pub fn congest_enumerate(g: &Graph, config: &TriangleConfig) -> CongestEnumeration {
+    let n = g.n();
+    let mut triangles: Vec<Triangle> = Vec::new();
+    let mut levels = Vec::new();
+    let mut rounds = 0u64;
+    let mut current = g.clone();
+    for level in 0..config.max_levels {
+        if current.m() == 0 {
+            break;
+        }
+        if n < 3 {
+            break;
+        }
+        let eps = config.epsilon.min(1.0 / 6.0);
+        let decomp = ExpanderDecomposition::builder()
+            .epsilon(eps)
+            .k(config.decomposition_k)
+            .mode(config.mode)
+            .seed(config.seed.wrapping_add(level as u64 * 0x9E37))
+            .build()
+            .run(&current)
+            .expect("non-empty graph");
+        let mut stats = LevelStats {
+            m: current.m(),
+            clusters: 0,
+            triangles_found: 0,
+            decomposition_rounds: decomp.ledger.total(),
+            routing_build_rounds: 0,
+            listing_rounds: 0,
+            max_queries: 0,
+        };
+        // The kept graph: intra-cluster edges only.
+        let kept = current.remove_edges(
+            decomp.removed_edges.iter().map(|&(u, v, _)| (u, v)),
+            false,
+        );
+        let before = triangles.len();
+        for part in &decomp.parts {
+            if part.len() < 2 {
+                continue;
+            }
+            let cluster = ClusterListing::run(
+                &current,
+                &kept,
+                part,
+                config,
+                level as u64,
+            );
+            stats.clusters += 1;
+            stats.routing_build_rounds = stats.routing_build_rounds.max(cluster.build_rounds);
+            stats.listing_rounds = stats.listing_rounds.max(cluster.listing_rounds);
+            stats.max_queries = stats.max_queries.max(cluster.queries);
+            triangles.extend(cluster.triangles);
+        }
+        triangles.sort_unstable();
+        triangles.dedup();
+        stats.triangles_found = triangles.len() - before.min(triangles.len());
+        rounds += stats.rounds();
+        levels.push(stats);
+        // Recurse on E*.
+        let star: Vec<(VertexId, VertexId)> = decomp
+            .removed_edges
+            .iter()
+            .map(|&(u, v, _)| (u, v))
+            .collect();
+        current = Graph::from_edges(n, star).expect("ids in range");
+    }
+    // Residual brute force (only reached if max_levels was exhausted):
+    // gather the remaining edges and list centrally; charge O(m + n).
+    if current.m() > 0 {
+        let residual = crate::count::enumerate_triangles(&current);
+        rounds += (current.m() + n) as u64;
+        triangles.extend(residual);
+        triangles.sort_unstable();
+        triangles.dedup();
+    }
+    CongestEnumeration { triangles, rounds, levels }
+}
+
+/// The cluster-local listing step.
+struct ClusterListing {
+    triangles: Vec<Triangle>,
+    build_rounds: u64,
+    listing_rounds: u64,
+    queries: u64,
+}
+
+impl ClusterListing {
+    fn run(
+        g_full: &Graph,
+        kept: &Graph,
+        part: &VertexSet,
+        config: &TriangleConfig,
+        level_salt: u64,
+    ) -> ClusterListing {
+        let n = g_full.n();
+        // Intra edges of this cluster (in the kept graph both endpoints in
+        // the part; parts are exactly the kept-graph components).
+        let intra: Vec<(VertexId, VertexId)> = part
+            .iter()
+            .flat_map(|u| {
+                kept.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(move |&w| w > u)
+                    .map(move |w| (u, w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if intra.is_empty() {
+            return ClusterListing {
+                triangles: Vec::new(),
+                build_rounds: 0,
+                listing_rounds: 0,
+                queries: 0,
+            };
+        }
+
+        // ── Enumeration (what the owners jointly compute) ──
+        // Every triangle with ≥ 1 intra edge: intersect the *full*-graph
+        // neighborhoods of each intra edge's endpoints.
+        let mut triangles = Vec::new();
+        for &(u, v) in &intra {
+            let (nu, nv) = (g_full.neighbors(u), g_full.neighbors(v));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nu[i];
+                        if w != u && w != v {
+                            triangles.push(Triangle::new(u, v, w));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        triangles.sort_unstable();
+        triangles.dedup();
+
+        // ── Round accounting (how the owners receive their data) ──
+        // Group the *global* vertex set into gᵢ = ⌈|Vᵢ|^{1/3}⌉ classes;
+        // bucket the cluster-incident edges by group pair; assign group
+        // triples to cluster vertices degree-proportionally; each owner
+        // receives its triples' three pair buckets.
+        let groups = (part.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
+        let salt = config.seed ^ level_salt.wrapping_mul(0x9E3779B97F4A7C15);
+        let group_of =
+            |v: VertexId| ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32;
+        let pair_index = |x: u32, y: u32| {
+            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+            lo as usize * groups + hi as usize
+        };
+        // Cluster-incident edges (≥ 1 endpoint in the part), bucketed.
+        let mut pair_load = vec![0usize; groups * groups];
+        for u in part.iter() {
+            for &w in g_full.neighbors(u) {
+                if w > u || !part.contains(w) {
+                    pair_load[pair_index(group_of(u), group_of(w))] += 1;
+                }
+            }
+        }
+        // Owner assignment: degree-proportional shares over triples.
+        // With T triples and cluster volume Vol, vertex v owns
+        // ⌈deg(v)·T/Vol⌉ consecutive triples — the DLP counting argument
+        // that bounds per-owner receive load by O(deg·|Vᵢ|^{1/3}) words.
+        let members: Vec<VertexId> = part.iter().collect();
+        let total_deg: usize = members.iter().map(|&v| g_full.degree(v)).sum::<usize>().max(1);
+        let g_u = groups;
+        let triple_total = g_u * (g_u + 1) * (g_u + 2) / 6; // C(g+2, 3)
+        let share = |v: VertexId| {
+            ((g_full.degree(v) * triple_total + total_deg - 1) / total_deg).max(1)
+        };
+        let mut recv_load = std::collections::HashMap::<VertexId, usize>::new();
+        let mut acc = 0usize;
+        let mut member_idx = 0usize;
+        let mut member_budget = share(members[0]);
+        for a in 0..groups as u32 {
+            for b in a..groups as u32 {
+                for c in b..groups as u32 {
+                    let owner = members[member_idx];
+                    let load = pair_load[pair_index(a, b)]
+                        + pair_load[pair_index(b, c)]
+                        + pair_load[pair_index(a, c)];
+                    *recv_load.entry(owner).or_insert(0) += load;
+                    acc += 1;
+                    if acc >= member_budget && member_idx + 1 < members.len() {
+                        acc = 0;
+                        member_idx += 1;
+                        member_budget = share(members[member_idx]);
+                    }
+                }
+            }
+        }
+        // Queries: each routing query moves O(deg(v)) words per vertex.
+        let queries = recv_load
+            .iter()
+            .map(|(&v, &load)| load.div_ceil(g_full.degree(v).max(1)))
+            .max()
+            .unwrap_or(0)
+            .max(1) as u64;
+
+        // Routing structure on the cluster's induced subgraph.
+        let sub = graph::view::Subgraph::induced(kept, part);
+        let (build_rounds, query_rounds) = match RoutingHierarchy::build(
+            sub.graph(),
+            config.routing_depth,
+            config.seed ^ 0xABCD ^ level_salt,
+        ) {
+            Ok(h) => (h.preprocessing_rounds(), h.query_rounds()),
+            // Degenerate cluster (no edges — cannot happen since intra is
+            // non-empty, but stay safe).
+            Err(_) => (0, 1),
+        };
+        let _ = n;
+        ClusterListing {
+            triangles,
+            build_rounds,
+            listing_rounds: queries * query_rounds,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::enumerate_triangles;
+    use graph::gen;
+
+    fn assert_complete(g: &Graph, config: &TriangleConfig) {
+        let out = congest_enumerate(g, config);
+        let want = enumerate_triangles(g);
+        assert_eq!(out.triangles, want, "n = {}, m = {}", g.n(), g.m());
+    }
+
+    #[test]
+    fn complete_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnp(40, 0.25, seed).unwrap();
+            assert_complete(&g, &TriangleConfig::default());
+        }
+    }
+
+    #[test]
+    fn complete_on_cluster_graphs() {
+        let (g, _) = gen::ring_of_cliques(5, 6).unwrap();
+        assert_complete(&g, &TriangleConfig::default());
+        let pp = gen::planted_partition(&[20, 20], 0.5, 0.08, 7).unwrap();
+        assert_complete(&pp.graph, &TriangleConfig::default());
+    }
+
+    #[test]
+    fn complete_on_dense_graph() {
+        let g = gen::complete(16).unwrap();
+        assert_complete(&g, &TriangleConfig::default());
+    }
+
+    #[test]
+    fn triangle_free_graphs_report_nothing() {
+        for g in [gen::cycle(12).unwrap(), gen::grid(5, 5).unwrap()] {
+            let out = congest_enumerate(&g, &TriangleConfig::default());
+            assert!(out.triangles.is_empty());
+        }
+    }
+
+    #[test]
+    fn inter_cluster_triangles_found_via_recursion() {
+        // A triangle spanning three cliques of a ring: all three edges are
+        // likely inter-cluster at level 0.
+        let (mut edges, _) = {
+            let (g, cliques) = gen::ring_of_cliques(3, 5).unwrap();
+            (g.edges().collect::<Vec<_>>(), cliques)
+        };
+        // Add a triangle across the three cliques: vertices 2, 7, 12.
+        edges.extend([(2, 7), (7, 12), (2, 12)]);
+        let g = Graph::from_edges(15, edges).unwrap();
+        assert_complete(&g, &TriangleConfig::default());
+    }
+
+    #[test]
+    fn level_stats_are_recorded() {
+        let pp = gen::planted_partition(&[16, 16], 0.6, 0.1, 3).unwrap();
+        let out = congest_enumerate(&pp.graph, &TriangleConfig::default());
+        assert!(!out.levels.is_empty());
+        let l0 = &out.levels[0];
+        assert_eq!(l0.m, pp.graph.m());
+        assert!(l0.decomposition_rounds > 0);
+        assert!(out.rounds >= l0.rounds());
+    }
+
+    #[test]
+    fn edge_set_shrinks_per_level() {
+        let g = gen::gnp(50, 0.3, 11).unwrap();
+        let out = congest_enumerate(&g, &TriangleConfig::default());
+        for pair in out.levels.windows(2) {
+            assert!(
+                pair[1].m <= pair[0].m / 2,
+                "E* must shrink: {} -> {}",
+                pair[0].m,
+                pair[1].m
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_is_capped_at_one_sixth() {
+        let g = gen::gnp(30, 0.3, 1).unwrap();
+        let mut config = TriangleConfig::default();
+        config.epsilon = 0.9; // will be clamped internally
+        assert_complete(&g, &config);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::gnp(36, 0.3, 5).unwrap();
+        let a = congest_enumerate(&g, &TriangleConfig::default());
+        let b = congest_enumerate(&g, &TriangleConfig::default());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.triangles, b.triangles);
+    }
+}

@@ -1,0 +1,30 @@
+//! **Theorem 2** — triangle enumeration in `Õ(n^{1/3})` CONGEST rounds.
+//!
+//! Three implementations share a ground truth:
+//!
+//! * [`count`] — centralized enumerators (degree-ordered merge join and a
+//!   brute-force reference). Ground truth + work baseline.
+//! * [`congest_algo`] — the paper's CONGEST algorithm: expander-decompose
+//!   the graph (`ε ≤ 1/6`), list every triangle that has at least one
+//!   intra-cluster edge via load-balanced listing inside each cluster
+//!   (Dolev–Lenzen–Peled-style group tripartition, delivered with GKS
+//!   expander routing in `Õ(n^{1/3})` queries), then recurse on the
+//!   inter-cluster remainder `E*` (`|E*| ≤ |E|/2`, so `O(log n)` levels).
+//! * [`clique_algo`] — the Dolev–Lenzen–Peled deterministic
+//!   CONGESTED-CLIQUE lister (`O(n^{1/3})` rounds via Lenzen routing),
+//!   the baseline that establishes Theorem 2's headline: CONGEST matches
+//!   CONGESTED-CLIQUE up to polylog factors.
+//!
+//! Every algorithm returns a *sorted, deduplicated* triangle list so
+//! completeness is a one-line assertion against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clique_algo;
+pub mod congest_algo;
+pub mod count;
+
+pub use clique_algo::{clique_enumerate, CliqueEnumeration};
+pub use congest_algo::{congest_enumerate, CongestEnumeration, TriangleConfig};
+pub use count::{count_triangles, enumerate_triangles, Triangle};

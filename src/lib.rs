@@ -1,0 +1,62 @@
+//! # expander-repro
+//!
+//! A full reproduction of **Chang & Saranurak, “Improved Distributed
+//! Expander Decomposition and Nearly Optimal Triangle Enumeration”
+//! (PODC 2019)** as a Rust workspace. This facade crate re-exports the
+//! whole stack:
+//!
+//! | layer | crate | paper artifact |
+//! |---|---|---|
+//! | [`graph`] | graph substrate | `Vol`, `∂(S)`, `Φ(S)`, `G{S}`, generators, spectral tools |
+//! | [`congest`] | CONGEST / CONGESTED-CLIQUE simulator | the model of §1 |
+//! | [`expander`] | expander decomposition | Theorems 1, 3, 4 |
+//! | [`routing`] | GKS expander routing | the §3 preprocessing/query trade-off |
+//! | [`triangle`] | triangle enumeration | Theorem 2 + the DLP clique baseline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use expander_repro::prelude::*;
+//!
+//! // A graph with obvious cluster structure…
+//! let (g, _) = graph::gen::ring_of_cliques(6, 8)?;
+//!
+//! // …expander-decompose it (Theorem 1)…
+//! let result = ExpanderDecomposition::builder()
+//!     .epsilon(0.3)
+//!     .k(2)
+//!     .seed(7)
+//!     .build()
+//!     .run(&g)?;
+//! assert!(result.inter_cluster_fraction() <= 0.3);
+//!
+//! // …and verify the certificate.
+//! let report = verify_decomposition(&g, &result);
+//! assert!(report.is_partition && report.edge_budget_ok());
+//!
+//! // Triangle enumeration (Theorem 2) agrees with ground truth.
+//! let listed = triangle::congest_enumerate(&g, &Default::default());
+//! assert_eq!(listed.triangles.len() as u64, triangle::count_triangles(&g));
+//! # Ok::<(), graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congest;
+pub use expander;
+pub use graph;
+pub use routing;
+pub use triangle;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use congest::{Ctx, Network, RunReport, VertexProgram};
+    pub use expander::prelude::*;
+    pub use graph::prelude::*;
+    pub use routing::{RoutingHierarchy, RoutingRequest};
+    pub use triangle::{
+        clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
+        Triangle, TriangleConfig,
+    };
+}

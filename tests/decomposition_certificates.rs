@@ -1,0 +1,141 @@
+//! End-to-end Theorem 1 certification across graph families and seeds:
+//! every decomposition must be a partition, respect the ε budget, and have
+//! every part certified as a φ-expander.
+
+use expander_repro::prelude::*;
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("ring_of_cliques", gen::ring_of_cliques(6, 8).unwrap().0),
+        ("barbell", gen::barbell(12).unwrap().0),
+        ("sbm2", gen::planted_partition(&[30, 30], 0.5, 0.01, 5).unwrap().graph),
+        ("sbm3", gen::planted_partition(&[20, 20, 20], 0.5, 0.01, 9).unwrap().graph),
+        ("gnp_dense", gen::gnp(60, 0.3, 7).unwrap()),
+        ("complete", gen::complete(32).unwrap()),
+        ("grid", gen::grid(8, 8).unwrap()),
+        ("hypercube", gen::hypercube(6).unwrap()),
+        ("regular", gen::random_regular(64, 6, 3).unwrap()),
+        ("chung_lu", gen::chung_lu(80, 2.5, 8.0, 11).unwrap()),
+    ]
+}
+
+#[test]
+fn certificates_hold_across_families() {
+    for (name, g) in families() {
+        for seed in [1u64, 2] {
+            let eps = 0.3;
+            let result = ExpanderDecomposition::builder()
+                .epsilon(eps)
+                .k(2)
+                .seed(seed)
+                .build()
+                .run(&g)
+                .unwrap();
+            let report = verify_decomposition(&g, &result);
+            assert!(report.is_partition, "{name}/{seed}: not a partition");
+            assert!(
+                report.edge_budget_ok(),
+                "{name}/{seed}: removed fraction {} > ε {eps}",
+                report.inter_cluster_fraction
+            );
+            assert!(
+                report.conductance_ok(),
+                "{name}/{seed}: min certified Φ {} below promised {}",
+                report.min_certified_conductance(),
+                report.phi
+            );
+        }
+    }
+}
+
+#[test]
+fn per_tag_budgets_hold() {
+    for (name, g) in families() {
+        let eps = 0.3;
+        let result = ExpanderDecomposition::builder()
+            .epsilon(eps)
+            .seed(4)
+            .build()
+            .run(&g)
+            .unwrap();
+        let budget = (eps / 3.0) * g.m() as f64;
+        for (tag, count) in ["Remove-1", "Remove-2", "Remove-3"]
+            .iter()
+            .zip(result.removed_by_tag())
+        {
+            assert!(
+                count as f64 <= budget + 1e-9,
+                "{name}: {tag} removed {count} > per-tag budget {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expanders_survive_intact() {
+    // Graphs with conductance far above the detection bar must come back
+    // as a single part with nothing removed.
+    for (name, g) in [
+        ("complete", gen::complete(24).unwrap()),
+        ("regular8", gen::random_regular(48, 8, 2).unwrap()),
+    ] {
+        let result = ExpanderDecomposition::builder()
+            .epsilon(0.2)
+            .seed(6)
+            .build()
+            .run(&g)
+            .unwrap();
+        assert_eq!(result.parts.len(), 1, "{name} should stay whole");
+        assert!(result.removed_edges.is_empty(), "{name} lost edges");
+    }
+}
+
+#[test]
+fn ring_parts_align_with_cliques() {
+    let (g, cliques) = gen::ring_of_cliques(8, 6).unwrap();
+    let result = ExpanderDecomposition::builder()
+        .epsilon(0.3)
+        .seed(10)
+        .build()
+        .run(&g)
+        .unwrap();
+    // Every multi-vertex part should sit inside the union of at most a few
+    // cliques; count parts fully matching one planted clique.
+    let full_matches = result
+        .parts
+        .iter()
+        .filter(|p| cliques.iter().any(|c| c.intersection(p).len() == c.len() && p.len() == c.len()))
+        .count();
+    assert!(
+        full_matches >= 4,
+        "only {full_matches} parts matched planted cliques exactly"
+    );
+}
+
+#[test]
+fn k_tradeoff_direction() {
+    // Larger k must never increase the promised conductance target and the
+    // run schedule length grows with k.
+    let pp = gen::planted_partition(&[40, 40], 0.4, 0.02, 3).unwrap();
+    let r1 = ExpanderDecomposition::builder().k(1).seed(2).build().run(&pp.graph).unwrap();
+    let r3 = ExpanderDecomposition::builder().k(3).seed(2).build().run(&pp.graph).unwrap();
+    assert!(r3.phi <= r1.phi);
+    assert_eq!(r1.params.run_schedule.len(), 2);
+    assert_eq!(r3.params.run_schedule.len(), 4);
+}
+
+#[test]
+fn degree_preservation_through_removals() {
+    // The loop-compensation invariant: rebuilding the working graph from
+    // the removal record preserves every degree.
+    let (g, _) = gen::ring_of_cliques(5, 6).unwrap();
+    let result = ExpanderDecomposition::builder().epsilon(0.3).seed(8).build().run(&g).unwrap();
+    let stripped = g.remove_edges(
+        result.removed_edges.iter().map(|&(u, v, _)| (u, v)),
+        true,
+    );
+    for v in 0..g.n() as VertexId {
+        assert_eq!(stripped.degree(v), g.degree(v), "degree of {v} changed");
+    }
+    assert_eq!(stripped.total_volume(), g.total_volume());
+}

@@ -1,0 +1,122 @@
+//! Theorem 3's two-sided guarantee, measured over seeds:
+//!
+//! * If `Φ(G) ≤ φ`, the returned cut has balance `≥ min(b/2, 1/48)` and
+//!   conductance within the `h(φ)` promise.
+//! * If `Φ(G) > φ`, the algorithm returns nothing or a cut within the
+//!   `h(φ)` promise — never an arbitrary dense cut.
+
+use expander_repro::prelude::*;
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+#[test]
+fn balance_floor_on_balanced_planted_cuts() {
+    // Barbell: most balanced sparse cut has b = 1/2, floor = 1/48.
+    let (g, _) = gen::barbell(12).unwrap();
+    let mut successes = 0;
+    for seed in SEEDS {
+        let out = nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
+        if let Some(cut) = &out.cut {
+            assert!(
+                cut.balance() >= 1.0 / 48.0 - 1e-9,
+                "seed {seed}: balance {} below 1/48",
+                cut.balance()
+            );
+            assert!(
+                cut.conductance() <= out.promised_conductance(g.n()) + 1e-9,
+                "seed {seed}: conductance above promise"
+            );
+            successes += 1;
+        }
+    }
+    assert!(successes >= 5, "cut found for only {successes}/6 seeds");
+}
+
+#[test]
+fn balance_floor_on_skewed_planted_cuts() {
+    // Dumbbell K24+K8: planted balance b ≈ Vol(K8)/Vol ≈ 0.10;
+    // floor = min(b/2, 1/48) = 1/48.
+    let (g, left) = gen::dumbbell(24, 8, 0).unwrap();
+    let small = left.complement();
+    let b = g.balance(&small).unwrap();
+    let floor = (b / 2.0).min(1.0 / 48.0);
+    let mut successes = 0;
+    for seed in SEEDS {
+        let out = nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
+        if let Some(cut) = &out.cut {
+            assert!(
+                cut.balance() >= floor - 1e-9,
+                "seed {seed}: balance {} below floor {floor}",
+                cut.balance()
+            );
+            successes += 1;
+        }
+    }
+    assert!(successes >= 4, "cut found for only {successes}/6 seeds (b = {b})");
+}
+
+#[test]
+fn expander_case_never_returns_dense_cuts() {
+    let g = gen::random_regular(60, 8, 7).unwrap();
+    for seed in SEEDS {
+        let out = nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
+        if let Some(cut) = &out.cut {
+            assert!(
+                cut.conductance() <= out.promised_conductance(g.n()) + 1e-9,
+                "seed {seed}: Φ {} above promise {}",
+                cut.conductance(),
+                out.promised_conductance(g.n())
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_volume_cap_holds() {
+    // Lemma 8 condition 1: Vol(C) ≤ (47/48)·Vol(V) always.
+    for (g, _) in [
+        gen::barbell(10).unwrap(),
+        gen::dumbbell(16, 16, 3).unwrap(),
+        gen::ring_of_cliques(5, 6).map(|(g, c)| (g, c[0].clone())).unwrap(),
+    ] {
+        for seed in [1u64, 9] {
+            let out =
+                nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
+            if let Some(cut) = &out.cut {
+                assert!(
+                    (cut.volume() as f64) <= 47.0 / 48.0 * g.total_volume() as f64,
+                    "Vol(C) cap violated"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn detection_threshold_orders_families() {
+    // At a fixed φ, the dumbbell (Φ ≈ 0.004) must be detected far more
+    // often than the 8-regular expander (Φ ≈ 0.3).
+    let (sparse, _) = gen::dumbbell(16, 16, 0).unwrap();
+    let dense = gen::random_regular(34, 8, 11).unwrap();
+    let mut sparse_hits = 0;
+    let mut dense_hits = 0;
+    for seed in SEEDS {
+        if nearly_most_balanced_sparse_cut(&sparse, 0.002, ParamMode::Practical, 4, seed)
+            .cut
+            .is_some()
+        {
+            sparse_hits += 1;
+        }
+        if nearly_most_balanced_sparse_cut(&dense, 0.002, ParamMode::Practical, 4, seed)
+            .cut
+            .is_some()
+        {
+            dense_hits += 1;
+        }
+    }
+    assert!(
+        sparse_hits > dense_hits,
+        "detection should separate families: sparse {sparse_hits} vs dense {dense_hits}"
+    );
+    assert!(sparse_hits >= 5);
+}
