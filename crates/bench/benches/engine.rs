@@ -1,0 +1,123 @@
+//! Criterion bench for the CONGEST round engine itself: sequential vs
+//! parallel vertex stepping on message-heavy (flood) and round-heavy
+//! (relay) programs, at n ≥ 10k.
+//!
+//! `flood` saturates the mailbox arenas — every edge carries a message
+//! within a few rounds — while `relay` runs thousands of nearly idle
+//! rounds, measuring the engine's fixed per-round overhead (halt
+//! detection, mail-flag reset, reduction). Together they bracket the
+//! engine's two cost regimes.
+
+use congest::{Ctx, ExecMode, Network, VertexProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::{gen, Graph, VertexId};
+
+/// Wave flood from vertex 0; quiescence-driven.
+#[derive(Default)]
+struct Flood {
+    seen: bool,
+}
+
+impl VertexProgram for Flood {
+    type Msg = u64;
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if ctx.me() == 0 {
+            self.seen = true;
+            ctx.broadcast(1);
+        }
+    }
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(VertexId, u64)]) {
+        if !self.seen && !inbox.is_empty() {
+            self.seen = true;
+            let senders: Vec<VertexId> = inbox.iter().map(|&(f, _)| f).collect();
+            ctx.broadcast_except(&senders, 1);
+        }
+    }
+    fn halted(&self) -> bool {
+        // Quiescence-driven: vertices the wave never reaches (isolated
+        // components of gnp) must not stall the run.
+        true
+    }
+}
+
+/// A single token hopping for `ttl` rounds: almost every round is idle
+/// for almost every vertex, so this times pure engine overhead.
+struct Relay {
+    start: VertexId,
+    ttl: u32,
+    hops: u32,
+}
+
+impl VertexProgram for Relay {
+    type Msg = u32;
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if ctx.me() == self.start {
+            ctx.send(ctx.neighbors()[0], self.ttl);
+        }
+    }
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+        for &(_, ttl) in inbox {
+            self.hops += 1;
+            if ttl > 0 {
+                let nbrs = ctx.neighbors();
+                ctx.send(nbrs[ctx.round() % nbrs.len()], ttl - 1);
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    // 100 cliques of 100 vertices: n = 10_000, m ≈ 495_100.
+    let (ring, _) = gen::ring_of_cliques(100, 100).expect("ring of cliques");
+    // Sparse random graph at the same scale: n = 10_000, m ≈ 40_000.
+    let gnp = gen::gnp(10_000, 0.0008, 42).expect("gnp");
+    vec![("ring100x100", ring), ("gnp10k", gnp)]
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for (name, g) in workloads() {
+        for (mode_name, mode) in [("seq", ExecMode::Sequential), ("par", ExecMode::Parallel)] {
+            let net = Network::new(&g).with_exec_mode(mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("flood/{name}"), mode_name),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let report = net.run(|_| Flood::default(), 100_000).unwrap();
+                        assert!(report.messages > 0);
+                        report
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("relay/{name}"), mode_name),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let report = net
+                            .run(
+                                |_| Relay {
+                                    start: 0,
+                                    ttl: 2_000,
+                                    hops: 0,
+                                },
+                                100_000,
+                            )
+                            .unwrap();
+                        assert_eq!(report.rounds, 2_001);
+                        report
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -16,7 +16,10 @@ fn bench_routing(c: &mut Criterion) {
     }
     let h = RoutingHierarchy::build(&g, 2, 11).unwrap();
     let reqs: Vec<RoutingRequest> = (0..1024u32)
-        .map(|v| RoutingRequest { src: v, dst: (v * 131 + 7) % 1024 })
+        .map(|v| RoutingRequest {
+            src: v,
+            dst: (v * 131 + 7) % 1024,
+        })
         .collect();
     group.bench_function("route_permutation", |b| {
         b.iter(|| h.route(&g, &reqs).unwrap())

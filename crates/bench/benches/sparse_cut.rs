@@ -10,15 +10,11 @@ fn bench_sparse_cut(c: &mut Criterion) {
     group.sample_size(10);
     let (dumbbell, _) = gen::dumbbell(20, 12, 1).unwrap();
     group.bench_function("dumbbell_detect", |b| {
-        b.iter(|| {
-            nearly_most_balanced_sparse_cut(&dumbbell, 0.002, ParamMode::Practical, 4, 3)
-        })
+        b.iter(|| nearly_most_balanced_sparse_cut(&dumbbell, 0.002, ParamMode::Practical, 4, 3))
     });
     let expander = gen::random_regular(64, 8, 5).unwrap();
     group.bench_function("expander_certify", |b| {
-        b.iter(|| {
-            nearly_most_balanced_sparse_cut(&expander, 0.002, ParamMode::Practical, 4, 3)
-        })
+        b.iter(|| nearly_most_balanced_sparse_cut(&expander, 0.002, ParamMode::Practical, 4, 3))
     });
     let (bar, _) = gen::barbell(12).unwrap();
     group.bench_function("single_nibble", |b| {

@@ -20,11 +20,26 @@ fn main() {
     let eps = 0.3;
     let mut ka = Table::new(
         "E8a: Phase-2 level schedule — k sweep (fixed sbm 4x48)",
-        &["k", "parts", "phi_promised", "run_phi_0", "run_phi_k", "rounds", "removed_frac"],
+        &[
+            "k",
+            "parts",
+            "phi_promised",
+            "run_phi_0",
+            "run_phi_k",
+            "rounds",
+            "removed_frac",
+        ],
     );
     let mut kb = Table::new(
         "E8b: Remove-1/2/3 budget split (budget per tag = eps/3)",
-        &["k", "remove1_frac", "remove2_frac", "remove3_frac", "per_tag_budget", "all_ok"],
+        &[
+            "k",
+            "remove1_frac",
+            "remove2_frac",
+            "remove3_frac",
+            "per_tag_budget",
+            "all_ok",
+        ],
     );
     for k in [1usize, 2, 3, 4] {
         let res = ExpanderDecomposition::builder()
@@ -64,7 +79,13 @@ fn main() {
     let base = NibbleParams::new(0.05, bar.m(), ParamMode::Practical);
     let mut kc = Table::new(
         "E8c: truncation ablation (Lemma 3 tradeoff)",
-        &["eps_scale", "eps_b(3)", "participation_vol", "lemma3_bound", "cut_found"],
+        &[
+            "eps_scale",
+            "eps_b(3)",
+            "participation_vol",
+            "lemma3_bound",
+            "cut_found",
+        ],
     );
     for scale in [0.1f64, 1.0, 10.0, 100.0] {
         let mut params = base.clone();
@@ -101,7 +122,11 @@ fn main() {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
         let out = expander::partition::partition(&expander, &params, 4, &mut rng);
         kd.row(vec![
-            if streak == usize::MAX { "off".into() } else { streak.to_string() },
+            if streak == usize::MAX {
+                "off".into()
+            } else {
+                streak.to_string()
+            },
             out.iterations.to_string(),
             out.ledger.total().to_string(),
         ]);

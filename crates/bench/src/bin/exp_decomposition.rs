@@ -15,8 +15,17 @@ fn main() {
     let mut table = Table::new(
         "E1: (ε,φ)-expander decomposition (Theorem 1)",
         &[
-            "family", "n", "m", "eps", "k", "parts", "removed_frac", "phi_promised",
-            "min_cert_phi", "cert_ok", "rounds",
+            "family",
+            "n",
+            "m",
+            "eps",
+            "k",
+            "parts",
+            "removed_frac",
+            "phi_promised",
+            "min_cert_phi",
+            "cert_ok",
+            "rounds",
         ],
     );
     let mut scaling: Vec<(usize, usize, u64)> = Vec::new(); // (k, n, rounds)
@@ -82,8 +91,7 @@ fn main() {
             format!("{:.4}", res.inter_cluster_fraction()),
             format!("{:.2e}", res.phi),
             format!("{:.4}", report.min_certified_conductance()),
-            (report.is_partition && report.edge_budget_ok() && report.conductance_ok())
-                .to_string(),
+            (report.is_partition && report.edge_budget_ok() && report.conductance_ok()).to_string(),
             res.ledger.total().to_string(),
         ]);
     }

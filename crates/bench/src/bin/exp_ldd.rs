@@ -25,8 +25,15 @@ fn main() {
     let mut e4 = Table::new(
         "E4: LowDiamDecomposition over 100 seeds (Theorem 4)",
         &[
-            "family", "n", "beta", "cut_frac_p50", "cut_frac_p95", "bound_3beta",
-            "within_whp", "diam_max", "diam_bound",
+            "family",
+            "n",
+            "beta",
+            "cut_frac_p50",
+            "cut_frac_p95",
+            "bound_3beta",
+            "within_whp",
+            "diam_max",
+            "diam_bound",
         ],
     );
     // 1D families must be much longer than 4ab = Θ(log²n/β²) for the
@@ -37,7 +44,10 @@ fn main() {
         ("path1500".into(), gen::path(1500).expect("path")),
         ("cycle1500".into(), gen::cycle(1500).expect("cycle")),
         ("grid17x17".into(), gen::grid(17, 17).expect("grid")),
-        ("ring20x6".into(), gen::ring_of_cliques(20, 6).expect("ring").0),
+        (
+            "ring20x6".into(),
+            gen::ring_of_cliques(20, 6).expect("ring").0,
+        ),
     ];
     for (name, g) in &families {
         for &beta in &[0.25f64, 0.4] {
@@ -73,13 +83,23 @@ fn main() {
     // E5: per-edge cut probability for plain MPX (Lemma 12: ≤ 2β).
     let mut e5 = Table::new(
         "E5: MPX per-edge cut probability (Lemma 12: ≤ 2β)",
-        &["family", "beta", "max_edge_cut_prob", "mean_edge_cut_prob", "bound_2beta", "ok"],
+        &[
+            "family",
+            "beta",
+            "max_edge_cut_prob",
+            "mean_edge_cut_prob",
+            "bound_2beta",
+            "ok",
+        ],
     );
     let small: Vec<(String, graph::Graph)> = vec![
         ("path300".into(), gen::path(300).expect("path")),
         ("grid17x17".into(), gen::grid(17, 17).expect("grid")),
         ("gnp200".into(), gen::gnp(200, 0.025, 7).expect("gnp")),
-        ("ring20x6".into(), gen::ring_of_cliques(20, 6).expect("ring").0),
+        (
+            "ring20x6".into(),
+            gen::ring_of_cliques(20, 6).expect("ring").0,
+        ),
     ];
     for (name, g) in &small {
         let beta = 0.2;
@@ -92,8 +112,10 @@ fn main() {
                 }
             }
         }
-        let probs: Vec<f64> =
-            cut_count.iter().map(|&c| c as f64 / trials as f64).collect();
+        let probs: Vec<f64> = cut_count
+            .iter()
+            .map(|&c| c as f64 / trials as f64)
+            .collect();
         let max = probs.iter().cloned().fold(0.0f64, f64::max);
         let mean = probs.iter().sum::<f64>() / probs.len().max(1) as f64;
         e5.row(vec![

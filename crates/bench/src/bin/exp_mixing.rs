@@ -12,7 +12,16 @@ use graph::spectral;
 fn main() {
     let mut table = Table::new(
         "E7: mixing time vs conductance (Jerrum–Sinclair sandwich)",
-        &["family", "n", "phi", "phi_kind", "tau_mix", "lower_c/phi", "upper_logn/phi2", "sandwich_ok"],
+        &[
+            "family",
+            "n",
+            "phi",
+            "phi_kind",
+            "tau_mix",
+            "lower_c/phi",
+            "upper_logn/phi2",
+            "sandwich_ok",
+        ],
     );
     for (name, g, exact_phi) in mixing_family() {
         let (phi, kind) = match exact_phi {

@@ -14,15 +14,16 @@ use rand::SeedableRng as _;
 
 fn main() {
     let g = gen::gnp(300, 0.03, 17).expect("gnp");
-    let params = SparseCutParams::new(
-        0.002,
-        g.m(),
-        g.total_volume(),
-        ParamMode::Practical,
-    );
+    let params = SparseCutParams::new(0.002, g.m(), g.total_volume(), ParamMode::Practical);
     let mut e9 = Table::new(
         "E9a: Nibble participation volume vs Lemma 3 bound",
-        &["b", "eps_b", "participation_vol", "bound_(t0+1)/2eps", "within"],
+        &[
+            "b",
+            "eps_b",
+            "participation_vol",
+            "bound_(t0+1)/2eps",
+            "within",
+        ],
     );
     for b in 1..=params.nibble.ell.min(8) {
         let out = approximate_nibble(&g, 0, &params.nibble, b);
@@ -40,7 +41,13 @@ fn main() {
 
     let mut e9b = Table::new(
         "E9b: ParallelNibble max edge participation across seeds (cap w)",
-        &["seed", "k_instances", "max_participation", "w_cap", "aborted"],
+        &[
+            "seed",
+            "k_instances",
+            "max_participation",
+            "w_cap",
+            "aborted",
+        ],
     );
     for seed in 0..8u64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

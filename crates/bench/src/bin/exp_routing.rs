@@ -13,7 +13,15 @@ use routing::{RoutingHierarchy, RoutingRequest};
 fn main() {
     let mut table = Table::new(
         "E6: GKS routing data structure (preprocessing vs query)",
-        &["n", "k", "beta", "tau_mix", "preprocess_rounds", "query_rounds", "route_ok"],
+        &[
+            "n",
+            "k",
+            "beta",
+            "tau_mix",
+            "preprocess_rounds",
+            "query_rounds",
+            "route_ok",
+        ],
     );
     let mut growth: Vec<(usize, f64, f64)> = Vec::new(); // (k, n, preprocessing)
 
@@ -23,7 +31,10 @@ fn main() {
             let h = RoutingHierarchy::build(&g, k, 11).expect("expander builds");
             // A permutation routing instance to validate delivery.
             let reqs: Vec<RoutingRequest> = (0..n as u32)
-                .map(|v| RoutingRequest { src: v, dst: (v * 131 + 7) % n as u32 })
+                .map(|v| RoutingRequest {
+                    src: v,
+                    dst: (v * 131 + 7) % n as u32,
+                })
                 .collect();
             let out = h.route(&g, &reqs).expect("requests valid");
             table.row(vec![

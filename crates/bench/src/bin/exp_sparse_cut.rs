@@ -15,8 +15,15 @@ fn main() {
     let mut table = Table::new(
         "E3: nearly most balanced sparse cut (Theorem 3)",
         &[
-            "family", "planted_b", "floor", "detect_rate", "median_bal", "worst_bal",
-            "median_phi", "promise", "floor_ok",
+            "family",
+            "planted_b",
+            "floor",
+            "detect_rate",
+            "median_bal",
+            "worst_bal",
+            "median_phi",
+            "promise",
+            "floor_ok",
         ],
     );
 
@@ -30,8 +37,7 @@ fn main() {
         let mut phis = Vec::new();
         let mut promise = 0.0f64;
         for &seed in &seeds {
-            let out =
-                nearly_most_balanced_sparse_cut(g, phi_target, ParamMode::Practical, 4, seed);
+            let out = nearly_most_balanced_sparse_cut(g, phi_target, ParamMode::Practical, 4, seed);
             promise = out.promised_conductance(g.n());
             if let Some(cut) = &out.cut {
                 balances.push(cut.balance());
@@ -41,7 +47,13 @@ fn main() {
         balances.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         phis.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let detect = balances.len() as f64 / seeds.len() as f64;
-        let median = |v: &[f64]| if v.is_empty() { f64::NAN } else { v[v.len() / 2] };
+        let median = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v[v.len() / 2]
+            }
+        };
         let worst = balances.first().copied().unwrap_or(f64::NAN);
         table.row(vec![
             w.name.clone(),
@@ -58,7 +70,10 @@ fn main() {
 
     // Expander controls.
     for (name, g) in [
-        ("regular8_64", gen::random_regular(64, 8, 3).expect("regular")),
+        (
+            "regular8_64",
+            gen::random_regular(64, 8, 3).expect("regular"),
+        ),
         ("K32", gen::complete(32).expect("complete")),
     ] {
         let mut found = 0usize;

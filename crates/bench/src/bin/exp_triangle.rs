@@ -15,7 +15,12 @@ fn main() {
     let mut table = Table::new(
         "E2: triangle enumeration rounds (Theorem 2)",
         &[
-            "n", "m", "triangles", "congest_rounds", "congest_listing", "clique_rounds",
+            "n",
+            "m",
+            "triangles",
+            "congest_rounds",
+            "congest_listing",
+            "clique_rounds",
             "complete",
         ],
     );
@@ -37,7 +42,12 @@ fn main() {
             .iter()
             .map(|l| l.routing_build_rounds + l.listing_rounds)
             .sum();
-        let queries: u64 = congest.levels.iter().map(|l| l.max_queries).max().unwrap_or(0);
+        let queries: u64 = congest
+            .levels
+            .iter()
+            .map(|l| l.max_queries)
+            .max()
+            .unwrap_or(0);
         table.row(vec![
             n.to_string(),
             g.m().to_string(),

@@ -135,8 +135,9 @@ mod tests {
 
     #[test]
     fn exponent_fit_recovers_power_laws() {
-        let pts: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64, 3.0 * (i as f64).powf(1.5))).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64, 3.0 * (i as f64).powf(1.5)))
+            .collect();
         let alpha = fit_exponent(&pts);
         assert!((alpha - 1.5).abs() < 1e-9);
         let flat: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 7.0)).collect();

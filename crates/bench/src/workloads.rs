@@ -34,8 +34,9 @@ pub fn sbm_sweep(sizes: &[usize]) -> Vec<PlantedCutWorkload> {
     sizes
         .iter()
         .map(|&half| {
-            let pp = gen::planted_partition(&[half, half], 0.4, 4.0 / half as f64 * 0.05, half as u64)
-                .expect("valid SBM");
+            let pp =
+                gen::planted_partition(&[half, half], 0.4, 4.0 / half as f64 * 0.05, half as u64)
+                    .expect("valid SBM");
             PlantedCutWorkload {
                 name: format!("sbm{}", 2 * half),
                 planted: pp.blocks[0].clone(),

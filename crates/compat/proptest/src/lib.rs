@@ -1,0 +1,384 @@
+//! Offline compatibility shim for the subset of the `proptest` API this
+//! workspace's property tests use.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! stands in for the real `proptest`. It provides the [`Strategy`] trait
+//! (`prop_map`, ranges, tuples, `any`, `collection::vec`), the
+//! [`proptest!`] macro, the `prop_assert*` / `prop_assume!` macros and a
+//! deterministic case runner. Two honest simplifications versus upstream:
+//! failing inputs are **not shrunk** (the failing value and its seed are
+//! printed instead), and there is no persistent failure database.
+//!
+//! Swap the `proptest` entry in the root `[workspace.dependencies]` for
+//! the real crate to drop this shim; no client code changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy for "any value of `T`". Created by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the default strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_uniform {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rand::Rng::random(rng)
+            }
+        }
+    )*};
+}
+
+impl_any_uniform!(bool, u32, u64, usize, f64);
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+
+    /// Strategy for fixed-length vectors. Created by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// A vector of exactly `len` elements drawn from `element`.
+    ///
+    /// (Upstream accepts a size *range*; this workspace only uses fixed
+    /// lengths.)
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Case runner and its configuration.
+pub mod test_runner {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honored by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config requiring `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions did not hold; draw a fresh input.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs `test` on `cfg.cases` inputs drawn from `strategy`.
+    ///
+    /// Inputs are derived deterministically from the test name and the
+    /// attempt index, so failures are reproducible run to run. Rejected
+    /// cases (via `prop_assume!`) are redrawn, with a global cap to keep
+    /// vacuous tests from passing silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, printing the input and its seed;
+    /// panics if too many cases are rejected.
+    pub fn run<S: Strategy>(
+        name: &str,
+        cfg: ProptestConfig,
+        strategy: S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let base = fnv1a(name);
+        let max_rejects = cfg.cases as u64 * 10 + 256;
+        let mut rejects = 0u64;
+        let mut attempt = 0u64;
+        let mut passed = 0u32;
+        while passed < cfg.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9E3779B97F4A7C15);
+            attempt += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.sample(&mut rng);
+            let debugged = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{name}: too many rejected cases ({rejects}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(why)) => {
+                    panic!(
+                        "{name}: case {passed} failed (seed {seed:#x}):\n  {why}\n  input: {debugged}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Any, Strategy};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (redrawn, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                stringify!($name),
+                $cfg,
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_sample_within_bounds() {
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = (5usize..10).sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let f = (0.25f64..0.5).sample(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (1usize..4, any::<bool>()).prop_map(|(n, b)| vec![b; n]);
+        let mut rng = rand::SeedableRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn runner_executes_and_assumes(n in 0usize..100, flag in any::<bool>()) {
+            prop_assume!(n > 0 || flag);
+            prop_assert!(n < 100);
+            prop_assert_eq!(n + 1, 1 + n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failing_case")]
+    fn failures_panic_with_input() {
+        crate::test_runner::run(
+            "failing_case",
+            ProptestConfig::with_cases(10),
+            (0usize..4,),
+            |(n,)| {
+                prop_assert!(n < 3, "n too big: {}", n);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn vec_strategy_has_fixed_len() {
+        let strat = crate::collection::vec(any::<bool>(), 7);
+        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        assert_eq!(strat.sample(&mut rng).len(), 7);
+    }
+}

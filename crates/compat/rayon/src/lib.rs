@@ -1,0 +1,329 @@
+//! Offline compatibility shim for the subset of the `rayon` API the
+//! `congest` round engine uses.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! stands in for the real `rayon`. It implements *indexed* parallel
+//! iterators over slices — `par_iter` / `par_iter_mut`, plus the `zip`,
+//! `enumerate` and `for_each` combinators — by splitting the index space
+//! into contiguous chunks and driving each chunk on a scoped OS thread
+//! (`std::thread::scope`). That is exactly the execution shape rayon's
+//! work-stealing pool converges to for uniform per-item work, which is the
+//! engine's profile (every vertex does O(deg) work per round).
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. With one thread the drivers run
+//! inline on the caller's thread — zero spawn overhead — which keeps the
+//! parallel engine within noise of the sequential engine on single-core
+//! hosts.
+//!
+//! Swap the `rayon` entry in the root `[workspace.dependencies]` for the
+//! real crate to drop this shim; no client code changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Number of worker threads the shim will use for `for_each`.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// An indexed parallel iterator: a splittable, exactly-sized sequence.
+///
+/// Mirrors the shape of rayon's `IndexedParallelIterator`: combinators
+/// carry slices (or other combinators) and only the terminal `for_each`
+/// runs anything, after recursively splitting the index space across
+/// threads.
+pub trait IndexedParallelIterator: Sized + Send {
+    /// Item handed to the consumer closure.
+    type Item: Send;
+    /// Sequential iterator driving one contiguous chunk.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// The sequential driver for this (chunk of the) iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Pairs this sequence with another, item by item.
+    ///
+    /// Lengths must match (the engine always zips same-length vertex
+    /// arrays); this is checked and panics on mismatch, like rayon's
+    /// `zip_eq`.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        assert_eq!(self.len(), other.len(), "zip: length mismatch");
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            base: 0,
+        }
+    }
+
+    /// Consumes the sequence, invoking `f` on every item, in parallel
+    /// across contiguous chunks.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let threads = current_num_threads();
+        let len = self.len();
+        if threads <= 1 || len <= 1 {
+            self.into_seq().for_each(&f);
+            return;
+        }
+        // Contiguous chunking; the last chunk absorbs the remainder.
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = self;
+            let mut remaining = len;
+            let fref = &f;
+            while remaining > chunk {
+                let (head, tail) = rest.split_at(chunk);
+                rest = tail;
+                remaining -= chunk;
+                scope.spawn(move || head.into_seq().for_each(fref));
+            }
+            // Drive the final chunk on the calling thread.
+            rest.into_seq().for_each(fref);
+        });
+    }
+}
+
+/// Parallel iterator over `&mut [T]`. See [`prelude::ParallelSliceMut`].
+pub struct ParIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: a }, ParIterMut { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over `&[T]`. See [`prelude::ParallelSlice`].
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (ParIter { slice: a }, ParIter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Item-wise pairing of two indexed parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Index-attaching combinator; the base offset survives splitting.
+pub struct Enumerate<A> {
+    inner: A,
+    base: usize,
+}
+
+impl<A: IndexedParallelIterator> IndexedParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+    type Seq = EnumerateSeq<A::Seq>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Enumerate {
+                inner: a,
+                base: self.base,
+            },
+            Enumerate {
+                inner: b,
+                base: self.base + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.inner.into_seq(),
+            next: self.base,
+        }
+    }
+}
+
+/// Sequential driver of [`Enumerate`]: `std::iter::Enumerate` with a
+/// non-zero starting index (and no per-item indirection).
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Entry-point traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::IndexedParallelIterator;
+    use super::{ParIter, ParIterMut};
+
+    /// Adds `par_iter_mut` to mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable references.
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// Adds `par_iter` to shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over shared references.
+        fn par_iter(&self) -> ParIter<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter { slice: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let mut v = vec![0u64; 10_000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn zip_pairs_matching_indices() {
+        let mut a = vec![0usize; 5000];
+        let mut b: Vec<usize> = (0..5000).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                assert_eq!(*y, i);
+                *x = *y * 2;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_rejects_mismatched_lengths() {
+        let mut a = [0u8; 3];
+        let mut b = [0u8; 4];
+        a.par_iter_mut().zip(b.par_iter_mut()).for_each(|_| {});
+    }
+
+    #[test]
+    fn empty_and_single_item_sequences() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = [7u8];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one[0], 8);
+    }
+
+    #[test]
+    fn shared_par_iter_reads() {
+        let v: Vec<usize> = (0..1000).collect();
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+}

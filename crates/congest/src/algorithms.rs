@@ -60,11 +60,7 @@ pub fn distributed_bfs(
             if let Some(&d) = inbox.iter().map(|(_, d)| d).min() {
                 self.dist = Some(d);
                 let senders: Vec<VertexId> = inbox.iter().map(|&(f, _)| f).collect();
-                for w in ctx.neighbors().to_vec() {
-                    if !senders.contains(&w) {
-                        ctx.send(w, d + 1);
-                    }
-                }
+                ctx.broadcast_except(&senders, d + 1);
             }
         }
         fn halted(&self) -> bool {
@@ -72,10 +68,7 @@ pub fn distributed_bfs(
         }
     }
 
-    let (report, progs) = Network::new(g).run_collect(
-        |v| Bfs { root, dist: if v == root { None } else { None } },
-        max_rounds,
-    )?;
+    let (report, progs) = Network::new(g).run_collect(|_| Bfs { root, dist: None }, max_rounds)?;
     let dist = progs
         .into_iter()
         .map(|p| p.dist.unwrap_or(u32::MAX))
@@ -115,11 +108,7 @@ pub fn broadcast_value(
                 if let Some(&(_, v)) = inbox.first() {
                     self.got = Some(v);
                     let senders: Vec<VertexId> = inbox.iter().map(|&(f, _)| f).collect();
-                    for w in ctx.neighbors().to_vec() {
-                        if !senders.contains(&w) {
-                            ctx.send(w, v);
-                        }
-                    }
+                    ctx.broadcast_except(&senders, v);
                 }
             }
         }
@@ -129,7 +118,11 @@ pub fn broadcast_value(
     }
 
     let (report, progs) = Network::new(g).run_collect(
-        |_| Flood { root, value, got: None },
+        |_| Flood {
+            root,
+            value,
+            got: None,
+        },
         max_rounds,
     )?;
     Ok((report, progs.into_iter().map(|p| p.got).collect()))
@@ -193,9 +186,7 @@ where
             if ctx.me() == self.root {
                 self.in_tree = true;
                 self.pending = ctx.neighbors().to_vec();
-                for w in self.pending.clone() {
-                    ctx.send(w, (TAG_WAVE, 0));
-                }
+                ctx.broadcast((TAG_WAVE, 0));
                 self.reported = self.pending.is_empty(); // degenerate root
             }
         }
@@ -228,7 +219,6 @@ where
                     .copied()
                     .filter(|w| !wave_senders.contains(w))
                     .collect();
-                self.pending = others.clone();
                 if others.is_empty() {
                     // Leaf: join and report in one combined message.
                     self.reported = true;
@@ -239,9 +229,8 @@ where
                 for &s in wave_senders.iter().filter(|&&s| s != parent) {
                     ctx.send(s, (TAG_DECLINE, 0));
                 }
-                for w in others {
-                    ctx.send(w, (TAG_WAVE, 0));
-                }
+                ctx.broadcast_except(&wave_senders, (TAG_WAVE, 0));
+                self.pending = others;
             } else if self.in_tree {
                 // A wave from a same-level neighbor: it joined elsewhere.
                 for from in wave_senders {
@@ -339,7 +328,11 @@ mod tests {
         let (report, total) = aggregate_sum(&g, 0, |_| 1, 10_000).unwrap();
         assert_eq!(total, 40);
         // Wave down (39) + sums back up (39) plus small constant.
-        assert!(report.rounds >= 78 && report.rounds <= 90, "rounds {}", report.rounds);
+        assert!(
+            report.rounds >= 78 && report.rounds <= 90,
+            "rounds {}",
+            report.rounds
+        );
     }
 
     #[test]

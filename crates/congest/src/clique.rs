@@ -107,7 +107,10 @@ impl Clique {
     /// `max(128, 16·⌈log₂ n⌉)`-bit message budget.
     pub fn new(n: usize) -> Self {
         let log_n = (n.max(2) as f64).log2().ceil() as usize;
-        Clique { n, bandwidth_bits: (16 * log_n).max(128) }
+        Clique {
+            n,
+            bandwidth_bits: (16 * log_n).max(128),
+        }
     }
 
     /// Overrides the per-message bandwidth budget in bits.
@@ -137,14 +140,24 @@ impl Clique {
         let n = self.n;
         let mut programs: Vec<P> = (0..n as VertexId).map(&mut make).collect();
         let mut report = RunReport::default();
-        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        // Double-buffered inboxes, allocated once and recycled: `cur` is
+        // consumed this round, `next` collects this round's sends. (The
+        // seed allocated a fresh `vec![Vec::new(); n]` every round.)
+        let mut cur: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
+        let mut mailbox = DispatchState::new(n);
+        let mut outbox: Vec<(VertexId, P::Msg)> = Vec::new();
         let mut in_flight = 0usize;
 
         for v in 0..n as VertexId {
-            let mut outbox = Vec::new();
-            let mut ctx = CliqueCtx { me: v, n, round: 0, outbox: &mut outbox };
+            let mut ctx = CliqueCtx {
+                me: v,
+                n,
+                round: 0,
+                outbox: &mut outbox,
+            };
             programs[v as usize].init(&mut ctx);
-            in_flight += self.dispatch(v, outbox, &mut inboxes, &mut report)?;
+            in_flight += self.dispatch(v, &mut outbox, &mut mailbox, &mut next, &mut report)?;
         }
 
         let mut round = 0usize;
@@ -156,50 +169,63 @@ impl Clique {
                 return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
             }
             round += 1;
-            let mut delivered: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
-            std::mem::swap(&mut delivered, &mut inboxes);
+            std::mem::swap(&mut cur, &mut next);
             in_flight = 0;
             for v in 0..n as VertexId {
-                let inbox = &mut delivered[v as usize];
+                let inbox = &mut cur[v as usize];
                 if inbox.is_empty() && programs[v as usize].halted() {
                     continue;
                 }
-                inbox.sort_by_key(|&(from, _)| from);
-                let mut outbox = Vec::new();
-                let mut ctx = CliqueCtx { me: v, n, round, outbox: &mut outbox };
+                // Senders dispatch in ascending id order, so each inbox
+                // arrives already sorted by sender — no sort needed.
+                debug_assert!(inbox.windows(2).all(|w| w[0].0 < w[1].0));
+                let mut ctx = CliqueCtx {
+                    me: v,
+                    n,
+                    round,
+                    outbox: &mut outbox,
+                };
                 programs[v as usize].round(&mut ctx, inbox);
-                in_flight += self.dispatch(v, outbox, &mut inboxes, &mut report)?;
+                inbox.clear();
+                in_flight += self.dispatch(v, &mut outbox, &mut mailbox, &mut next, &mut report)?;
             }
         }
         report.rounds = round;
         Ok((report, programs))
     }
 
+    /// Validates and delivers one vertex's outbox, draining it for reuse;
+    /// returns how many messages were dispatched.
     fn dispatch<M: Payload>(
         &self,
         from: VertexId,
-        outbox: Vec<(VertexId, M)>,
+        outbox: &mut Vec<(VertexId, M)>,
+        mailbox: &mut DispatchState,
         inboxes: &mut [Vec<(VertexId, M)>],
         report: &mut RunReport,
     ) -> Result<usize> {
-        if outbox.len() > self.n.saturating_sub(1) {
+        let count = outbox.len();
+        if count > self.n.saturating_sub(1) {
+            outbox.clear();
             return Err(CongestError::CliqueQuotaExceeded {
                 vertex: from,
-                count: outbox.len(),
+                count,
                 quota: self.n - 1,
             });
         }
-        let mut seen: Vec<VertexId> = Vec::with_capacity(outbox.len());
-        let count = outbox.len();
-        for (to, msg) in outbox {
-            if to == from || (to as usize) >= self.n || seen.contains(&to) {
+        // A fresh token per (vertex, round) dispatch: a recipient slot
+        // stamped with the current token means a duplicate send. O(1) per
+        // message, replacing the seed's O(out²) `seen.contains` scan.
+        let token = mailbox.fresh_token();
+        for (to, msg) in outbox.drain(..) {
+            if to == from || (to as usize) >= self.n || mailbox.stamp[to as usize] == token {
                 return Err(CongestError::CliqueQuotaExceeded {
                     vertex: from,
                     count: count + 1,
                     quota: self.n - 1,
                 });
             }
-            seen.push(to);
+            mailbox.stamp[to as usize] = token;
             let bits = msg.encoded_bits();
             if bits > self.bandwidth_bits {
                 return Err(CongestError::BandwidthExceeded {
@@ -214,6 +240,28 @@ impl Clique {
             inboxes[to as usize].push((from, msg));
         }
         Ok(count)
+    }
+}
+
+/// Recipient stamps for duplicate-send detection, shared across all
+/// dispatches of a run.
+struct DispatchState {
+    stamp: Vec<u64>,
+    token: u64,
+}
+
+impl DispatchState {
+    fn new(n: usize) -> Self {
+        // Token 0 is never issued, so fresh stamps match nothing.
+        DispatchState {
+            stamp: vec![0; n],
+            token: 0,
+        }
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        self.token += 1;
+        self.token
     }
 }
 
@@ -257,7 +305,13 @@ mod tests {
     fn all_to_one_gather_is_one_round() {
         let clique = Clique::new(10);
         let (report, progs) = clique
-            .run_collect(|_| Gather { sum: 0, sent: false }, 10)
+            .run_collect(
+                |_| Gather {
+                    sum: 0,
+                    sent: false,
+                },
+                10,
+            )
             .unwrap();
         assert_eq!(report.rounds, 1);
         assert_eq!(progs[0].sum, (1..10).sum::<u64>());
@@ -283,7 +337,10 @@ mod tests {
     #[test]
     fn duplicate_recipient_rejected() {
         let err = Clique::new(4).run_collect(|_| Spammer, 10).unwrap_err();
-        assert!(matches!(err, CongestError::CliqueQuotaExceeded { vertex: 0, .. }));
+        assert!(matches!(
+            err,
+            CongestError::CliqueQuotaExceeded { vertex: 0, .. }
+        ));
     }
 
     #[derive(Debug)]

@@ -1,0 +1,317 @@
+//! Arena-backed mailboxes for the round engine.
+//!
+//! The seed engine allocated `vec![Vec::new(); n]` inboxes **every
+//! round** and sorted each inbox by sender. This module replaces that
+//! with degree-offset flat arenas exploiting the model's structure: a
+//! vertex sends at most one message per neighbor per round, so vertex
+//! `u`'s outgoing traffic fits in a fixed arena with **one slot per
+//! adjacency position**, and the slot for recipient `v` is `v`'s
+//! lower-bound position in `u`'s sorted neighbor list.
+//!
+//! Delivery is *pull-based*: receiver `v` walks its own sorted neighbor
+//! list and reads each neighbor's slot for `v` (precomputed in
+//! [`RevIndex`]), which yields the inbox **already sorted by sender** —
+//! no per-round allocation, no sort. Slot occupancy is tracked by a
+//! round stamp instead of clearing, so an idle round costs nothing.
+//!
+//! Two arenas ([`MailboxPair`]) alternate writer/reader roles each round
+//! (double buffering): round `r` writes arena `r % 2` while reading the
+//! messages round `r - 1` left in arena `(r - 1) % 2`. Because a vertex
+//! only ever *writes its own* arena segment and *reads its neighbors'*
+//! segments from the other arena, rounds parallelize over vertices with
+//! no write conflicts.
+
+use graph::{Graph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Stamp value meaning "slot never written".
+const NEVER: usize = usize::MAX;
+
+/// One vertex's outgoing arena segment: a slot per adjacency position.
+///
+/// `stamp[i] == r` means the slot was written in round `r`; any other
+/// value means the slot's message (if present) is stale. Initial stamps
+/// are [`NEVER`], which no round index ever equals (the engine errors out
+/// at `usize::MAX` rounds long before).
+#[derive(Debug)]
+pub(crate) struct OutBuf<M> {
+    msgs: Box<[Option<M>]>,
+    stamp: Box<[usize]>,
+}
+
+impl<M> OutBuf<M> {
+    fn new(degree: usize) -> Self {
+        OutBuf {
+            msgs: (0..degree).map(|_| None).collect(),
+            stamp: vec![NEVER; degree].into_boxed_slice(),
+        }
+    }
+
+    /// Whether the slot was written in round `round`.
+    #[inline]
+    pub(crate) fn is_stamped(&self, slot: usize, round: usize) -> bool {
+        self.stamp[slot] == round
+    }
+
+    /// Stamps `slot` for `round` and stores `msg` in it.
+    #[inline]
+    pub(crate) fn put(&mut self, slot: usize, round: usize, msg: M) {
+        self.stamp[slot] = round;
+        self.msgs[slot] = Some(msg);
+    }
+}
+
+impl<M: Clone> OutBuf<M> {
+    /// Reads the message in `slot`, which the caller checked is stamped.
+    #[inline]
+    fn read(&self, slot: usize) -> M {
+        self.msgs[slot]
+            .clone()
+            .expect("stamped slot holds a message")
+    }
+}
+
+/// Precomputed reverse-edge index.
+///
+/// For the `i`-th adjacency position of vertex `v` (neighbor `u`),
+/// `slot_of_sender(v, i)` is the position of `v` in `u`'s sorted neighbor
+/// list — i.e. the slot in `u`'s [`OutBuf`] holding a message addressed
+/// to `v`. For parallel edges the lower-bound position is used, matching
+/// the engine's one-message-per-neighbor rule (the duplicate-send check
+/// collapses all copies of an edge onto one slot).
+pub(crate) struct RevIndex {
+    /// CSR offsets into `lb` (self loops excluded, like `Graph::neighbors`).
+    offsets: Vec<usize>,
+    lb: Vec<u32>,
+}
+
+impl RevIndex {
+    pub(crate) fn build(g: &Graph) -> RevIndex {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for v in 0..n as VertexId {
+            acc += g.neighbors(v).len();
+            offsets.push(acc);
+        }
+        let mut lb = Vec::with_capacity(acc);
+        for v in 0..n as VertexId {
+            for &u in g.neighbors(v) {
+                let pos = g.neighbors(u).partition_point(|&w| w < v);
+                debug_assert_eq!(g.neighbors(u)[pos], v, "undirected adjacency is symmetric");
+                lb.push(pos as u32);
+            }
+        }
+        RevIndex { offsets, lb }
+    }
+
+    /// Sender-side slot for the `i`-th neighbor of `v`.
+    #[inline]
+    fn slot_of_sender(&self, v: VertexId, i: usize) -> usize {
+        self.lb[self.offsets[v as usize] + i] as usize
+    }
+}
+
+/// The engine's double-buffered mailbox state: two outgoing arenas plus
+/// two generations of per-vertex has-mail round stamps.
+///
+/// The stamps let the scheduler skip halted, mail-less vertices without
+/// scanning their neighborhoods: a sender in round `r` stores `r + 1`
+/// into the recipient's stamp in generation `(r + 1) % 2`, and a vertex
+/// has mail in round `r` iff its stamp in generation `r % 2` equals `r`.
+/// Two generations keep the round being *read* separate from the round
+/// being *written* (a same-round sender must not clobber the stamp its
+/// recipient is about to consult), and stale stamps never match a later
+/// round, so nothing is ever cleared. They are atomic only so the
+/// parallel path can raise them from many vertices at once; sequential
+/// execution pays a relaxed store, which is free on every relevant
+/// platform. (Concurrent stores race only when several senders target
+/// one recipient in the same round, and then they all store the same
+/// value.)
+pub(crate) struct Mailboxes<M> {
+    arenas: [Vec<OutBuf<M>>; 2],
+    mail: [Vec<AtomicUsize>; 2],
+    rev: RevIndex,
+}
+
+/// Which arena a round writes: `r % 2`.
+#[inline]
+fn writer_of(round: usize) -> usize {
+    round % 2
+}
+
+impl<M: Clone> Mailboxes<M> {
+    pub(crate) fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let arena = || {
+            (0..n as VertexId)
+                .map(|v| OutBuf::new(g.neighbors(v).len()))
+                .collect::<Vec<_>>()
+        };
+        let stamps = || (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        Mailboxes {
+            arenas: [arena(), arena()],
+            // Round 0 delivers nothing, so the initial stamp 0 (meaning
+            // "mail for round 0") is never consulted.
+            mail: [stamps(), stamps()],
+            rev: RevIndex::build(g),
+        }
+    }
+
+    /// Splits the state into the pieces round `round` needs: the writer
+    /// arena (exclusive, one segment per vertex) and the shared
+    /// [`MailReader`] bundling the reader arena, the mail stamps and the
+    /// reverse index.
+    pub(crate) fn split_for_round(
+        &mut self,
+        round: usize,
+    ) -> (&mut Vec<OutBuf<M>>, MailReader<'_, M>) {
+        let [a, b] = &mut self.arenas;
+        let (write, read) = if writer_of(round) == 0 {
+            (a, &*b)
+        } else {
+            (b, &*a)
+        };
+        let mail_cur = &self.mail[round % 2][..];
+        let mail_next = &self.mail[(round + 1) % 2][..];
+        (
+            write,
+            MailReader {
+                read,
+                mail_cur,
+                mail_next,
+                rev: &self.rev,
+                round,
+            },
+        )
+    }
+}
+
+/// The shared-state view each stepping vertex uses: pull delivery from
+/// the previous round's arena and stamp next-round mail.
+pub(crate) struct MailReader<'e, M> {
+    read: &'e Vec<OutBuf<M>>,
+    mail_cur: &'e [AtomicUsize],
+    mail_next: &'e [AtomicUsize],
+    rev: &'e RevIndex,
+    round: usize,
+}
+
+// Manual impls: the reader is a bundle of shared references, copyable
+// regardless of whether `M` itself is.
+impl<M> Clone for MailReader<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for MailReader<'_, M> {}
+
+impl<M: Clone> MailReader<'_, M> {
+    /// Whether `v` was sent mail in the previous round.
+    #[inline]
+    pub(crate) fn has_mail(&self, v: VertexId) -> bool {
+        self.mail_cur[v as usize].load(Ordering::Relaxed) == self.round
+    }
+
+    /// Stamps `to` as having mail in the next round.
+    #[inline]
+    pub(crate) fn flag_mail(&self, to: VertexId) {
+        self.mail_next[to as usize].store(self.round + 1, Ordering::Relaxed);
+    }
+
+    /// Pulls `v`'s inbox for this round into `inbox`, sorted by sender.
+    ///
+    /// Walks `v`'s sorted neighbor list; for each distinct neighbor `u`,
+    /// reads `u`'s slot for `v` in the previous round's arena. Parallel
+    /// edges are skipped after the first copy (one slot per neighbor).
+    pub(crate) fn gather(&self, g: &Graph, v: VertexId, inbox: &mut Vec<(VertexId, M)>) {
+        debug_assert!(self.round > 0, "round 0 delivers no messages");
+        let prev = self.round - 1;
+        let neighbors = g.neighbors(v);
+        for (i, &u) in neighbors.iter().enumerate() {
+            if i > 0 && neighbors[i - 1] == u {
+                continue;
+            }
+            let sender = &self.read[u as usize];
+            let slot = self.rev.slot_of_sender(v, i);
+            if sender.is_stamped(slot, prev) {
+                inbox.push((u, sender.read(slot)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::Graph;
+
+    #[test]
+    fn rev_index_points_back_to_sender_slots() {
+        // 0-1, 0-2, 1-2 triangle plus pendant 3 on 1.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3)]).unwrap();
+        let rev = RevIndex::build(&g);
+        for v in 0..4u32 {
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                let slot = rev.slot_of_sender(v, i);
+                assert_eq!(g.neighbors(u)[slot], v, "u={u} slot={slot} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rev_index_collapses_parallel_edges_to_lower_bound() {
+        let g = Graph::from_edges(2, [(0, 1), (0, 1)]).unwrap();
+        let rev = RevIndex::build(&g);
+        // Both copies of the edge map to slot 0 on the other side.
+        assert_eq!(rev.slot_of_sender(0, 0), 0);
+        assert_eq!(rev.slot_of_sender(0, 1), 0);
+        assert_eq!(rev.slot_of_sender(1, 0), 0);
+    }
+
+    #[test]
+    fn stamped_delivery_round_trip() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut boxes: Mailboxes<u32> = Mailboxes::new(&g);
+
+        // Round 0: vertex 0 sends 41 to 1; vertex 2 sends 43 to 1.
+        {
+            let (write, reader) = boxes.split_for_round(0);
+            let slot = g.neighbors(0).partition_point(|&w| w < 1);
+            write[0].put(slot, 0, 41);
+            reader.flag_mail(1);
+            let slot = g.neighbors(2).partition_point(|&w| w < 1);
+            write[2].put(slot, 0, 43);
+            reader.flag_mail(1);
+        }
+
+        // Round 1: vertex 1 has mail from 0 and 2, sorted by sender.
+        let (_, reader) = boxes.split_for_round(1);
+        assert!(reader.has_mail(1));
+        assert!(!reader.has_mail(0) && !reader.has_mail(2));
+        let mut inbox = Vec::new();
+        reader.gather(&g, 1, &mut inbox);
+        assert_eq!(inbox, vec![(0, 41), (2, 43)]);
+
+        // Vertices 0 and 2 got nothing.
+        inbox.clear();
+        reader.gather(&g, 0, &mut inbox);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn stale_stamps_from_two_rounds_ago_are_ignored() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut boxes: Mailboxes<u32> = Mailboxes::new(&g);
+        // Round 0 writes arena 0.
+        boxes.split_for_round(0).0[0].put(0, 0, 7);
+        // Round 2 also writes arena 0 but does not re-send; the gather in
+        // round 3 must not resurrect the round-0 message.
+        let (_, reader) = boxes.split_for_round(3);
+        let mut inbox = Vec::new();
+        reader.gather(&g, 1, &mut inbox);
+        assert!(inbox.is_empty(), "stale stamp leaked: {inbox:?}");
+    }
+}

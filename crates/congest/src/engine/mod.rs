@@ -1,0 +1,33 @@
+//! The arena-backed round engine behind [`crate::Network`].
+//!
+//! Split by concern:
+//!
+//! * [`mailbox`] — double-buffered, degree-offset flat arenas and the
+//!   pull-based, sorted-by-construction message delivery;
+//! * [`validate`] — `O(log deg)` send validation (adjacency by binary
+//!   search, duplicate sends by round stamps, bandwidth accounting);
+//! * [`scheduler`] — the lock-step round loop, halt detection and the
+//!   associative report reduction shared by both execution modes.
+//!
+//! See `DESIGN.md` §4 for the architecture rationale and §3 for why
+//! lock-step fidelity pins the exact semantics both modes implement.
+
+pub(crate) mod mailbox;
+pub(crate) mod scheduler;
+pub(crate) mod validate;
+
+/// How [`crate::Network`] steps vertices within a round.
+///
+/// Both modes are **bit-for-bit equivalent**: identical
+/// [`crate::RunReport`]s, final program states, and errors. A round's
+/// per-vertex work reads only the previous round's messages and writes
+/// only vertex-local state, so the engine runs the same per-vertex
+/// function either in a plain loop or chunked across rayon workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One vertex at a time, in ascending id order. The default.
+    #[default]
+    Sequential,
+    /// Vertices stepped in parallel over contiguous chunks.
+    Parallel,
+}

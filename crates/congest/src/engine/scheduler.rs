@@ -1,0 +1,190 @@
+//! The round loop: lock-step scheduling, halt detection and report
+//! reduction, shared verbatim by the sequential and parallel paths.
+//!
+//! Each round has two logical phases fused into one pass over vertices:
+//! pull-deliver the previous round's messages ([`super::mailbox`]), then
+//! step the vertex program, validating sends eagerly
+//! ([`super::validate`]). A vertex only ever mutates its own state and
+//! its own writer arena segment while reading neighbors' segments from
+//! the immutable reader arena, so the pass is embarrassingly parallel
+//! over vertices — [`run_parallel`] runs the *same* per-vertex function
+//! ([`step_vertex`]) under `rayon`, chunked over contiguous vertex
+//! ranges, while [`run_sequential`] drives it in a plain loop (and
+//! therefore needs no `Send` bounds on the programs).
+//!
+//! Determinism: per-vertex results do not depend on visit order, the
+//! inbox is gathered in sorted-sender order by construction, and the
+//! per-round reduction (message/bit sums, max link bits, min-vertex
+//! error) is associative and commutative — sequential and parallel
+//! execution therefore produce bit-identical [`RunReport`]s, final
+//! program states, and errors. `tests/engine_determinism.rs` proves this
+//! property over randomized graphs and programs.
+
+use crate::engine::mailbox::{MailReader, Mailboxes, OutBuf};
+use crate::engine::validate::SendStats;
+use crate::network::{Ctx, VertexProgram};
+use crate::{CongestError, Result, RunReport};
+use graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Per-vertex engine state: the program plus reusable scratch.
+pub(crate) struct Slot<P: VertexProgram> {
+    program: P,
+    /// Reused inbox buffer (cleared, not reallocated, each round).
+    inbox: Vec<(VertexId, P::Msg)>,
+    stats: SendStats,
+    halted: bool,
+}
+
+/// Runs the engine stepping vertices one at a time, in ascending id
+/// order. No `Send` bounds: programs may hold thread-local state.
+pub(crate) fn run_sequential<P, F>(
+    g: &Graph,
+    bandwidth_bits: usize,
+    make: F,
+    max_rounds: usize,
+) -> Result<(RunReport, Vec<P>)>
+where
+    P: VertexProgram,
+    F: FnMut(VertexId) -> P,
+{
+    run_impl(g, make, max_rounds, |slots, boxes, round| {
+        let (write, reader) = boxes.split_for_round(round);
+        slots
+            .iter_mut()
+            .zip(write.iter_mut())
+            .enumerate()
+            .for_each(|(v, (slot, out))| {
+                step_vertex(g, bandwidth_bits, round, v as VertexId, slot, out, reader)
+            });
+    })
+}
+
+/// Runs the engine stepping vertices in parallel over contiguous
+/// chunks. Bit-identical to [`run_sequential`]; see the module docs.
+pub(crate) fn run_parallel<P, F>(
+    g: &Graph,
+    bandwidth_bits: usize,
+    make: F,
+    max_rounds: usize,
+) -> Result<(RunReport, Vec<P>)>
+where
+    P: VertexProgram + Send,
+    P::Msg: Send + Sync,
+    F: FnMut(VertexId) -> P,
+{
+    run_impl(g, make, max_rounds, |slots, boxes, round| {
+        let (write, reader) = boxes.split_for_round(round);
+        slots
+            .par_iter_mut()
+            .zip(write.par_iter_mut())
+            .enumerate()
+            .for_each(|(v, (slot, out))| {
+                step_vertex(g, bandwidth_bits, round, v as VertexId, slot, out, reader)
+            });
+    })
+}
+
+/// The shared round loop; `step_all` executes one full round over all
+/// vertices (this is the only thing the two modes do differently).
+fn run_impl<P, F, S>(
+    g: &Graph,
+    mut make: F,
+    max_rounds: usize,
+    mut step_all: S,
+) -> Result<(RunReport, Vec<P>)>
+where
+    P: VertexProgram,
+    F: FnMut(VertexId) -> P,
+    S: FnMut(&mut [Slot<P>], &mut Mailboxes<P::Msg>, usize),
+{
+    let n = g.n();
+    let mut slots: Vec<Slot<P>> = (0..n as VertexId)
+        .map(|v| Slot {
+            program: make(v),
+            inbox: Vec::new(),
+            stats: SendStats::default(),
+            halted: false,
+        })
+        .collect();
+    let mut boxes: Mailboxes<P::Msg> = Mailboxes::new(g);
+    let mut report = RunReport::default();
+
+    // Round 0: init every vertex.
+    step_all(&mut slots, &mut boxes, 0);
+    let (mut in_flight, mut all_halted) = reduce(&slots, &mut report)?;
+
+    let mut round = 0usize;
+    loop {
+        if all_halted && in_flight == 0 {
+            break;
+        }
+        if round >= max_rounds {
+            return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+        }
+        round += 1;
+        step_all(&mut slots, &mut boxes, round);
+        (in_flight, all_halted) = reduce(&slots, &mut report)?;
+    }
+    report.rounds = round;
+    Ok((report, slots.into_iter().map(|s| s.program).collect()))
+}
+
+/// Delivers `v`'s inbox and steps its program; the one function both
+/// execution modes run, so their behavior cannot diverge.
+fn step_vertex<P: VertexProgram>(
+    g: &Graph,
+    bandwidth_bits: usize,
+    round: usize,
+    v: VertexId,
+    slot: &mut Slot<P>,
+    out: &mut OutBuf<P::Msg>,
+    reader: MailReader<'_, P::Msg>,
+) {
+    slot.stats.reset();
+    slot.inbox.clear();
+    if round > 0 && reader.has_mail(v) {
+        reader.gather(g, v, &mut slot.inbox);
+    }
+    if round > 0 && slot.inbox.is_empty() && slot.program.halted() {
+        // Halted and silent: skip the program, stay halted.
+        slot.halted = true;
+        return;
+    }
+    let sink = crate::engine::validate::SendSink::new(
+        v,
+        g.neighbors(v),
+        out,
+        reader,
+        &mut slot.stats,
+        round,
+        bandwidth_bits,
+    );
+    let mut ctx = Ctx::new(v, g, round, sink);
+    if round == 0 {
+        slot.program.init(&mut ctx);
+    } else {
+        slot.program.round(&mut ctx, &slot.inbox);
+    }
+    slot.halted = slot.program.halted();
+}
+
+/// Folds the per-vertex round results into the run report and the halt
+/// decision. Sums and maxes are associative; the error reduction picks
+/// the smallest vertex id (the order the seed engine visited vertices),
+/// so both execution modes surface the identical error.
+fn reduce<P: VertexProgram>(slots: &[Slot<P>], report: &mut RunReport) -> Result<(usize, bool)> {
+    let mut in_flight = 0usize;
+    let mut all_halted = true;
+    for slot in slots {
+        if let Some(err) = &slot.stats.error {
+            return Err(err.clone());
+        }
+        in_flight += slot.stats.sent;
+        all_halted &= slot.halted;
+        report.messages += slot.stats.sent;
+        report.bits += slot.stats.bits;
+        report.max_link_bits_per_round = report.max_link_bits_per_round.max(slot.stats.max_bits);
+    }
+    Ok((in_flight, all_halted))
+}

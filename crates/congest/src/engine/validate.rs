@@ -1,0 +1,150 @@
+//! Send-side validation for the round engine.
+//!
+//! The seed validated an entire outbox after the fact: adjacency with a
+//! linear `neighbors(from).contains(&to)` scan (`O(deg)`) and duplicate
+//! sends with `sent_to.contains(&to)` (`O(out²)` per vertex per round).
+//! Here every [`SendSink::send`] validates eagerly in `O(log deg)`:
+//!
+//! * **adjacency** — binary search on the sender's sorted neighbor list;
+//! * **duplicate send** — the resolved slot's round stamp: a slot already
+//!   stamped for this round means a second message to the same neighbor;
+//! * **bandwidth** — `Payload::encoded_bits` against the budget.
+//!
+//! Violations are recorded in [`SendStats::error`] (first one wins,
+//! subsequent sends become no-ops) and surfaced by the scheduler as the
+//! run's error, picking the smallest offending vertex id so sequential
+//! and parallel execution report the identical [`CongestError`].
+
+use crate::engine::mailbox::{MailReader, OutBuf};
+use crate::{CongestError, Payload};
+use graph::VertexId;
+
+/// Per-vertex, per-round send accounting.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SendStats {
+    /// Messages successfully queued this round.
+    pub(crate) sent: usize,
+    /// Total payload bits queued this round.
+    pub(crate) bits: usize,
+    /// Largest single message queued this round, in bits.
+    pub(crate) max_bits: usize,
+    /// First model violation by this vertex this round, if any.
+    pub(crate) error: Option<CongestError>,
+}
+
+impl SendStats {
+    pub(crate) fn reset(&mut self) {
+        *self = SendStats::default();
+    }
+}
+
+/// The validated write-end a vertex sends through during one round.
+///
+/// Owns exclusive access to the vertex's writer arena segment plus the
+/// shared mail flags; everything [`crate::Ctx`] exposes funnels here.
+pub(crate) struct SendSink<'a, M> {
+    me: VertexId,
+    /// `me`'s sorted neighbor list (slot index space of `out`).
+    neighbors: &'a [VertexId],
+    out: &'a mut OutBuf<M>,
+    mail: MailReader<'a, M>,
+    stats: &'a mut SendStats,
+    round: usize,
+    bandwidth_bits: usize,
+}
+
+impl<'a, M: Payload> SendSink<'a, M> {
+    pub(crate) fn new(
+        me: VertexId,
+        neighbors: &'a [VertexId],
+        out: &'a mut OutBuf<M>,
+        mail: MailReader<'a, M>,
+        stats: &'a mut SendStats,
+        round: usize,
+        bandwidth_bits: usize,
+    ) -> Self {
+        SendSink {
+            me,
+            neighbors,
+            out,
+            mail,
+            stats,
+            round,
+            bandwidth_bits,
+        }
+    }
+
+    /// Validates and queues one message to `to`.
+    ///
+    /// After the first violation the sink goes dead for the round,
+    /// mirroring the seed engine, which stopped dispatching a vertex's
+    /// outbox at its first invalid message.
+    pub(crate) fn send(&mut self, to: VertexId, msg: M) {
+        if self.stats.error.is_some() {
+            return;
+        }
+        // Adjacency by binary search; parallel edges collapse onto the
+        // lower-bound slot, enforcing one message per *neighbor* (not per
+        // edge copy) exactly like the seed's `sent_to` bookkeeping.
+        let slot = self.neighbors.partition_point(|&w| w < to);
+        if self.neighbors.get(slot) != Some(&to) {
+            self.stats.error = Some(CongestError::NotANeighbor { from: self.me, to });
+            return;
+        }
+        if self.out.is_stamped(slot, self.round) {
+            self.stats.error = Some(CongestError::DuplicateSend {
+                from: self.me,
+                to,
+                round: self.round,
+            });
+            return;
+        }
+        let bits = msg.encoded_bits();
+        if bits > self.bandwidth_bits {
+            self.stats.error = Some(CongestError::BandwidthExceeded {
+                from: self.me,
+                bits,
+                budget: self.bandwidth_bits,
+            });
+            return;
+        }
+        self.out.put(slot, self.round, msg);
+        self.mail.flag_mail(to);
+        self.stats.sent += 1;
+        self.stats.bits += bits;
+        self.stats.max_bits = self.stats.max_bits.max(bits);
+    }
+
+    /// Sends `msg` to every distinct neighbor not listed in `excluded`.
+    ///
+    /// Exclusion lists are usually inbox sender lists, which arrive
+    /// sorted; those are handled with a linear merge against the sorted
+    /// neighbor list (`O(deg + |excluded|)`). Unsorted lists fall back
+    /// to a per-neighbor scan.
+    pub(crate) fn send_to_all_except(&mut self, excluded: &[VertexId], msg: M) {
+        let sorted = excluded.windows(2).all(|w| w[0] <= w[1]);
+        let mut j = 0usize;
+        for i in 0..self.neighbors.len() {
+            let w = self.neighbors[i];
+            if i > 0 && self.neighbors[i - 1] == w {
+                continue; // parallel edge: one message per neighbor
+            }
+            let skip = if sorted {
+                while j < excluded.len() && excluded[j] < w {
+                    j += 1;
+                }
+                excluded.get(j) == Some(&w)
+            } else {
+                excluded.contains(&w)
+            };
+            if !skip {
+                self.send(w, msg.clone());
+            }
+        }
+    }
+
+    /// The sender's neighbor list (what `Ctx::neighbors` exposes).
+    pub(crate) fn neighbors(&self) -> &'a [VertexId] {
+        self.neighbors
+    }
+}

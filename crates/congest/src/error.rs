@@ -67,7 +67,11 @@ impl fmt::Display for CongestError {
             CongestError::RoundLimitExceeded { limit } => {
                 write!(f, "program did not halt within {limit} rounds")
             }
-            CongestError::CliqueQuotaExceeded { vertex, count, quota } => write!(
+            CongestError::CliqueQuotaExceeded {
+                vertex,
+                count,
+                quota,
+            } => write!(
                 f,
                 "clique vertex {vertex} moved {count} messages in one round (quota {quota})"
             ),

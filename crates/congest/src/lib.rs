@@ -35,11 +35,7 @@
 //!             self.seen = true;
 //!             // Forward to everyone who did not just send to us.
 //!             let senders: Vec<_> = inbox.iter().map(|&(f, _)| f).collect();
-//!             for w in ctx.neighbors().to_vec() {
-//!                 if !senders.contains(&w) {
-//!                     ctx.send(w, 1);
-//!                 }
-//!             }
+//!             ctx.broadcast_except(&senders, 1);
 //!         }
 //!     }
 //!     fn halted(&self) -> bool { self.seen }
@@ -48,6 +44,13 @@
 //! let g = graph::gen::path(8).unwrap();
 //! let report = congest::Network::new(&g).run(|_| Flood::default(), 100).unwrap();
 //! assert_eq!(report.rounds, 7); // diameter of P8
+//!
+//! // The engine can also step vertices in parallel — bit-identical results:
+//! let par = congest::Network::new(&g)
+//!     .with_exec_mode(congest::ExecMode::Parallel)
+//!     .run(|_| Flood::default(), 100)
+//!     .unwrap();
+//! assert_eq!(par, report);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,11 +58,13 @@
 
 pub mod algorithms;
 pub mod clique;
+mod engine;
 mod error;
 mod message;
 mod metrics;
 mod network;
 
+pub use engine::ExecMode;
 pub use error::CongestError;
 pub use message::Payload;
 pub use metrics::RunReport;

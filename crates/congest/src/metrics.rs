@@ -47,8 +47,18 @@ mod tests {
 
     #[test]
     fn sequencing_adds_rounds_and_takes_max_load() {
-        let a = RunReport { rounds: 3, messages: 10, bits: 320, max_link_bits_per_round: 32 };
-        let b = RunReport { rounds: 2, messages: 4, bits: 256, max_link_bits_per_round: 64 };
+        let a = RunReport {
+            rounds: 3,
+            messages: 10,
+            bits: 320,
+            max_link_bits_per_round: 32,
+        };
+        let b = RunReport {
+            rounds: 2,
+            messages: 4,
+            bits: 256,
+            max_link_bits_per_round: 64,
+        };
         let c = a.sequenced_with(&b);
         assert_eq!(c.rounds, 5);
         assert_eq!(c.messages, 14);
@@ -58,7 +68,10 @@ mod tests {
 
     #[test]
     fn display_mentions_rounds() {
-        let a = RunReport { rounds: 7, ..Default::default() };
+        let a = RunReport {
+            rounds: 7,
+            ..Default::default()
+        };
         assert!(a.to_string().contains("7 rounds"));
     }
 }

@@ -1,6 +1,12 @@
-//! The synchronous round engine for the CONGEST model.
+//! The synchronous round engine for the CONGEST model: public API.
+//!
+//! The execution machinery lives in [`crate::engine`]; this module keeps
+//! the user-facing surface — [`VertexProgram`], the per-vertex [`Ctx`],
+//! and the [`Network`] runner.
 
-use crate::{CongestError, Payload, Result, RunReport};
+use crate::engine::validate::SendSink;
+use crate::engine::{scheduler, ExecMode};
+use crate::{Payload, Result, RunReport};
 use graph::{Graph, VertexId};
 
 /// A per-vertex distributed program.
@@ -38,15 +44,18 @@ pub trait VertexProgram {
 /// Provides the local information CONGEST permits: own id, own neighbor
 /// list, the round number, plus global constants (`n` and the bandwidth,
 /// which are common knowledge in the model).
-#[derive(Debug)]
 pub struct Ctx<'a, M> {
     me: VertexId,
     g: &'a Graph,
     round: usize,
-    outbox: Vec<(VertexId, M)>,
+    sink: SendSink<'a, M>,
 }
 
-impl<M: Payload> Ctx<'_, M> {
+impl<'a, M: Payload> Ctx<'a, M> {
+    pub(crate) fn new(me: VertexId, g: &'a Graph, round: usize, sink: SendSink<'a, M>) -> Self {
+        Ctx { me, g, round, sink }
+    }
+
     /// This vertex's id.
     pub fn me(&self) -> VertexId {
         self.me
@@ -68,25 +77,42 @@ impl<M: Payload> Ctx<'_, M> {
     }
 
     /// Sorted neighbor list of this vertex.
-    pub fn neighbors(&self) -> &[VertexId] {
-        self.g.neighbors(self.me)
+    pub fn neighbors(&self) -> &'a [VertexId] {
+        self.sink.neighbors()
     }
 
     /// Queues a message to neighbor `to` for delivery next round.
     ///
-    /// Validity (adjacency, one message per edge per round, bandwidth) is
-    /// checked by the engine when the round ends; violations abort the run
-    /// with the corresponding [`CongestError`].
+    /// Validity (adjacency, one message per neighbor per round, bandwidth)
+    /// is checked as the message is queued; the first violation aborts the
+    /// run with the corresponding [`crate::CongestError`] and silently
+    /// drops this vertex's remaining sends for the round (exactly where
+    /// the seed engine stopped dispatching).
     pub fn send(&mut self, to: VertexId, msg: M) {
-        self.outbox.push((to, msg));
+        self.sink.send(to, msg);
     }
 
-    /// Sends `msg` to every neighbor.
+    /// Sends `msg` to every neighbor (once per neighbor, even across
+    /// parallel edges), without allocating.
     pub fn broadcast(&mut self, msg: M) {
-        let neighbors: Vec<VertexId> = self.g.neighbors(self.me).to_vec();
-        for w in neighbors {
-            self.send(w, msg.clone());
-        }
+        self.sink.send_to_all_except(&[], msg);
+    }
+
+    /// Sends `msg` to every neighbor **not** in `excluded` — the
+    /// "forward to everyone who didn't just send to me" step of flooding
+    /// algorithms, without the neighbor-list clone the seed needed.
+    pub fn broadcast_except(&mut self, excluded: &[VertexId], msg: M) {
+        self.sink.send_to_all_except(excluded, msg);
+    }
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("n", &self.g.n())
+            .finish_non_exhaustive()
     }
 }
 
@@ -97,6 +123,7 @@ impl<M: Payload> Ctx<'_, M> {
 pub struct Network<'g> {
     g: &'g Graph,
     bandwidth_bits: usize,
+    mode: ExecMode,
 }
 
 impl<'g> Network<'g> {
@@ -105,7 +132,11 @@ impl<'g> Network<'g> {
     /// number of `O(log n)`-bit words.
     pub fn new(g: &'g Graph) -> Self {
         let log_n = (g.n().max(2) as f64).log2().ceil() as usize;
-        Network { g, bandwidth_bits: (16 * log_n).max(128) }
+        Network {
+            g,
+            bandwidth_bits: (16 * log_n).max(128),
+            mode: ExecMode::Sequential,
+        }
     }
 
     /// Overrides the per-edge-per-round bandwidth budget in bits.
@@ -114,9 +145,21 @@ impl<'g> Network<'g> {
         self
     }
 
+    /// Selects how vertices are stepped within a round. Both modes give
+    /// bit-identical results; see [`ExecMode`].
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// The enforced per-edge-per-round budget in bits.
     pub fn bandwidth_bits(&self) -> usize {
         self.bandwidth_bits
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// The communication graph.
@@ -132,11 +175,12 @@ impl<'g> Network<'g> {
     ///
     /// # Errors
     ///
-    /// Returns a [`CongestError`] on any model violation or if the run
-    /// exceeds `max_rounds`.
+    /// Returns a [`crate::CongestError`] on any model violation or if the
+    /// run exceeds `max_rounds`.
     pub fn run<P, F>(&self, make: F, max_rounds: usize) -> Result<RunReport>
     where
-        P: VertexProgram,
+        P: VertexProgram + Send,
+        P::Msg: Send + Sync,
         F: FnMut(VertexId) -> P,
     {
         self.run_collect(make, max_rounds).map(|(report, _)| report)
@@ -147,96 +191,79 @@ impl<'g> Network<'g> {
     ///
     /// # Errors
     ///
-    /// Returns a [`CongestError`] on any model violation or if the run
-    /// exceeds `max_rounds`.
-    pub fn run_collect<P, F>(&self, mut make: F, max_rounds: usize) -> Result<(RunReport, Vec<P>)>
+    /// Returns a [`crate::CongestError`] on any model violation or if the
+    /// run exceeds `max_rounds`.
+    pub fn run_collect<P, F>(&self, make: F, max_rounds: usize) -> Result<(RunReport, Vec<P>)>
+    where
+        P: VertexProgram + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(VertexId) -> P,
+    {
+        match self.mode {
+            ExecMode::Sequential => {
+                scheduler::run_sequential(self.g, self.bandwidth_bits, make, max_rounds)
+            }
+            ExecMode::Parallel => {
+                scheduler::run_parallel(self.g, self.bandwidth_bits, make, max_rounds)
+            }
+        }
+    }
+
+    /// Like [`Network::run_collect`] but always sequential and without
+    /// `Send` bounds: for programs holding non-`Send` state (`Rc`,
+    /// thread-local caches). Ignores the configured [`ExecMode`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::run_collect`].
+    pub fn run_collect_local<P, F>(&self, make: F, max_rounds: usize) -> Result<(RunReport, Vec<P>)>
     where
         P: VertexProgram,
         F: FnMut(VertexId) -> P,
     {
-        let n = self.g.n();
-        let mut programs: Vec<P> = (0..n as VertexId).map(&mut make).collect();
-        let mut report = RunReport::default();
-        // inboxes[v] = messages to deliver to v at the start of next round.
-        let mut inboxes: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
-        let mut in_flight = 0usize;
-
-        // Round 0: init.
-        for v in 0..n as VertexId {
-            let mut ctx = Ctx { me: v, g: self.g, round: 0, outbox: Vec::new() };
-            programs[v as usize].init(&mut ctx);
-            in_flight += self.dispatch(v, 0, ctx.outbox, &mut inboxes, &mut report)?;
-        }
-
-        let mut round = 0usize;
-        loop {
-            let all_halted = programs.iter().all(VertexProgram::halted);
-            if all_halted && in_flight == 0 {
-                break;
-            }
-            if round >= max_rounds {
-                return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
-            }
-            round += 1;
-            // Deliver: swap out the inboxes filled last round.
-            let mut delivered: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); n];
-            std::mem::swap(&mut delivered, &mut inboxes);
-            in_flight = 0;
-            for v in 0..n as VertexId {
-                let inbox = &mut delivered[v as usize];
-                if inbox.is_empty() && programs[v as usize].halted() {
-                    continue;
-                }
-                inbox.sort_by_key(|&(from, _)| from);
-                let mut ctx = Ctx { me: v, g: self.g, round, outbox: Vec::new() };
-                programs[v as usize].round(&mut ctx, inbox);
-                in_flight += self.dispatch(v, round, ctx.outbox, &mut inboxes, &mut report)?;
-            }
-        }
-        report.rounds = round;
-        Ok((report, programs))
+        scheduler::run_sequential(self.g, self.bandwidth_bits, make, max_rounds)
     }
 
-    /// Validates and enqueues one vertex's outbox; returns how many
-    /// messages were dispatched.
-    fn dispatch<M: Payload>(
+    /// [`Network::run`] with [`ExecMode::Parallel`], regardless of the
+    /// configured mode.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::run`].
+    pub fn run_parallel<P, F>(&self, make: F, max_rounds: usize) -> Result<RunReport>
+    where
+        P: VertexProgram + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(VertexId) -> P,
+    {
+        self.run_collect_parallel(make, max_rounds)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Network::run_collect`] with [`ExecMode::Parallel`], regardless of
+    /// the configured mode.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::run_collect`].
+    pub fn run_collect_parallel<P, F>(
         &self,
-        from: VertexId,
-        round: usize,
-        outbox: Vec<(VertexId, M)>,
-        inboxes: &mut [Vec<(VertexId, M)>],
-        report: &mut RunReport,
-    ) -> Result<usize> {
-        let mut sent_to: Vec<VertexId> = Vec::with_capacity(outbox.len());
-        let count = outbox.len();
-        for (to, msg) in outbox {
-            if !self.g.neighbors(from).contains(&to) {
-                return Err(CongestError::NotANeighbor { from, to });
-            }
-            if sent_to.contains(&to) {
-                return Err(CongestError::DuplicateSend { from, to, round });
-            }
-            sent_to.push(to);
-            let bits = msg.encoded_bits();
-            if bits > self.bandwidth_bits {
-                return Err(CongestError::BandwidthExceeded {
-                    from,
-                    bits,
-                    budget: self.bandwidth_bits,
-                });
-            }
-            report.messages += 1;
-            report.bits += bits;
-            report.max_link_bits_per_round = report.max_link_bits_per_round.max(bits);
-            inboxes[to as usize].push((from, msg));
-        }
-        Ok(count)
+        make: F,
+        max_rounds: usize,
+    ) -> Result<(RunReport, Vec<P>)>
+    where
+        P: VertexProgram + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(VertexId) -> P,
+    {
+        scheduler::run_parallel(self.g, self.bandwidth_bits, make, max_rounds)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CongestError;
     use graph::gen;
 
     /// Echoes one message to the next higher neighbor id, `hops` times.
@@ -273,7 +300,13 @@ mod tests {
     fn relay_round_count_matches_hops() {
         let g = gen::path(10).unwrap();
         let report = Network::new(&g)
-            .run(|_| Relay { budget: 5, done: false }, 100)
+            .run(
+                |_| Relay {
+                    budget: 5,
+                    done: false,
+                },
+                100,
+            )
             .unwrap();
         // Message travels 0->1 (round 1) then 5 more hops.
         assert_eq!(report.rounds, 6);
@@ -301,6 +334,15 @@ mod tests {
         assert_eq!(err, CongestError::NotANeighbor { from: 0, to: 3 });
     }
 
+    #[test]
+    fn sending_to_non_neighbor_fails_in_parallel_mode() {
+        let g = gen::path(4).unwrap();
+        let err = Network::new(&g)
+            .run_parallel(|_| SendToStranger, 10)
+            .unwrap_err();
+        assert_eq!(err, CongestError::NotANeighbor { from: 0, to: 3 });
+    }
+
     struct DoubleSend;
     impl VertexProgram for DoubleSend {
         type Msg = u32;
@@ -320,7 +362,21 @@ mod tests {
     fn duplicate_send_fails() {
         let g = gen::path(2).unwrap();
         let err = Network::new(&g).run(|_| DoubleSend, 10).unwrap_err();
-        assert!(matches!(err, CongestError::DuplicateSend { from: 0, to: 1, .. }));
+        assert!(matches!(
+            err,
+            CongestError::DuplicateSend { from: 0, to: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_send_across_parallel_edges_fails() {
+        // Two copies of edge {0,1}: still one message per neighbor.
+        let g = graph::Graph::from_edges(2, [(0, 1), (0, 1)]).unwrap();
+        let err = Network::new(&g).run(|_| DoubleSend, 10).unwrap_err();
+        assert!(matches!(
+            err,
+            CongestError::DuplicateSend { from: 0, to: 1, .. }
+        ));
     }
 
     struct FatMessage;
@@ -344,7 +400,10 @@ mod tests {
             .with_bandwidth_bits(128)
             .run(|_| FatMessage, 10)
             .unwrap_err();
-        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 256, .. }));
+        assert!(matches!(
+            err,
+            CongestError::BandwidthExceeded { bits: 256, .. }
+        ));
     }
 
     struct NeverHalts;
@@ -385,9 +444,7 @@ mod tests {
     #[test]
     fn run_collect_returns_states() {
         let g = gen::path(3).unwrap();
-        let (_, progs) = Network::new(&g)
-            .run_collect(|_| InstantHalt, 10)
-            .unwrap();
+        let (_, progs) = Network::new(&g).run_collect(|_| InstantHalt, 10).unwrap();
         assert_eq!(progs.len(), 3);
     }
 
@@ -423,11 +480,65 @@ mod tests {
     fn min_flooding_converges_in_eccentricity_rounds() {
         let g = gen::cycle(9).unwrap();
         let (report, progs) = Network::new(&g)
-            .run_collect(|_| MinFlood { best: u32::MAX, changed: false }, 100)
+            .run_collect(
+                |_| MinFlood {
+                    best: u32::MAX,
+                    changed: false,
+                },
+                100,
+            )
             .unwrap();
         assert!(progs.iter().all(|p| p.best == 0));
         // Vertex 0's eccentricity on C9 is 4; one extra round of silence
         // is impossible because halting is quiescence-driven.
         assert!(report.rounds <= 5, "took {} rounds", report.rounds);
+    }
+
+    #[test]
+    fn broadcast_on_parallel_edges_sends_once_per_neighbor() {
+        let g = graph::Graph::from_edges(3, [(0, 1), (0, 1), (1, 2)]).unwrap();
+        let (report, progs) = Network::new(&g)
+            .run_collect(
+                |_| MinFlood {
+                    best: u32::MAX,
+                    changed: false,
+                },
+                100,
+            )
+            .unwrap();
+        assert!(progs.iter().all(|p| p.best == 0));
+        // Init: 0 broadcasts 1 message (not 2), 1 broadcasts 2, 2 one.
+        // Round 1: vertex 1 adopts 0, re-broadcasts (2 msgs); vertex 2
+        // adopts 1 (1 msg). Round 2: vertex 2 adopts 0 (1 msg).
+        assert_eq!(report.messages, 4 + 3 + 1);
+    }
+
+    #[test]
+    fn exec_modes_agree_on_min_flooding() {
+        let g = gen::gnp(80, 0.06, 12).unwrap();
+        let seq = Network::new(&g)
+            .run_collect(
+                |_| MinFlood {
+                    best: u32::MAX,
+                    changed: false,
+                },
+                1000,
+            )
+            .unwrap();
+        let par = Network::new(&g)
+            .with_exec_mode(ExecMode::Parallel)
+            .run_collect(
+                |_| MinFlood {
+                    best: u32::MAX,
+                    changed: false,
+                },
+                1000,
+            )
+            .unwrap();
+        assert_eq!(seq.0, par.0, "RunReports must be bit-identical");
+        assert_eq!(
+            seq.1.iter().map(|p| p.best).collect::<Vec<_>>(),
+            par.1.iter().map(|p| p.best).collect::<Vec<_>>()
+        );
     }
 }

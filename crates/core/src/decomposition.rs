@@ -141,7 +141,12 @@ impl ExpanderDecomposition {
     /// Starts a builder with the defaults (`ε = 0.3`, `k = 2`,
     /// practical mode, seed 0).
     pub fn builder() -> Builder {
-        Builder { epsilon: 0.3, k: 2, mode: ParamMode::Practical, seed: 0 }
+        Builder {
+            epsilon: 0.3,
+            k: 2,
+            mode: ParamMode::Practical,
+            seed: 0,
+        }
     }
 
     /// Runs the decomposition on `g`.
@@ -151,7 +156,9 @@ impl ExpanderDecomposition {
     /// Returns [`graph::GraphError::Empty`] if `g` has no vertices.
     pub fn run(&self, g: &Graph) -> graph::Result<DecompositionResult> {
         if g.n() == 0 {
-            return Err(graph::GraphError::Empty { what: "input graph" });
+            return Err(graph::GraphError::Empty {
+                what: "input graph",
+            });
         }
         let params = DecompositionParams::new(self.epsilon, self.k, g.n(), self.mode);
         let budget_per_tag = ((self.epsilon / 3.0) * g.m() as f64).floor() as usize;
@@ -249,10 +256,8 @@ impl RunState {
         };
         if u_set.len() == 1 || vol_internal == 0 {
             for v in u_set.iter() {
-                self.final_parts.push(VertexSet::from_iter(
-                    self.working.n(),
-                    [v],
-                ));
+                self.final_parts
+                    .push(VertexSet::from_iter(self.working.n(), [v]));
             }
             return branch;
         }
@@ -281,10 +286,9 @@ impl RunState {
         // The diameter bound the LDD guarantees — used as the round-
         // accounting hint for every sparse-cut call below.
         let ln_n = (self.working.n().max(2) as f64).ln();
-        let diameter_hint =
-            ((ln_n / self.params.beta).powi(2).ceil() as u32).max(4).min(
-                self.working.n() as u32,
-            );
+        let diameter_hint = ((ln_n / self.params.beta).powi(2).ceil() as u32)
+            .max(4)
+            .min(self.working.n() as u32);
 
         // Step 2: per LDD component, run the nearly most balanced sparse
         // cut with parameter φ₀ on G{U'}. If the LDD cut was skipped by
@@ -377,9 +381,10 @@ impl RunState {
                 self.final_parts.push(u_set.clone());
                 return branch;
             }
-            let mut children = Vec::new();
-            children.push(self.phase1(&c_parent, depth + 1));
-            children.push(self.phase1(&rest_parent, depth + 1));
+            let children = [
+                self.phase1(&c_parent, depth + 1),
+                self.phase1(&rest_parent, depth + 1),
+            ];
             branch.absorb_parallel(children.iter());
             return branch;
         }
@@ -421,8 +426,7 @@ impl RunState {
                 return branch;
             }
             let vol_c: usize = out.cut.iter().map(|v| sub.graph().degree(v)).sum();
-            if (vol_c as f64) <= ms[level - 1] / (2.0 * tau) && level < self.params.k.max(1)
-            {
+            if (vol_c as f64) <= ms[level - 1] / (2.0 * tau) && level < self.params.k.max(1) {
                 level += 1;
                 level_iters = 0;
                 continue;
@@ -527,7 +531,12 @@ mod tests {
         for (name, g) in [
             ("gnp", gen::gnp(60, 0.15, 5).unwrap()),
             ("grid", gen::grid(8, 8).unwrap()),
-            ("sbm", gen::planted_partition(&[30, 30], 0.4, 0.02, 9).unwrap().graph),
+            (
+                "sbm",
+                gen::planted_partition(&[30, 30], 0.4, 0.02, 9)
+                    .unwrap()
+                    .graph,
+            ),
         ] {
             let eps = 0.4;
             let res = ExpanderDecomposition::builder()
@@ -575,13 +584,16 @@ mod tests {
             .unwrap();
         let tags = res.removed_by_tag();
         assert_eq!(tags.iter().sum::<usize>(), res.removed_edges.len());
-        assert!(res.removed_edges.len() > 0, "ring of cliques must be cut");
+        assert!(!res.removed_edges.is_empty(), "ring of cliques must be cut");
     }
 
     #[test]
     fn empty_graph_rejected() {
         let g = graph::Graph::from_edges(0, []).unwrap();
-        let err = ExpanderDecomposition::builder().build().run(&g).unwrap_err();
+        let err = ExpanderDecomposition::builder()
+            .build()
+            .run(&g)
+            .unwrap_err();
         assert!(matches!(err, graph::GraphError::Empty { .. }));
     }
 
@@ -618,7 +630,11 @@ mod tests {
             }
         }
         let g = graph::Graph::from_edges(16, edges).unwrap();
-        let res = ExpanderDecomposition::builder().seed(29).build().run(&g).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .seed(29)
+            .build()
+            .run(&g)
+            .unwrap();
         check_is_partition(&res.parts, 16);
         assert_eq!(res.parts.len(), 2);
         assert!(res.removed_edges.is_empty());
@@ -627,7 +643,11 @@ mod tests {
     #[test]
     fn ledger_total_is_positive_and_mode_matters() {
         let (g, _) = gen::barbell(8).unwrap();
-        let res = ExpanderDecomposition::builder().seed(1).build().run(&g).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .seed(1)
+            .build()
+            .run(&g)
+            .unwrap();
         assert!(res.ledger.total() > 0);
         assert!(res.phi > 0.0);
     }

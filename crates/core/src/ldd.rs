@@ -157,7 +157,12 @@ impl LddParams {
         let ln_n = (n.max(2) as f64).ln();
         let a = (5.0 * ln_n / beta).ceil() as usize;
         let b = (20.0 * ln_n / beta).ceil() as usize; // K = 20
-        LddParams { beta, a, b, reference_radius: (100 * a * b).min(n) }
+        LddParams {
+            beta,
+            a,
+            b,
+            reference_radius: (100 * a * b).min(n),
+        }
     }
 
     /// Practical radii: same `Θ(log n/β)` shape with halved constants, so
@@ -166,7 +171,12 @@ impl LddParams {
         let ln_n = (n.max(2) as f64).ln();
         let a = (0.5 * ln_n / beta).ceil().max(1.0) as usize;
         let b = (0.5 * ln_n / beta).ceil().max(2.0) as usize;
-        LddParams { beta, a, b, reference_radius: (4 * a * b).min(n) }
+        LddParams {
+            beta,
+            a,
+            b,
+            reference_radius: (4 * a * b).min(n),
+        }
     }
 }
 
@@ -270,7 +280,10 @@ pub fn low_diameter_decomposition(g: &Graph, params: &LddParams, seed: u64) -> L
         }
     }
     // Lemma 21: O(a·b) per iteration (radii capped at the graph).
-    ledger.charge("ldd.dense_merge", (merge_iters as u64) * a_eff * b_eff.max(1));
+    ledger.charge(
+        "ldd.dense_merge",
+        (merge_iters as u64) * a_eff * b_eff.max(1),
+    );
     let v_dense = w;
 
     // Step 3: run Clustering(β), but cut only inter-cluster edges with an
@@ -287,7 +300,12 @@ pub fn low_diameter_decomposition(g: &Graph, params: &LddParams, seed: u64) -> L
     }
     let remaining = g.remove_edges(cut_edges.iter().copied(), false);
     let parts = traversal::connected_components(&remaining);
-    LddOutcome { parts, cut_edges, v_dense, ledger }
+    LddOutcome {
+        parts,
+        cut_edges,
+        v_dense,
+        ledger,
+    }
 }
 
 /// `{u : dist(u, S) ≤ r}` — multi-source BFS ball around a set.
@@ -458,14 +476,17 @@ mod tests {
         let g = gen::gnp(70, 0.07, 21).unwrap();
         let params = LddParams::practical(0.2, 70);
         let out = low_diameter_decomposition(&g, &params, 3);
-        let mut seen = vec![false; 70];
+        let mut seen = [false; 70];
         for p in &out.parts {
             for v in p.iter() {
                 assert!(!seen[v as usize], "vertex {v} in two parts");
                 seen[v as usize] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "some vertex missing from the partition");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some vertex missing from the partition"
+        );
     }
 
     #[test]

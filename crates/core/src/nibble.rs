@@ -69,7 +69,11 @@ impl Sweep {
             vol.push(v_acc);
             boundary.push(b_acc);
         }
-        Sweep { order, vol, boundary }
+        Sweep {
+            order,
+            vol,
+            boundary,
+        }
     }
 
     fn len(&self) -> usize {
@@ -125,6 +129,10 @@ enum Conditions {
     },
 }
 
+// The paper's Nibble condition check takes exactly these eight inputs
+// (graph, walk, sweep, params, scale, candidate, mode, volume); bundling
+// them into a struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
 fn check_candidate(
     g: &Graph,
     p: &WalkDistribution,
@@ -204,9 +212,19 @@ enum Variant {
     Approximate,
 }
 
-fn run(g: &Graph, start: VertexId, params: &NibbleParams, b: u32, variant: Variant) -> NibbleOutcome {
+fn run(
+    g: &Graph,
+    start: VertexId,
+    params: &NibbleParams,
+    b: u32,
+    variant: Variant,
+) -> NibbleOutcome {
     assert!((start as usize) < g.n(), "start vertex out of range");
-    assert!(b >= 1 && b <= params.ell, "scale b = {b} outside 1..={}", params.ell);
+    assert!(
+        b >= 1 && b <= params.ell,
+        "scale b = {b} outside 1..={}",
+        params.ell
+    );
     let eps = params.eps_b(b);
     let total_vol = g.total_volume();
     let n = g.n().max(2);
@@ -259,11 +277,19 @@ fn run(g: &Graph, start: VertexId, params: &NibbleParams, b: u32, variant: Varia
         for (j, cond) in candidates {
             if check_candidate(g, &p, &sweep, params, b, j, cond, total_vol) {
                 let cut = VertexSet::from_iter(g.n(), sweep.order[..j].iter().copied());
-                return NibbleOutcome { cut: Some(cut), participants, ledger };
+                return NibbleOutcome {
+                    cut: Some(cut),
+                    participants,
+                    ledger,
+                };
             }
         }
     }
-    NibbleOutcome { cut: None, participants, ledger }
+    NibbleOutcome {
+        cut: None,
+        participants,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -334,7 +360,10 @@ mod tests {
         assert!(out.participants.contains(2));
         if let Some(cut) = &out.cut {
             for v in cut.iter() {
-                assert!(out.participants.contains(v), "cut vertex {v} not a participant");
+                assert!(
+                    out.participants.contains(v),
+                    "cut vertex {v} not a participant"
+                );
             }
         }
     }
@@ -374,7 +403,11 @@ mod tests {
         }
         // A.2: the sequence has O(φ⁻¹·log Vol) entries.
         let bound = 4.0 * (1.0 / params.phi) * (g.total_volume() as f64).ln() + 2.0;
-        assert!((seq.len() as f64) <= bound, "sequence too long: {}", seq.len());
+        assert!(
+            (seq.len() as f64) <= bound,
+            "sequence too long: {}",
+            seq.len()
+        );
     }
 
     #[test]
@@ -406,7 +439,9 @@ mod tests {
         // Vertex 2's prefix {2} has boundary 0 ⇒ conductance 0 ≤ φ, C.2
         // holds (all mass stays), C.3 needs vol ≥ 5/7·2⁰ ≈ 0.71 — deg 2.
         // So nibble legitimately cuts the isolated vertex off.
-        let cut = out.cut.expect("isolated loop vertex is a 0-conductance cut");
+        let cut = out
+            .cut
+            .expect("isolated loop vertex is a 0-conductance cut");
         assert!(cut.contains(2));
         assert_eq!(g.boundary(&cut), 0);
     }

@@ -123,7 +123,10 @@ pub fn parallel_nibble(
     }
     let max_edge_participation = participation.values().copied().max().unwrap_or(0);
     let congestion = max_edge_participation.clamp(1, params.w_cap) as u64;
-    ledger.charge("parallel_nibble.execution", max_instance_rounds * congestion);
+    ledger.charge(
+        "parallel_nibble.execution",
+        max_instance_rounds * congestion,
+    );
 
     if max_edge_participation > params.w_cap {
         // Event B: notify everyone (one broadcast) and abort.
@@ -212,14 +215,19 @@ mod tests {
         let params = sc_params(&g, 0.001);
         let out = parallel_nibble(&g, &params, 4, &mut rng(3));
         assert!(!out.aborted_on_congestion);
-        assert!(!out.cut.is_empty(), "parallel nibble should find the barbell cut");
+        assert!(
+            !out.cut.is_empty(),
+            "parallel nibble should find the barbell cut"
+        );
         // Union volume respects the z threshold.
         let vol = g.volume(&out.cut);
         assert!((vol as f64) <= 23.0 / 24.0 * g.total_volume() as f64);
         // The union must overlap the planted cut substantially.
-        let overlap = out.cut.intersection(&left).len().max(
-            out.cut.intersection(&left.complement()).len(),
-        );
+        let overlap = out
+            .cut
+            .intersection(&left)
+            .len()
+            .max(out.cut.intersection(&left.complement()).len());
         assert!(overlap >= 8, "cut should mostly sit in one clique");
     }
 

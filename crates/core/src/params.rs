@@ -85,7 +85,15 @@ impl NibbleParams {
                 let t0 = (49.0 * (ln_m + 2.0) / (phi * phi)).ceil() as usize;
                 let gamma = 5.0 * phi / (7.0 * 7.0 * 8.0 * (ln_m + 4.0));
                 let eps_base = phi / (7.0 * 8.0 * (ln_m + 4.0) * t0 as f64);
-                NibbleParams { phi, ell, t0, gamma, eps_base, relaxed_factor: 12.0, mode }
+                NibbleParams {
+                    phi,
+                    ell,
+                    t0,
+                    gamma,
+                    eps_base,
+                    relaxed_factor: 12.0,
+                    mode,
+                }
             }
             ParamMode::Practical => {
                 // Same shapes: t₀ ∝ ln m/φ², γ ∝ φ/ln m, ε_b ∝ φ/(ln m·t₀·2^b),
@@ -95,7 +103,15 @@ impl NibbleParams {
                 let t0 = ((ln_m + 2.0) / (phi * phi)).ceil().clamp(8.0, 512.0) as usize;
                 let gamma = phi / (8.0 * (ln_m + 1.0));
                 let eps_base = phi / (2.0 * (ln_m + 1.0) * t0 as f64);
-                NibbleParams { phi, ell, t0, gamma, eps_base, relaxed_factor: 3.0, mode }
+                NibbleParams {
+                    phi,
+                    ell,
+                    t0,
+                    gamma,
+                    eps_base,
+                    relaxed_factor: 3.0,
+                    mode,
+                }
             }
         }
     }
@@ -106,7 +122,11 @@ impl NibbleParams {
     ///
     /// Panics if `b` is out of range.
     pub fn eps_b(&self, b: u32) -> f64 {
-        assert!(b >= 1 && b <= self.ell, "scale b = {b} outside 1..={}", self.ell);
+        assert!(
+            b >= 1 && b <= self.ell,
+            "scale b = {b} outside 1..={}",
+            self.ell
+        );
         self.eps_base / (1u64 << b.min(63)) as f64
     }
 }
@@ -155,17 +175,14 @@ impl SparseCutParams {
             ParamMode::PaperFaithful => {
                 (144.0 * phi_target * (ln_m + 4.0) * (ln_m + 4.0)).powf(1.0 / 3.0)
             }
-            ParamMode::Practical => {
-                (phi_target * (ln_m + 1.0) * (ln_m + 1.0)).powf(1.0 / 3.0)
-            }
+            ParamMode::Practical => (phi_target * (ln_m + 1.0) * (ln_m + 1.0)).powf(1.0 / 3.0),
         }
         .min(1.0 / 12.0);
         let nibble = NibbleParams::new(phi_run, m, mode);
         let t0 = nibble.t0 as f64;
         let ell = nibble.ell as f64;
         // k = ⌈Vol / (56·ℓ·(t₀+1)·t₀·ln(m·e⁴)·φ⁻¹)⌉  (A.4).
-        let k_formula = (vol as f64
-            / (56.0 * ell * (t0 + 1.0) * t0 * (ln_m + 4.0) / phi_run))
+        let k_formula = (vol as f64 / (56.0 * ell * (t0 + 1.0) * t0 * (ln_m + 4.0) / phi_run))
             .ceil()
             .max(1.0) as usize;
         // w = 10·⌈ln Vol⌉.
@@ -173,10 +190,10 @@ impl SparseCutParams {
         match mode {
             ParamMode::PaperFaithful => {
                 let p_fail = 1.0 / (vol.max(2) as f64); // 1/poly(n)
-                // g = ⌈10·w·(56·ℓ·(t₀+1)·t₀·ln(m·e⁴)·φ⁻¹)⌉;
-                // s = 4·g·⌈log_{7/4}(1/p)⌉.
-                let g = (10.0 * w_cap as f64)
-                    * (56.0 * ell * (t0 + 1.0) * t0 * (ln_m + 4.0) / phi_run);
+                                                        // g = ⌈10·w·(56·ℓ·(t₀+1)·t₀·ln(m·e⁴)·φ⁻¹)⌉;
+                                                        // s = 4·g·⌈log_{7/4}(1/p)⌉.
+                let g =
+                    (10.0 * w_cap as f64) * (56.0 * ell * (t0 + 1.0) * t0 * (ln_m + 4.0) / phi_run);
                 let s = 4.0 * g.ceil() * (1.0 / p_fail).log(7.0 / 4.0).ceil();
                 SparseCutParams {
                     phi_target,
@@ -226,9 +243,7 @@ impl SparseCutParams {
             ParamMode::PaperFaithful => {
                 (phi_run.powi(3) / (144.0 * (ln_m + 4.0) * (ln_m + 4.0))).max(1e-300)
             }
-            ParamMode::Practical => {
-                (phi_run.powi(3) / ((ln_m + 1.0) * (ln_m + 1.0))).max(1e-300)
-            }
+            ParamMode::Practical => (phi_run.powi(3) / ((ln_m + 1.0) * (ln_m + 1.0))).max(1e-300),
         };
         let mut params = Self::new(phi_target.min(0.999), m, vol, mode);
         // Overwrite the derived run conductance with the requested one and
@@ -354,7 +369,15 @@ impl DecompositionParams {
                 rs
             }
         };
-        DecompositionParams { epsilon, k, phi_schedule, run_schedule, d_max: d, beta, mode }
+        DecompositionParams {
+            epsilon,
+            k,
+            phi_schedule,
+            run_schedule,
+            d_max: d,
+            beta,
+            mode,
+        }
     }
 
     /// `φ = φ_k`: the conductance every final component is guaranteed.
@@ -363,9 +386,7 @@ impl DecompositionParams {
     /// the last level actually run.
     pub fn phi_final(&self) -> f64 {
         match self.mode {
-            ParamMode::PaperFaithful => {
-                *self.phi_schedule.last().expect("schedule non-empty")
-            }
+            ParamMode::PaperFaithful => *self.phi_schedule.last().expect("schedule non-empty"),
             ParamMode::Practical => {
                 let r = *self.run_schedule.last().expect("schedule non-empty");
                 r.powi(3).max(1e-300)
@@ -376,7 +397,9 @@ impl DecompositionParams {
     /// Phase 2 geometric scale `τ = ((ε/6)·vol)^{1/k}` for a component of
     /// volume `vol`.
     pub fn tau(&self, vol: usize) -> f64 {
-        ((self.epsilon / 6.0) * vol as f64).powf(1.0 / self.k as f64).max(1.0 + 1e-9)
+        ((self.epsilon / 6.0) * vol as f64)
+            .powf(1.0 / self.k as f64)
+            .max(1.0 + 1e-9)
     }
 
     /// The Phase 2 volume thresholds `m₁ > m₂ > … > m_{k+1}` for a
@@ -446,7 +469,10 @@ mod tests {
         let a = NibbleParams::new(0.4, 1000, ParamMode::Practical);
         let b = NibbleParams::new(0.2, 1000, ParamMode::Practical);
         let ratio = b.t0 as f64 / a.t0 as f64;
-        assert!((ratio - 4.0).abs() < 0.2, "t0 should scale as 1/φ²: {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "t0 should scale as 1/φ²: {ratio}"
+        );
         // And the cap engages for tiny φ.
         let c = NibbleParams::new(0.001, 1000, ParamMode::Practical);
         assert_eq!(c.t0, 512);
@@ -465,7 +491,10 @@ mod tests {
         let p1 = SparseCutParams::new(1e-9, 10_000, 20_000, ParamMode::Practical);
         let p2 = SparseCutParams::new(8e-9, 10_000, 20_000, ParamMode::Practical);
         let ratio = p2.phi_run / p1.phi_run;
-        assert!((ratio - 2.0).abs() < 1e-6, "expected cube-root scaling, ratio {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 1e-6,
+            "expected cube-root scaling, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -490,10 +519,18 @@ mod tests {
         assert_eq!(d.phi_schedule.len(), 4);
         assert_eq!(d.run_schedule.len(), 4);
         for w in d.phi_schedule.windows(2) {
-            assert!(w[1] <= w[0], "targets must be non-increasing: {:?}", d.phi_schedule);
+            assert!(
+                w[1] <= w[0],
+                "targets must be non-increasing: {:?}",
+                d.phi_schedule
+            );
         }
         for w in d.run_schedule.windows(2) {
-            assert!(w[1] <= w[0], "run schedule must be non-increasing: {:?}", d.run_schedule);
+            assert!(
+                w[1] <= w[0],
+                "run schedule must be non-increasing: {:?}",
+                d.run_schedule
+            );
         }
         assert!(d.phi_final() > 0.0);
         assert!(d.run_schedule[0] <= 1.0 / 12.0 + 1e-12);
@@ -515,7 +552,10 @@ mod tests {
         let shrink: f64 = 1.0 - eps / 12.0;
         let pairs2 = (n * (n - 1)) as f64;
         assert!(shrink.powi(d.d_max as i32) * pairs2 < 1.0);
-        assert!(shrink.powi(d.d_max as i32 - 1) * pairs2 >= 1.0, "d not minimal");
+        assert!(
+            shrink.powi(d.d_max as i32 - 1) * pairs2 >= 1.0,
+            "d not minimal"
+        );
     }
 
     #[test]

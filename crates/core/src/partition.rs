@@ -54,7 +54,12 @@ pub fn partition(
     let mut empty_streak = 0usize;
 
     if total_vol == 0 {
-        return PartitionOutcome { cut, iterations, hit_volume_threshold, ledger };
+        return PartitionOutcome {
+            cut,
+            iterations,
+            hit_volume_threshold,
+            ledger,
+        };
     }
 
     for _ in 0..params.s_iterations {
@@ -64,8 +69,7 @@ pub fn partition(
         if sub.graph().total_volume() == 0 {
             break;
         }
-        let out: ParallelNibbleOutcome =
-            parallel_nibble(sub.graph(), params, diameter_hint, rng);
+        let out: ParallelNibbleOutcome = parallel_nibble(sub.graph(), params, diameter_hint, rng);
         ledger.absorb(&out.ledger);
         let c_local = out.cut;
         if c_local.is_empty() {
@@ -85,7 +89,12 @@ pub fn partition(
             break;
         }
     }
-    PartitionOutcome { cut, iterations, hit_volume_threshold, ledger }
+    PartitionOutcome {
+        cut,
+        iterations,
+        hit_volume_threshold,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +167,10 @@ mod tests {
         let (g, _) = gen::barbell(9).unwrap();
         let a = run(&g, 0.001, 42);
         let b = run(&g, 0.001, 42);
-        assert_eq!(a.cut.iter().collect::<Vec<_>>(), b.cut.iter().collect::<Vec<_>>());
+        assert_eq!(
+            a.cut.iter().collect::<Vec<_>>(),
+            b.cut.iter().collect::<Vec<_>>()
+        );
         assert_eq!(a.iterations, b.iterations);
     }
 }

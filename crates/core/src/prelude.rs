@@ -1,7 +1,9 @@
 //! Convenience re-exports for consumers of the `expander` crate.
 
 pub use crate::decomposition::{DecompositionResult, ExpanderDecomposition, RemovalTag};
-pub use crate::ldd::{clustering, clustering_with_starts, low_diameter_decomposition, LddOutcome, LddParams};
+pub use crate::ldd::{
+    clustering, clustering_with_starts, low_diameter_decomposition, LddOutcome, LddParams,
+};
 pub use crate::nibble::{approximate_nibble, nibble, NibbleOutcome};
 pub use crate::parallel_nibble::{parallel_nibble, ParallelNibbleOutcome};
 pub use crate::params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};

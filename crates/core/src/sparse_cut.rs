@@ -95,8 +95,7 @@ mod tests {
     #[test]
     fn barbell_cut_meets_theorem3_balance_floor() {
         let (g, _) = gen::barbell(12).unwrap();
-        let out =
-            nearly_most_balanced_sparse_cut(&g, 0.001, ParamMode::Practical, 3, 17);
+        let out = nearly_most_balanced_sparse_cut(&g, 0.001, ParamMode::Practical, 3, 17);
         let cut = out.cut.expect("Φ(barbell) ≈ 0.007 … a cut must be found");
         // b = 1/2 ⇒ promised balance min(b/2, 1/48) = 1/48.
         assert!(cut.balance() >= 1.0 / 48.0, "balance {}", cut.balance());
@@ -108,8 +107,7 @@ mod tests {
         let (g, small_side) = gen::dumbbell(20, 6, 0).unwrap();
         let small = small_side.complement(); // right clique has small volume
         let b = g.balance(&small).unwrap();
-        let out =
-            nearly_most_balanced_sparse_cut(&g, 0.01, ParamMode::Practical, 3, 23);
+        let out = nearly_most_balanced_sparse_cut(&g, 0.01, ParamMode::Practical, 3, 23);
         let cut = out.cut.expect("dumbbell has a very sparse cut");
         assert!(
             cut.balance() >= (b / 2.0).min(1.0 / 48.0) - 1e-9,
@@ -123,8 +121,7 @@ mod tests {
         // Theorem 3 case 2: on Φ(G) > φ the algorithm may return ∅ or a
         // cut with the h(φ) conductance guarantee — never a dense cut.
         let g = gen::random_regular(48, 6, 5).unwrap();
-        let out =
-            nearly_most_balanced_sparse_cut(&g, 0.0001, ParamMode::Practical, 3, 29);
+        let out = nearly_most_balanced_sparse_cut(&g, 0.0001, ParamMode::Practical, 3, 29);
         if let Some(ref cut) = out.cut {
             assert!(
                 cut.conductance() <= out.promised_conductance(g.n()),
@@ -138,12 +135,9 @@ mod tests {
     #[test]
     fn promised_conductance_has_cube_root_shape() {
         let (g, _) = gen::barbell(10).unwrap();
-        let out1 =
-            nearly_most_balanced_sparse_cut(&g, 1e-9, ParamMode::Practical, 3, 1);
-        let out8 =
-            nearly_most_balanced_sparse_cut(&g, 8e-9, ParamMode::Practical, 3, 1);
-        let ratio =
-            out8.promised_conductance(g.n()) / out1.promised_conductance(g.n());
+        let out1 = nearly_most_balanced_sparse_cut(&g, 1e-9, ParamMode::Practical, 3, 1);
+        let out8 = nearly_most_balanced_sparse_cut(&g, 8e-9, ParamMode::Practical, 3, 1);
+        let ratio = out8.promised_conductance(g.n()) / out1.promised_conductance(g.n());
         assert!((ratio - 2.0).abs() < 1e-6, "h(θ) ∝ θ^(1/3): ratio {ratio}");
     }
 

@@ -105,10 +105,7 @@ fn part_view(g: &Graph, result: &DecompositionResult, part: &VertexSet) -> Graph
     // Remove the recorded edges from the original, with compensation, then
     // take the loop-augmented subgraph — identical to the working graph's
     // G{Vᵢ} because degrees are preserved throughout.
-    let stripped = g.remove_edges(
-        result.removed_edges.iter().map(|&(u, v, _)| (u, v)),
-        true,
-    );
+    let stripped = g.remove_edges(result.removed_edges.iter().map(|&(u, v, _)| (u, v)), true);
     Subgraph::loop_augmented(&stripped, part).graph().clone()
 }
 
@@ -201,7 +198,11 @@ mod tests {
     #[test]
     fn singleton_parts_are_vacuously_expanding() {
         let g = gen::path(2).unwrap();
-        let res = ExpanderDecomposition::builder().seed(1).build().run(&g).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .seed(1)
+            .build()
+            .run(&g)
+            .unwrap();
         let report = verify_decomposition(&g, &res);
         assert!(report.is_partition);
         for cert in &report.parts {
@@ -214,7 +215,11 @@ mod tests {
     #[test]
     fn detects_non_partition() {
         let g = gen::path(4).unwrap();
-        let mut res = ExpanderDecomposition::builder().seed(2).build().run(&g).unwrap();
+        let mut res = ExpanderDecomposition::builder()
+            .seed(2)
+            .build()
+            .run(&g)
+            .unwrap();
         // Corrupt: drop one part.
         if !res.parts.is_empty() {
             res.parts.pop();

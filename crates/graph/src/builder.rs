@@ -28,7 +28,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), loops: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            loops: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}` (or a self loop when `u == v`).

@@ -29,12 +29,18 @@ pub struct VertexSet {
 impl VertexSet {
     /// The empty subset of an `n`-vertex graph.
     pub fn empty(n: usize) -> Self {
-        VertexSet { members: Vec::new(), mask: vec![false; n] }
+        VertexSet {
+            members: Vec::new(),
+            mask: vec![false; n],
+        }
     }
 
     /// The full vertex set `{0, …, n-1}`.
     pub fn full(n: usize) -> Self {
-        VertexSet { members: (0..n as VertexId).collect(), mask: vec![true; n] }
+        VertexSet {
+            members: (0..n as VertexId).collect(),
+            mask: vec![true; n],
+        }
     }
 
     /// Builds a set from an iterator of vertex ids; duplicates collapse.
@@ -166,7 +172,9 @@ impl VertexSet {
 impl std::fmt::Debug for VertexSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "VertexSet({}/{}; ", self.len(), self.universe())?;
-        f.debug_set().entries(self.members.iter().take(16)).finish()?;
+        f.debug_set()
+            .entries(self.members.iter().take(16))
+            .finish()?;
         if self.len() > 16 {
             write!(f, "…")?;
         }
@@ -210,7 +218,12 @@ impl Cut {
             return Err(GraphError::ZeroVolumeSide);
         }
         let boundary = g.boundary(&s);
-        Ok(Cut { side: s, boundary, vol_side, vol_total })
+        Ok(Cut {
+            side: s,
+            boundary,
+            vol_side,
+            vol_total,
+        })
     }
 
     /// The side `S` of the cut this object stores.
@@ -298,11 +311,8 @@ mod tests {
     #[test]
     fn cut_statistics_on_barbell_bridge() {
         // K3 - K3 joined by one bridge.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
         let cut = Cut::new(&g, VertexSet::from_iter(6, [0u32, 1, 2])).unwrap();
         assert_eq!(cut.boundary(), 1);
         assert_eq!(cut.volume(), 7);

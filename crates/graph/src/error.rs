@@ -43,11 +43,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::Empty { what } => write!(f, "{what} is empty"),
             GraphError::ZeroVolumeSide => {
-                write!(f, "conductance undefined: one side of the cut has zero volume")
+                write!(
+                    f,
+                    "conductance undefined: one side of the cut has zero volume"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid generator parameter: {reason}")
@@ -82,7 +88,10 @@ mod tests {
 
     #[test]
     fn parse_error_reports_line() {
-        let e = GraphError::Parse { line: 3, reason: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            reason: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

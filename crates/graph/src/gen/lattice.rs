@@ -10,7 +10,10 @@ use crate::{Graph, GraphError, Result, VertexId};
 /// Returns [`GraphError::InvalidParameter`] if `n == 0`.
 pub fn path(n: usize) -> Result<Graph> {
     require(n >= 1, "path needs n >= 1")?;
-    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)))
+    Graph::from_edges(
+        n,
+        (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)),
+    )
 }
 
 /// The cycle `C_n` (`n ≥ 3`).
@@ -98,7 +101,9 @@ fn require(cond: bool, reason: &str) -> Result<()> {
     if cond {
         Ok(())
     } else {
-        Err(GraphError::InvalidParameter { reason: reason.to_string() })
+        Err(GraphError::InvalidParameter {
+            reason: reason.to_string(),
+        })
     }
 }
 

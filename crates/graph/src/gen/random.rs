@@ -79,7 +79,9 @@ fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
 fn pair_from_index(n: usize, idx: usize) -> (VertexId, VertexId) {
     let row_start = |u: usize| u * (2 * n - u - 1) / 2;
     let guess = ((2 * n - 1) as f64
-        - ((((2 * n - 1) * (2 * n - 1)) as f64) - 8.0 * idx as f64).max(0.0).sqrt())
+        - ((((2 * n - 1) * (2 * n - 1)) as f64) - 8.0 * idx as f64)
+            .max(0.0)
+            .sqrt())
         / 2.0;
     let mut u = guess.max(0.0) as usize;
     u = u.min(n.saturating_sub(2));
@@ -115,10 +117,8 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
         .flat_map(|v| std::iter::repeat(v).take(d))
         .collect();
     stubs.shuffle(&mut rng);
-    let mut edges: Vec<(VertexId, VertexId)> = stubs
-        .chunks(2)
-        .map(|pair| norm(pair[0], pair[1]))
-        .collect();
+    let mut edges: Vec<(VertexId, VertexId)> =
+        stubs.chunks(2).map(|pair| norm(pair[0], pair[1])).collect();
     let mut seen: std::collections::HashSet<(VertexId, VertexId)> =
         std::collections::HashSet::with_capacity(edges.len());
     let is_bad = |e: (VertexId, VertexId), seen: &std::collections::HashSet<_>| {
@@ -223,16 +223,18 @@ pub fn planted_partition(
     let mut block_of = vec![0usize; n];
     let mut start = 0usize;
     for (b, &sz) in sizes.iter().enumerate() {
-        for v in start..start + sz {
-            block_of[v] = b;
-        }
+        block_of[start..start + sz].fill(b);
         start += sz;
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.random::<f64>() < p {
                 edges.push((u as VertexId, v as VertexId));
             }
@@ -242,7 +244,11 @@ pub fn planted_partition(
     let blocks = (0..sizes.len())
         .map(|b| VertexSet::from_fn(n, |v| block_of[v as usize] == b))
         .collect();
-    Ok(PlantedPartition { graph, block_of, blocks })
+    Ok(PlantedPartition {
+        graph,
+        block_of,
+        blocks,
+    })
 }
 
 /// Chung–Lu power-law graph: vertex `v` gets weight `w_v ∝ (v+1)^{-1/(γ−1)}`
@@ -301,7 +307,10 @@ mod tests {
         let g = gnp(n, p, 1).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = g.m() as f64;
-        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected {expected}");
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected {expected}"
+        );
     }
 
     #[test]
@@ -355,7 +364,10 @@ mod tests {
     fn planted_partition_blocks_are_sparse_cuts() {
         let pp = planted_partition(&[50, 50], 0.5, 0.01, 11).unwrap();
         let phi_block = pp.graph.conductance(pp.block_cut(0)).unwrap();
-        assert!(phi_block < 0.1, "block cut conductance {phi_block} not sparse");
+        assert!(
+            phi_block < 0.1,
+            "block cut conductance {phi_block} not sparse"
+        );
         assert_eq!(pp.blocks[0].len(), 50);
         assert_eq!(pp.block_of[0], 0);
         assert_eq!(pp.block_of[99], 1);
@@ -373,7 +385,10 @@ mod tests {
         let g = chung_lu(300, 2.5, 8.0, 5).unwrap();
         let max = g.max_degree();
         let avg = g.total_volume() as f64 / g.n() as f64;
-        assert!(max as f64 > 3.0 * avg, "max {max} vs avg {avg} not heavy-tailed");
+        assert!(
+            max as f64 > 3.0 * avg,
+            "max {max} vs avg {avg} not heavy-tailed"
+        );
         assert!(chung_lu(10, 1.5, 2.0, 0).is_err());
     }
 }

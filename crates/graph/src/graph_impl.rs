@@ -97,7 +97,13 @@ impl Graph {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
         let total_loops = loops.iter().map(|&l| l as usize).sum();
-        Ok(Graph { offsets, adj, loops, m: plain.len(), total_loops })
+        Ok(Graph {
+            offsets,
+            adj,
+            loops,
+            m: plain.len(),
+            total_loops,
+        })
     }
 
     /// Number of vertices.
@@ -160,7 +166,9 @@ impl Graph {
 
     /// Iterator over `v`'s neighbors (self loops excluded).
     pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
-        NeighborIter { inner: self.neighbors(v).iter() }
+        NeighborIter {
+            inner: self.neighbors(v).iter(),
+        }
     }
 
     /// Whether the non-loop edge `{u, v}` is present (any multiplicity).
@@ -182,7 +190,11 @@ impl Graph {
     /// Iterator over every non-loop undirected edge once, as `(u, v)` with
     /// `u < v` for simple edges (parallel edges repeat).
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { g: self, v: 0, idx: 0 }
+        EdgeIter {
+            g: self,
+            v: 0,
+            idx: 0,
+        }
     }
 
     /// Volume of a vertex set: `Vol(S) = Σ_{v ∈ S} deg(v)`.
@@ -226,7 +238,9 @@ impl Graph {
     pub fn balance(&self, s: &VertexSet) -> Result<f64> {
         let total = self.total_volume();
         if total == 0 {
-            return Err(GraphError::Empty { what: "graph volume" });
+            return Err(GraphError::Empty {
+                what: "graph volume",
+            });
         }
         let vol_s = self.volume(s);
         let vol_rest = total - vol_s;
@@ -309,9 +323,7 @@ impl Graph {
             }
         }
         let mut g = Graph::from_edges(n, kept).expect("kept edges are in range");
-        for v in 0..n {
-            g.loops[v] = loops[v];
-        }
+        g.loops.copy_from_slice(&loops);
         g.total_loops = loops.iter().map(|&l| l as usize).sum();
         g
     }
@@ -331,12 +343,18 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all vertices (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -354,7 +372,10 @@ fn check_vertex(v: VertexId, n: usize) -> Result<()> {
     if (v as usize) < n {
         Ok(())
     } else {
-        Err(GraphError::VertexOutOfRange { vertex: v as u64, n })
+        Err(GraphError::VertexOutOfRange {
+            vertex: v as u64,
+            n,
+        })
     }
 }
 
@@ -537,7 +558,10 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub struct SpectralGap {
 pub fn lazy_walk_lambda2(g: &Graph, iters: usize) -> Result<SpectralGap> {
     let n = g.n();
     if n == 0 || g.total_volume() == 0 {
-        return Err(GraphError::Empty { what: "graph volume" });
+        return Err(GraphError::Empty {
+            what: "graph volume",
+        });
     }
     let vol = g.total_volume() as f64;
     // Work in the D^{1/2}-weighted inner product where M is symmetric:
@@ -73,11 +75,17 @@ pub fn lazy_walk_lambda2(g: &Graph, iters: usize) -> Result<SpectralGap> {
         lambda = num; // x is D⁻¹-normalized.
         let norm = normalize_d(g, &mut y);
         if norm < 1e-300 {
-            return Ok(SpectralGap { lambda2: 0.0, iterations: it });
+            return Ok(SpectralGap {
+                lambda2: 0.0,
+                iterations: it,
+            });
         }
         x = y;
     }
-    Ok(SpectralGap { lambda2: lambda.clamp(0.0, 1.0), iterations: iters })
+    Ok(SpectralGap {
+        lambda2: lambda.clamp(0.0, 1.0),
+        iterations: iters,
+    })
 }
 
 fn apply_lazy_walk(g: &Graph, x: &[f64]) -> Vec<f64> {
@@ -156,7 +164,9 @@ pub fn cheeger_lower_bound(gap: &SpectralGap) -> f64 {
 pub fn exact_conductance(g: &Graph) -> Result<f64> {
     let n = g.n();
     if n < 2 || g.total_volume() == 0 {
-        return Err(GraphError::Empty { what: "graph for exact conductance" });
+        return Err(GraphError::Empty {
+            what: "graph for exact conductance",
+        });
     }
     if n > 24 {
         return Err(GraphError::InvalidParameter {
@@ -200,7 +210,9 @@ pub struct SweepCut {
 /// Returns [`GraphError::Empty`] if no valid prefix exists.
 pub fn sweep_cut(g: &Graph, order: &[VertexId]) -> Result<SweepCut> {
     if order.is_empty() {
-        return Err(GraphError::Empty { what: "sweep order" });
+        return Err(GraphError::Empty {
+            what: "sweep order",
+        });
     }
     let total_vol = g.total_volume();
     let mut in_prefix = vec![false; g.n()];
@@ -228,10 +240,15 @@ pub fn sweep_cut(g: &Graph, order: &[VertexId]) -> Result<SweepCut> {
             best = Some((phi, i + 1));
         }
     }
-    let (conductance, prefix_len) =
-        best.ok_or(GraphError::Empty { what: "valid sweep prefix" })?;
+    let (conductance, prefix_len) = best.ok_or(GraphError::Empty {
+        what: "valid sweep prefix",
+    })?;
     let side = VertexSet::from_iter(g.n(), order[..prefix_len].iter().copied());
-    Ok(SweepCut { side, conductance, prefix_len })
+    Ok(SweepCut {
+        side,
+        conductance,
+        prefix_len,
+    })
 }
 
 /// Estimated mixing time: the smallest `t` such that the lazy walk started
@@ -243,12 +260,7 @@ pub fn sweep_cut(g: &Graph, order: &[VertexId]) -> Result<SweepCut> {
 /// the paper's Jerrum–Sinclair bound `Θ(1/Φ) ≤ τ_mix ≤ Θ(log n/Φ²)`.
 ///
 /// Returns `None` if some start has not mixed within `max_t` steps.
-pub fn mixing_time(
-    g: &Graph,
-    starts: &[VertexId],
-    tv_target: f64,
-    max_t: usize,
-) -> Option<usize> {
+pub fn mixing_time(g: &Graph, starts: &[VertexId], tv_target: f64, max_t: usize) -> Option<usize> {
     let mut worst = 0usize;
     for &s in starts {
         let mut p = WalkDistribution::dirac(g, s);

@@ -94,7 +94,9 @@ pub fn connected_components(g: &Graph) -> Vec<VertexSet> {
     for v in 0..n as VertexId {
         sets[comp[v as usize]].push(v);
     }
-    sets.into_iter().map(|vs| VertexSet::from_iter(n, vs)).collect()
+    sets.into_iter()
+        .map(|vs| VertexSet::from_iter(n, vs))
+        .collect()
 }
 
 /// Whether `g` is connected (the empty graph counts as connected).
@@ -240,8 +242,7 @@ mod tests {
     #[test]
     fn diameter_of_path_and_cycle() {
         assert_eq!(diameter(&path(6)).unwrap(), 5);
-        let c6 =
-            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let c6 = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         assert_eq!(diameter(&c6).unwrap(), 3);
     }
 
@@ -254,11 +255,8 @@ mod tests {
 
     #[test]
     fn double_sweep_never_exceeds_diameter() {
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let exact = diameter(&g).unwrap();
         let sweep = diameter_double_sweep(&g).unwrap();
         assert!(sweep <= exact);
@@ -278,8 +276,7 @@ mod tests {
     fn set_diameter_restricts_paths() {
         // Cycle C6: the set {0,1,2,3} has induced diameter 3 even though
         // dist_G(0,3) == 3 both ways; removing 4,5 forces the long way.
-        let c6 =
-            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let c6 = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let s = VertexSet::from_iter(6, [0u32, 1, 2, 3]);
         assert_eq!(set_diameter(&c6, &s).unwrap(), 3);
     }

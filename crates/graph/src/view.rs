@@ -84,7 +84,11 @@ impl Subgraph {
                 }
             }
         }
-        Subgraph { graph: sub, orig, inverse }
+        Subgraph {
+            graph: sub,
+            orig,
+            inverse,
+        }
     }
 
     /// The subgraph itself (vertices relabeled to `0..len`).
@@ -121,10 +125,7 @@ impl Subgraph {
     /// Panics if `local` contains ids outside the subgraph (impossible for
     /// sets produced against [`Subgraph::graph`]).
     pub fn set_to_parent(&self, local: &VertexSet, parent_n: usize) -> VertexSet {
-        VertexSet::from_iter(
-            parent_n,
-            local.iter().map(|l| self.orig[l as usize]),
-        )
+        VertexSet::from_iter(parent_n, local.iter().map(|l| self.orig[l as usize]))
     }
 
     /// The parent ids of all subgraph vertices, in local order.
@@ -158,7 +159,11 @@ mod tests {
         let sub = Subgraph::loop_augmented(&g, &s);
         for &parent in sub.parent_ids() {
             let local = sub.to_local(parent).unwrap();
-            assert_eq!(sub.graph().degree(local), g.degree(parent), "vertex {parent}");
+            assert_eq!(
+                sub.graph().degree(local),
+                g.degree(parent),
+                "vertex {parent}"
+            );
         }
         // Boundary endpoints 0 and 2 each gained one loop.
         assert_eq!(sub.graph().total_self_loops(), 2);
@@ -172,10 +177,8 @@ mod tests {
         let s = VertexSet::from_iter(5, [0u32, 1, 2, 3]);
         let induced = Subgraph::induced(&g, &s);
         let augmented = Subgraph::loop_augmented(&g, &s);
-        let t_ind =
-            VertexSet::from_iter(induced.graph().n(), [induced.to_local(0).unwrap()]);
-        let t_aug =
-            VertexSet::from_iter(augmented.graph().n(), [augmented.to_local(0).unwrap()]);
+        let t_ind = VertexSet::from_iter(induced.graph().n(), [induced.to_local(0).unwrap()]);
+        let t_aug = VertexSet::from_iter(augmented.graph().n(), [augmented.to_local(0).unwrap()]);
         let phi_ind = induced.graph().conductance(&t_ind).unwrap();
         let phi_aug = augmented.graph().conductance(&t_aug).unwrap();
         assert!(phi_aug <= phi_ind + 1e-12);

@@ -68,7 +68,9 @@ impl WalkDistribution {
 
     /// An empty (all-zero) distribution.
     pub fn zero() -> Self {
-        WalkDistribution { mass: BTreeMap::new() }
+        WalkDistribution {
+            mass: BTreeMap::new(),
+        }
     }
 
     /// Mass at `v` (`p(v)`).
@@ -239,8 +241,8 @@ mod tests {
         let g = gen::path(3).unwrap();
         let mut p = WalkDistribution::dirac(&g, 0);
         p.step(&g); // mass: 0 -> 1/2, 1 -> 1/2
-        // Thresholds 2·ε·deg: v0 (deg 1) -> 0.4 keeps its 0.5;
-        // v1 (deg 2) -> 0.8 drops its 0.5.
+                    // Thresholds 2·ε·deg: v0 (deg 1) -> 0.4 keeps its 0.5;
+                    // v1 (deg 2) -> 0.8 drops its 0.5.
         let dropped = p.truncate(&g, 0.2);
         assert!((dropped - 0.5).abs() < 1e-12);
         assert_eq!(p.mass(1), 0.0);

@@ -193,11 +193,11 @@ impl RoutingHierarchy {
         }
         let mut overload = 1usize;
         let mut max_congestion = 0usize;
-        for v in 0..n {
-            max_congestion = max_congestion.max(load[v]);
-            if load[v] > 0 {
+        for (v, &vload) in load.iter().enumerate() {
+            max_congestion = max_congestion.max(vload);
+            if vload > 0 {
                 let deg = g.degree(v as VertexId).max(1);
-                overload = overload.max(load[v].div_ceil(deg));
+                overload = overload.max(vload.div_ceil(deg));
             }
         }
         Ok(RouteOutcome {
@@ -317,7 +317,10 @@ mod tests {
         let g = expander(128, 4);
         let h = RoutingHierarchy::build(&g, 2, 9).unwrap();
         let reqs: Vec<RoutingRequest> = (0..128u32)
-            .map(|v| RoutingRequest { src: v, dst: (v * 37 + 11) % 128 })
+            .map(|v| RoutingRequest {
+                src: v,
+                dst: (v * 37 + 11) % 128,
+            })
             .collect();
         let out = h.route(&g, &reqs).unwrap();
         assert!(out.delivered);
@@ -331,8 +334,9 @@ mod tests {
         let h = RoutingHierarchy::build(&g, 2, 11).unwrap();
         // All tokens target one vertex: load n at the destination, degree
         // 8 ⇒ overload ≈ n/8.
-        let reqs: Vec<RoutingRequest> =
-            (1..64u32).map(|v| RoutingRequest { src: v, dst: 0 }).collect();
+        let reqs: Vec<RoutingRequest> = (1..64u32)
+            .map(|v| RoutingRequest { src: v, dst: 0 })
+            .collect();
         let out = h.route(&g, &reqs).unwrap();
         let expect_overload = (63f64 / 8.0).ceil() as u64;
         assert!(

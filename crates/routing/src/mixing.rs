@@ -53,7 +53,10 @@ mod tests {
         let t = estimate_mixing_time(&g) as f64;
         let phi = 2.0 / 32.0;
         assert!(t >= 0.1 / phi, "estimate {t} too small");
-        assert!(t <= 40.0 * (32f64).ln() / (phi * phi), "estimate {t} too large");
+        assert!(
+            t <= 40.0 * (32f64).ln() / (phi * phi),
+            "estimate {t} too large"
+        );
     }
 
     #[test]

@@ -87,9 +87,8 @@ pub fn clique_enumerate(g: &Graph) -> CliqueEnumeration {
         // Local listing at the owner: index E(B,C) pairs, then for each
         // (u ∈ A, v ∈ B) probe each w adjacent via E(A,C) … simplest
         // correct local join: hash the needed edge sets.
-        let mut set = std::collections::HashSet::with_capacity(
-            e_ab.len() + e_bc.len() + e_ac.len(),
-        );
+        let mut set =
+            std::collections::HashSet::with_capacity(e_ab.len() + e_bc.len() + e_ac.len());
         for &(u, v) in e_ab.iter().chain(e_bc.iter()).chain(e_ac.iter()) {
             set.insert(if u < v { (u, v) } else { (v, u) });
         }
@@ -130,7 +129,12 @@ pub fn clique_enumerate(g: &Graph) -> CliqueEnumeration {
             .unwrap_or(0)
     };
     let rounds = lenzen_rounds(max_send_load, max_receive_load, n) as u64;
-    CliqueEnumeration { triangles, rounds, groups, max_receive_load }
+    CliqueEnumeration {
+        triangles,
+        rounds,
+        groups,
+        max_receive_load,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +157,9 @@ mod tests {
         for g in [
             gen::complete(12).unwrap(),
             gen::ring_of_cliques(4, 5).unwrap().0,
-            gen::planted_partition(&[20, 20], 0.5, 0.05, 3).unwrap().graph,
+            gen::planted_partition(&[20, 20], 0.5, 0.05, 3)
+                .unwrap()
+                .graph,
         ] {
             let out = clique_enumerate(&g);
             assert_eq!(out.triangles, enumerate_triangles(&g));

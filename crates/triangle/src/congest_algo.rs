@@ -1,6 +1,6 @@
 //! The paper's CONGEST triangle enumeration (§3): expander decomposition
-//! + cluster-local load-balanced listing via expander routing + recursion
-//! on the inter-cluster remainder `E*`.
+//! plus cluster-local load-balanced listing via expander routing plus
+//! recursion on the inter-cluster remainder `E*`.
 //!
 //! Per recursion level, on the current edge set `E`:
 //!
@@ -136,22 +136,14 @@ pub fn congest_enumerate(g: &Graph, config: &TriangleConfig) -> CongestEnumerati
             max_queries: 0,
         };
         // The kept graph: intra-cluster edges only.
-        let kept = current.remove_edges(
-            decomp.removed_edges.iter().map(|&(u, v, _)| (u, v)),
-            false,
-        );
+        let kept =
+            current.remove_edges(decomp.removed_edges.iter().map(|&(u, v, _)| (u, v)), false);
         let before = triangles.len();
         for part in &decomp.parts {
             if part.len() < 2 {
                 continue;
             }
-            let cluster = ClusterListing::run(
-                &current,
-                &kept,
-                part,
-                config,
-                level as u64,
-            );
+            let cluster = ClusterListing::run(&current, &kept, part, config, level as u64);
             stats.clusters += 1;
             stats.routing_build_rounds = stats.routing_build_rounds.max(cluster.build_rounds);
             stats.listing_rounds = stats.listing_rounds.max(cluster.listing_rounds);
@@ -180,7 +172,11 @@ pub fn congest_enumerate(g: &Graph, config: &TriangleConfig) -> CongestEnumerati
         triangles.sort_unstable();
         triangles.dedup();
     }
-    CongestEnumeration { triangles, rounds, levels }
+    CongestEnumeration {
+        triangles,
+        rounds,
+        levels,
+    }
 }
 
 /// The cluster-local listing step.
@@ -254,8 +250,9 @@ impl ClusterListing {
         // receives its triples' three pair buckets.
         let groups = (part.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
         let salt = config.seed ^ level_salt.wrapping_mul(0x9E3779B97F4A7C15);
-        let group_of =
-            |v: VertexId| ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32;
+        let group_of = |v: VertexId| {
+            ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32
+        };
         let pair_index = |x: u32, y: u32| {
             let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
             lo as usize * groups + hi as usize
@@ -274,12 +271,14 @@ impl ClusterListing {
         // ⌈deg(v)·T/Vol⌉ consecutive triples — the DLP counting argument
         // that bounds per-owner receive load by O(deg·|Vᵢ|^{1/3}) words.
         let members: Vec<VertexId> = part.iter().collect();
-        let total_deg: usize = members.iter().map(|&v| g_full.degree(v)).sum::<usize>().max(1);
+        let total_deg: usize = members
+            .iter()
+            .map(|&v| g_full.degree(v))
+            .sum::<usize>()
+            .max(1);
         let g_u = groups;
         let triple_total = g_u * (g_u + 1) * (g_u + 2) / 6; // C(g+2, 3)
-        let share = |v: VertexId| {
-            ((g_full.degree(v) * triple_total + total_deg - 1) / total_deg).max(1)
-        };
+        let share = |v: VertexId| (g_full.degree(v) * triple_total).div_ceil(total_deg).max(1);
         let mut recv_load = std::collections::HashMap::<VertexId, usize>::new();
         let mut acc = 0usize;
         let mut member_idx = 0usize;
@@ -415,8 +414,10 @@ mod tests {
     #[test]
     fn epsilon_is_capped_at_one_sixth() {
         let g = gen::gnp(30, 0.3, 1).unwrap();
-        let mut config = TriangleConfig::default();
-        config.epsilon = 0.9; // will be clamped internally
+        let config = TriangleConfig {
+            epsilon: 0.9, // will be clamped internally
+            ..Default::default()
+        };
         assert_complete(&g, &config);
     }
 

@@ -23,7 +23,11 @@ impl Triangle {
         let mut v = [x, y, z];
         v.sort_unstable();
         assert!(v[0] < v[1] && v[1] < v[2], "degenerate triangle {v:?}");
-        Triangle { a: v[0], b: v[1], c: v[2] }
+        Triangle {
+            a: v[0],
+            b: v[1],
+            c: v[2],
+        }
     }
 }
 

@@ -20,13 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The planted cut separates the right clique (smaller volume side).
         let planted = g.balance(&left_set)?;
         let floor = (planted / 2.0).min(1.0 / 48.0);
-        let out = nearly_most_balanced_sparse_cut(
-            &g,
-            0.004,
-            ParamMode::Practical,
-            4,
-            11,
-        );
+        let out = nearly_most_balanced_sparse_cut(&g, 0.004, ParamMode::Practical, 4, 11);
         match &out.cut {
             Some(cut) => {
                 let ok_balance = cut.balance() >= floor - 1e-9;
@@ -41,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     cut.balance(),
                     cut.conductance(),
                     promise,
-                    if ok_balance && ok_cond { "ok" } else { "VIOLATION" }
+                    if ok_balance && ok_cond {
+                        "ok"
+                    } else {
+                        "VIOLATION"
+                    }
                 );
             }
             None => println!(

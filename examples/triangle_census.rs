@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Theorem 2: CONGEST via expander decomposition + expander routing.
     let congest_out = congest_enumerate(g, &TriangleConfig::default());
-    assert_eq!(congest_out.triangles, truth, "CONGEST listing must be complete");
+    assert_eq!(
+        congest_out.triangles, truth,
+        "CONGEST listing must be complete"
+    );
     println!(
         "CONGEST:  {} triangles in {} charged rounds ({} recursion levels)",
         congest_out.triangles.len(),
@@ -34,8 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  level {i}: m = {:>6}, clusters = {:>3}, decomp = {:>10} rounds, \
              routing build = {:>8}, listing = {:>8} ({} queries)",
-            l.m, l.clusters, l.decomposition_rounds, l.routing_build_rounds,
-            l.listing_rounds, l.max_queries
+            l.m,
+            l.clusters,
+            l.decomposition_rounds,
+            l.routing_build_rounds,
+            l.listing_rounds,
+            l.max_queries
         );
     }
 

@@ -51,12 +51,12 @@ pub use triangle;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use congest::{Ctx, Network, RunReport, VertexProgram};
+    pub use congest::{Ctx, ExecMode, Network, RunReport, VertexProgram};
     pub use expander::prelude::*;
     pub use graph::prelude::*;
     pub use routing::{RoutingHierarchy, RoutingRequest};
     pub use triangle::{
-        clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
-        Triangle, TriangleConfig,
+        clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles, Triangle,
+        TriangleConfig,
     };
 }

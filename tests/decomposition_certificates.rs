@@ -8,8 +8,18 @@ fn families() -> Vec<(&'static str, Graph)> {
     vec![
         ("ring_of_cliques", gen::ring_of_cliques(6, 8).unwrap().0),
         ("barbell", gen::barbell(12).unwrap().0),
-        ("sbm2", gen::planted_partition(&[30, 30], 0.5, 0.01, 5).unwrap().graph),
-        ("sbm3", gen::planted_partition(&[20, 20, 20], 0.5, 0.01, 9).unwrap().graph),
+        (
+            "sbm2",
+            gen::planted_partition(&[30, 30], 0.5, 0.01, 5)
+                .unwrap()
+                .graph,
+        ),
+        (
+            "sbm3",
+            gen::planted_partition(&[20, 20, 20], 0.5, 0.01, 9)
+                .unwrap()
+                .graph,
+        ),
         ("gnp_dense", gen::gnp(60, 0.3, 7).unwrap()),
         ("complete", gen::complete(32).unwrap()),
         ("grid", gen::grid(8, 8).unwrap()),
@@ -104,7 +114,11 @@ fn ring_parts_align_with_cliques() {
     let full_matches = result
         .parts
         .iter()
-        .filter(|p| cliques.iter().any(|c| c.intersection(p).len() == c.len() && p.len() == c.len()))
+        .filter(|p| {
+            cliques
+                .iter()
+                .any(|c| c.intersection(p).len() == c.len() && p.len() == c.len())
+        })
         .count();
     assert!(
         full_matches >= 4,
@@ -117,8 +131,18 @@ fn k_tradeoff_direction() {
     // Larger k must never increase the promised conductance target and the
     // run schedule length grows with k.
     let pp = gen::planted_partition(&[40, 40], 0.4, 0.02, 3).unwrap();
-    let r1 = ExpanderDecomposition::builder().k(1).seed(2).build().run(&pp.graph).unwrap();
-    let r3 = ExpanderDecomposition::builder().k(3).seed(2).build().run(&pp.graph).unwrap();
+    let r1 = ExpanderDecomposition::builder()
+        .k(1)
+        .seed(2)
+        .build()
+        .run(&pp.graph)
+        .unwrap();
+    let r3 = ExpanderDecomposition::builder()
+        .k(3)
+        .seed(2)
+        .build()
+        .run(&pp.graph)
+        .unwrap();
     assert!(r3.phi <= r1.phi);
     assert_eq!(r1.params.run_schedule.len(), 2);
     assert_eq!(r3.params.run_schedule.len(), 4);
@@ -129,11 +153,13 @@ fn degree_preservation_through_removals() {
     // The loop-compensation invariant: rebuilding the working graph from
     // the removal record preserves every degree.
     let (g, _) = gen::ring_of_cliques(5, 6).unwrap();
-    let result = ExpanderDecomposition::builder().epsilon(0.3).seed(8).build().run(&g).unwrap();
-    let stripped = g.remove_edges(
-        result.removed_edges.iter().map(|&(u, v, _)| (u, v)),
-        true,
-    );
+    let result = ExpanderDecomposition::builder()
+        .epsilon(0.3)
+        .seed(8)
+        .build()
+        .run(&g)
+        .unwrap();
+    let stripped = g.remove_edges(result.removed_edges.iter().map(|&(u, v, _)| (u, v)), true);
     for v in 0..g.n() as VertexId {
         assert_eq!(stripped.degree(v), g.degree(v), "degree of {v} changed");
     }

@@ -52,7 +52,10 @@ fn balance_floor_on_skewed_planted_cuts() {
             successes += 1;
         }
     }
-    assert!(successes >= 4, "cut found for only {successes}/6 seeds (b = {b})");
+    assert!(
+        successes >= 4,
+        "cut found for only {successes}/6 seeds (b = {b})"
+    );
 }
 
 #[test]
@@ -77,11 +80,12 @@ fn partition_volume_cap_holds() {
     for (g, _) in [
         gen::barbell(10).unwrap(),
         gen::dumbbell(16, 16, 3).unwrap(),
-        gen::ring_of_cliques(5, 6).map(|(g, c)| (g, c[0].clone())).unwrap(),
+        gen::ring_of_cliques(5, 6)
+            .map(|(g, c)| (g, c[0].clone()))
+            .unwrap(),
     ] {
         for seed in [1u64, 9] {
-            let out =
-                nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
+            let out = nearly_most_balanced_sparse_cut(&g, 0.002, ParamMode::Practical, 4, seed);
             if let Some(cut) = &out.cut {
                 assert!(
                     (cut.volume() as f64) <= 47.0 / 48.0 * g.total_volume() as f64,

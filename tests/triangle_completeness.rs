@@ -8,7 +8,12 @@ fn families() -> Vec<(&'static str, Graph)> {
     vec![
         ("gnp_sparse", gen::gnp(60, 0.08, 1).unwrap()),
         ("gnp_dense", gen::gnp(48, 0.4, 2).unwrap()),
-        ("sbm", gen::planted_partition(&[25, 25], 0.5, 0.05, 3).unwrap().graph),
+        (
+            "sbm",
+            gen::planted_partition(&[25, 25], 0.5, 0.05, 3)
+                .unwrap()
+                .graph,
+        ),
         ("ring_of_cliques", gen::ring_of_cliques(5, 6).unwrap().0),
         ("complete", gen::complete(14).unwrap()),
         ("barbell", gen::barbell(9).unwrap().0),
@@ -74,6 +79,8 @@ fn both_models_agree_with_each_other() {
 
 #[test]
 fn counting_matches_enumeration() {
-    let g = gen::planted_partition(&[20, 20, 20], 0.4, 0.05, 8).unwrap().graph;
+    let g = gen::planted_partition(&[20, 20, 20], 0.4, 0.05, 8)
+        .unwrap()
+        .graph;
     assert_eq!(count_triangles(&g) as usize, enumerate_triangles(&g).len());
 }
