@@ -1,0 +1,95 @@
+//! CI bench-regression gate (the `bench-smoke` job's comparator).
+//!
+//! Two subcommands:
+//!
+//! * `bench_gate collect <raw.jsonl> -o <out.json>` — fold the JSON lines
+//!   the criterion shim appended (`CRITERION_BENCH_JSON`) into one flat
+//!   `{bench: median_seconds}` object (`BENCH_pr.json`).
+//! * `bench_gate compare <baseline.json> <current.json> [--threshold 0.30]`
+//!   — exit 1 if any baseline bench is missing or regressed by more than
+//!   the threshold.
+
+use bench_suite::gate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            eprintln!(
+                "usage: bench_gate collect <raw.jsonl> -o <out.json>\n       \
+                 bench_gate compare <baseline.json> <current.json> [--threshold 0.30]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("collect") => {
+            let [input, flag, output] = &args[1..] else {
+                return Err("collect needs: <raw.jsonl> -o <out.json>".to_string());
+            };
+            if flag != "-o" {
+                return Err(format!("expected -o, found {flag:?}"));
+            }
+            let text =
+                std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let map = gate::collect_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
+            if map.is_empty() {
+                return Err(format!("{input} holds no benchmark records"));
+            }
+            std::fs::write(output, gate::bench_map_to_json(&map))
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            eprintln!("collected {} benches into {output}", map.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("compare") => {
+            let (files, threshold) = parse_compare_args(&args[1..])?;
+            let [baseline_path, current_path] = files;
+            let baseline = read_map(&baseline_path)?;
+            let current = read_map(&current_path)?;
+            let report = gate::compare(&baseline, &current, threshold);
+            print!("{}", report.to_text());
+            if report.passed() {
+                eprintln!("bench gate: PASS");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!("bench gate: FAIL (regression or missing bench)");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_compare_args(args: &[String]) -> Result<([String; 2], f64), String> {
+    let mut files = Vec::new();
+    let mut threshold = 0.30f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().ok_or("--threshold needs a value")?;
+            threshold = v
+                .parse::<f64>()
+                .map_err(|_| format!("bad threshold {v:?}"))?;
+            if !threshold.is_finite() || threshold <= 0.0 {
+                return Err("threshold must be positive".to_string());
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [b, c] = files.as_slice() else {
+        return Err("compare needs: <baseline.json> <current.json>".to_string());
+    };
+    Ok(([b.clone(), c.clone()], threshold))
+}
+
+fn read_map(path: &str) -> Result<gate::BenchMap, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    gate::parse_bench_map(&text).map_err(|e| format!("{path}: {e}"))
+}

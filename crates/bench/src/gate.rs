@@ -1,0 +1,369 @@
+//! The bench-regression gate: parsing and comparison logic behind the
+//! `bench_gate` binary (CI's `bench-smoke` job).
+//!
+//! The criterion shim appends one JSON line per finished benchmark when
+//! `CRITERION_BENCH_JSON` is set. `bench_gate collect` folds those lines
+//! into a single flat JSON object (`BENCH_pr.json`, bench name → median
+//! seconds); `bench_gate compare` checks it against the committed
+//! `BENCH_baseline.json` and fails on regressions beyond the threshold.
+//!
+//! No serde in this offline workspace, so the tiny JSON subset used here
+//! (flat `{"string": number}` objects and `{"name": ..., "median_s": ...}`
+//! lines) is parsed by hand; the parser rejects anything else.
+
+use std::collections::BTreeMap;
+
+/// One benchmark's medians, keyed by the `group/function/param` label.
+pub type BenchMap = BTreeMap<String, f64>;
+
+/// Verdict for one benchmark of a [`compare`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the threshold (ratio = current / baseline).
+    Ok {
+        /// current / baseline.
+        ratio: f64,
+    },
+    /// Slower than `baseline × (1 + threshold)`.
+    Regressed {
+        /// current / baseline.
+        ratio: f64,
+    },
+    /// Present in the baseline but absent from the current run.
+    Missing,
+    /// Present in the current run but not in the baseline (informational).
+    New,
+}
+
+/// Outcome of comparing a current run against a baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-bench verdicts in name order.
+    pub rows: Vec<(String, Verdict)>,
+    /// The threshold the comparison used.
+    pub threshold: f64,
+}
+
+impl GateReport {
+    /// Whether the gate passes: no regressions and no missing benches.
+    pub fn passed(&self) -> bool {
+        !self
+            .rows
+            .iter()
+            .any(|(_, v)| matches!(v, Verdict::Regressed { .. }) || matches!(v, Verdict::Missing))
+    }
+
+    /// Renders the human-readable verdict table.
+    pub fn to_text(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!(
+            "bench gate (fail above {:.0}% regression)\n",
+            self.threshold * 100.0
+        );
+        for (name, verdict) in &self.rows {
+            let cell = match verdict {
+                Verdict::Ok { ratio } => format!("ok        {:+6.1}%", (ratio - 1.0) * 100.0),
+                Verdict::Regressed { ratio } => {
+                    format!("REGRESSED {:+6.1}%", (ratio - 1.0) * 100.0)
+                }
+                Verdict::Missing => "MISSING from current run".to_string(),
+                Verdict::New => "new (no baseline)".to_string(),
+            };
+            out.push_str(&format!("  {name:<width$}  {cell}\n"));
+        }
+        out
+    }
+}
+
+/// Compares `current` medians against `baseline` with a relative
+/// `threshold` (0.30 = fail when current is >30% slower).
+pub fn compare(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> GateReport {
+    let mut rows = Vec::new();
+    for (name, &base) in baseline {
+        match current.get(name) {
+            None => rows.push((name.clone(), Verdict::Missing)),
+            Some(&cur) => {
+                let ratio = if base > 0.0 {
+                    cur / base
+                } else {
+                    f64::INFINITY
+                };
+                let verdict = if ratio > 1.0 + threshold {
+                    Verdict::Regressed { ratio }
+                } else {
+                    Verdict::Ok { ratio }
+                };
+                rows.push((name.clone(), verdict));
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            rows.push((name.clone(), Verdict::New));
+        }
+    }
+    GateReport { rows, threshold }
+}
+
+/// Folds criterion-shim JSON lines (`{"name": ..., "median_s": ...}`)
+/// into a [`BenchMap`]. The last record wins on duplicate names.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn collect_jsonl(text: &str) -> Result<BenchMap, String> {
+    let mut map = BenchMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let name = match obj.strings.get("name") {
+            Some(n) => n.clone(),
+            None => return Err(format!("line {}: record without \"name\"", idx + 1)),
+        };
+        let median = match obj.numbers.get("median_s") {
+            Some(&m) => m,
+            None => return Err(format!("line {}: record without \"median_s\"", idx + 1)),
+        };
+        map.insert(name, median);
+    }
+    Ok(map)
+}
+
+/// Parses a flat `{"name": number}` JSON object — the `BENCH_*.json`
+/// format.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_bench_map(text: &str) -> Result<BenchMap, String> {
+    let obj = parse_flat_object(text)?;
+    if !obj.strings.is_empty() {
+        return Err("bench map values must be numbers".to_string());
+    }
+    Ok(obj.numbers.into_iter().collect())
+}
+
+/// Serializes a [`BenchMap`] as a stable, pretty-printed JSON object.
+pub fn bench_map_to_json(map: &BenchMap) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (name, median) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{}\": {:e}", escape(name), median));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A flat JSON object split by value type.
+struct FlatObject {
+    strings: BTreeMap<String, String>,
+    numbers: BTreeMap<String, f64>,
+}
+
+/// Hand-rolled parser for one flat JSON object with string or numeric
+/// values (no nesting, no arrays, no booleans — the gate formats).
+fn parse_flat_object(text: &str) -> Result<FlatObject, String> {
+    let mut chars = text.chars().peekable();
+    let mut strings = BTreeMap::new();
+    let mut numbers = BTreeMap::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(FlatObject { strings, numbers });
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('"') => {
+                let value = parse_string(&mut chars)?;
+                strings.insert(key, value);
+            }
+            Some(_) => {
+                let value = parse_number(&mut chars)?;
+                numbers.insert(key, value);
+            }
+            None => return Err("unexpected end of input".to_string()),
+        }
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(c) = chars.next() {
+        return Err(format!("trailing content starting at {c:?}"));
+    }
+    Ok(FlatObject { strings, numbers })
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, found {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(char::from_u32(code).ok_or(format!("bad codepoint {code}"))?);
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<f64, String> {
+    let mut buf = String::new();
+    while chars
+        .peek()
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        buf.push(chars.next().expect("peeked"));
+    }
+    buf.parse::<f64>()
+        .map_err(|_| format!("bad number {buf:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_roundtrip_through_bench_map() {
+        let lines = concat!(
+            "{\"name\": \"pipeline/gnp/32\", \"median_s\": 1.5e-3, \"mean_s\": 1.6e-3, \"min_s\": 1.4e-3}\n",
+            "{\"name\": \"engine/flood\", \"median_s\": 2e-2, \"mean_s\": 2e-2, \"min_s\": 2e-2}\n",
+            "{\"name\": \"pipeline/gnp/32\", \"median_s\": 2.5e-3, \"mean_s\": 0, \"min_s\": 0}\n",
+        );
+        let map = collect_jsonl(lines).unwrap();
+        assert_eq!(map.len(), 2);
+        assert!((map["pipeline/gnp/32"] - 2.5e-3).abs() < 1e-12); // last wins
+        let json = bench_map_to_json(&map);
+        let back = parse_bench_map(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = collect_jsonl("{\"name\": \"a\", \"median_s\": 1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+        let err = collect_jsonl("{\"median_s\": 1}\n").unwrap_err();
+        assert!(err.contains("name"), "{err}");
+        let err = collect_jsonl("{\"name\": \"a\"}\n").unwrap_err();
+        assert!(err.contains("median_s"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_regressions_missing_and_new() {
+        let baseline: BenchMap = [
+            ("a".to_string(), 1.0),
+            ("b".to_string(), 1.0),
+            ("gone".to_string(), 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let current: BenchMap = [
+            ("a".to_string(), 1.2),
+            ("b".to_string(), 1.5),
+            ("fresh".to_string(), 9.0),
+        ]
+        .into_iter()
+        .collect();
+        let report = compare(&baseline, &current, 0.30);
+        assert!(!report.passed());
+        let verdict = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert!(matches!(verdict("a"), Verdict::Ok { .. }));
+        assert!(matches!(verdict("b"), Verdict::Regressed { .. }));
+        assert!(matches!(verdict("gone"), Verdict::Missing));
+        assert!(matches!(verdict("fresh"), Verdict::New));
+        let text = report.to_text();
+        assert!(text.contains("REGRESSED") && text.contains("MISSING"));
+    }
+
+    #[test]
+    fn compare_passes_within_threshold() {
+        let baseline: BenchMap = [("a".to_string(), 1.0)].into_iter().collect();
+        let current: BenchMap = [("a".to_string(), 1.29)].into_iter().collect();
+        assert!(compare(&baseline, &current, 0.30).passed());
+        // Speedups always pass.
+        let current: BenchMap = [("a".to_string(), 0.1)].into_iter().collect();
+        assert!(compare(&baseline, &current, 0.30).passed());
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let map: BenchMap = [("we\"ird\\name".to_string(), 0.5)].into_iter().collect();
+        let back = parse_bench_map(&bench_map_to_json(&map)).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn empty_object_and_empty_input() {
+        assert!(parse_bench_map("{}").unwrap().is_empty());
+        assert!(collect_jsonl("").unwrap().is_empty());
+        assert!(parse_bench_map("[1]").is_err());
+    }
+}

@@ -9,11 +9,23 @@
 //!
 //! Swap the `criterion` entry in the root `[workspace.dependencies]` for
 //! the real crate to drop this shim; no client code changes.
+//!
+//! Two environment variables drive the CI bench gate (see
+//! `.github/workflows/ci.yml` and `bench_gate`):
+//!
+//! * `CRITERION_QUICK=1` — quick mode: fewer samples and a smaller
+//!   per-sample time target, for smoke runs.
+//! * `CRITERION_BENCH_JSON=<path>` — append one JSON line per finished
+//!   benchmark (`{"name": ..., "median_s": ..., "mean_s": ...,
+//!   "min_s": ...}`) to `<path>`. Append-only so the independent bench
+//!   binaries `cargo bench` spawns can share one file; `bench_gate
+//!   collect` folds the lines into a single JSON object.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -159,8 +171,61 @@ impl Bencher {
 
 /// Target wall-time for one measured sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Quick-mode (smoke) per-sample target.
+const SAMPLE_TARGET_QUICK: Duration = Duration::from_millis(2);
+/// Quick-mode cap on the number of samples.
+const QUICK_SAMPLES: usize = 5;
+
+/// Whether `CRITERION_QUICK` asks for the smoke configuration.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_BENCH_QUICK")
+        .or_else(|_| std::env::var("CRITERION_QUICK"))
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Appends one JSON record to the `CRITERION_BENCH_JSON` file, if set.
+fn emit_json(label: &str, median: f64, mean: f64, min: f64) {
+    let Ok(path) = std::env::var("CRITERION_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut escaped = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"name\": \"{escaped}\", \"median_s\": {median:e}, \"mean_s\": {mean:e}, \"min_s\": {min:e}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append to {path}: {e}");
+    }
+}
 
 fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let quick = quick_mode();
+    let target = if quick {
+        SAMPLE_TARGET_QUICK
+    } else {
+        SAMPLE_TARGET
+    };
+    let sample_size = if quick {
+        sample_size.min(QUICK_SAMPLES)
+    } else {
+        sample_size
+    };
     // Calibration: find an iteration count whose sample time is near the
     // target (also serves as warmup).
     let mut iters = 1u64;
@@ -170,11 +235,11 @@ fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+        if b.elapsed >= target || iters >= 1 << 20 {
             break;
         }
         // Grow quickly while samples are far below target.
-        let grow = if b.elapsed < SAMPLE_TARGET / 10 { 8 } else { 2 };
+        let grow = if b.elapsed < target / 10 { 8 } else { 2 };
         iters = iters.saturating_mul(grow);
     }
 
@@ -199,6 +264,7 @@ fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         samples.len(),
         iters,
     );
+    emit_json(label, median, mean, min);
 }
 
 fn fmt_time(secs: f64) -> String {

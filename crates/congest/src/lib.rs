@@ -67,7 +67,7 @@ mod network;
 pub use engine::ExecMode;
 pub use error::CongestError;
 pub use message::Payload;
-pub use metrics::RunReport;
+pub use metrics::{PhaseLedger, RunReport};
 pub use network::{Ctx, Network, VertexProgram};
 
 /// Result alias for simulator operations.

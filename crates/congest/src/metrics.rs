@@ -29,6 +29,110 @@ impl RunReport {
                 .max(later.max_link_bits_per_round),
         }
     }
+
+    /// Merges two reports as if the runs happened **simultaneously on
+    /// disjoint parts of the network** (e.g. per-cluster runs of the
+    /// triangle pipeline): rounds are the max, traffic adds up.
+    pub fn parallel_with(&self, other: &RunReport) -> RunReport {
+        RunReport {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+            bits: self.bits + other.bits,
+            max_link_bits_per_round: self
+                .max_link_bits_per_round
+                .max(other.max_link_bits_per_round),
+        }
+    }
+}
+
+/// Named-phase aggregation of [`RunReport`]s: the metrics hook composed
+/// algorithms (the triangle pipeline above all) use to attribute engine
+/// traffic to algorithm phases.
+///
+/// Phases are ordered by first use. Within a phase, sequential runs add
+/// via [`RunReport::sequenced_with`]; a group of parallel runs (disjoint
+/// clusters stepped simultaneously) folds via [`RunReport::parallel_with`]
+/// before being sequenced into the phase.
+///
+/// # Example
+///
+/// ```
+/// use congest::{PhaseLedger, RunReport};
+///
+/// let mut ledger = PhaseLedger::new();
+/// ledger.record("decompose", RunReport { rounds: 10, ..Default::default() });
+/// ledger.record_parallel("enumerate", [
+///     RunReport { rounds: 4, messages: 7, ..Default::default() },
+///     RunReport { rounds: 6, messages: 2, ..Default::default() },
+/// ]);
+/// assert_eq!(ledger.phase("enumerate").rounds, 6);
+/// assert_eq!(ledger.phase("enumerate").messages, 9);
+/// assert_eq!(ledger.total().rounds, 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhaseLedger {
+    phases: Vec<(String, RunReport)>,
+}
+
+impl PhaseLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sequences `report` into `phase` (created on first use).
+    pub fn record(&mut self, phase: &str, report: RunReport) {
+        match self.phases.iter_mut().find(|(name, _)| name == phase) {
+            Some((_, agg)) => *agg = agg.sequenced_with(&report),
+            None => self.phases.push((phase.to_string(), report)),
+        }
+    }
+
+    /// Folds a group of simultaneous runs (max rounds, summed traffic)
+    /// and sequences the result into `phase`.
+    pub fn record_parallel<I>(&mut self, phase: &str, reports: I)
+    where
+        I: IntoIterator<Item = RunReport>,
+    {
+        let mut merged: Option<RunReport> = None;
+        for r in reports {
+            merged = Some(match merged {
+                Some(m) => m.parallel_with(&r),
+                None => r,
+            });
+        }
+        if let Some(m) = merged {
+            self.record(phase, m);
+        }
+    }
+
+    /// The aggregate of one phase (default-zero if never recorded).
+    pub fn phase(&self, name: &str) -> RunReport {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or_default()
+    }
+
+    /// Iterates `(phase, aggregate)` in first-use order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, RunReport)> + '_ {
+        self.phases.iter().map(|(n, r)| (n.as_str(), *r))
+    }
+
+    /// All phases sequenced together.
+    pub fn total(&self) -> RunReport {
+        self.phases
+            .iter()
+            .fold(RunReport::default(), |acc, (_, r)| acc.sequenced_with(r))
+    }
+
+    /// Sequences every phase of `other` into this ledger (phase-wise).
+    pub fn absorb(&mut self, other: &PhaseLedger) {
+        for (name, report) in other.iter() {
+            self.record(name, report);
+        }
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -64,6 +168,82 @@ mod tests {
         assert_eq!(c.messages, 14);
         assert_eq!(c.bits, 576);
         assert_eq!(c.max_link_bits_per_round, 64);
+    }
+
+    #[test]
+    fn parallel_merge_takes_max_rounds_and_sums_traffic() {
+        let a = RunReport {
+            rounds: 3,
+            messages: 10,
+            bits: 320,
+            max_link_bits_per_round: 32,
+        };
+        let b = RunReport {
+            rounds: 9,
+            messages: 4,
+            bits: 256,
+            max_link_bits_per_round: 16,
+        };
+        let c = a.parallel_with(&b);
+        assert_eq!(c.rounds, 9);
+        assert_eq!(c.messages, 14);
+        assert_eq!(c.bits, 576);
+        assert_eq!(c.max_link_bits_per_round, 32);
+    }
+
+    #[test]
+    fn phase_ledger_attributes_and_totals() {
+        let mut l = PhaseLedger::new();
+        l.record(
+            "a",
+            RunReport {
+                rounds: 2,
+                messages: 1,
+                ..Default::default()
+            },
+        );
+        l.record(
+            "a",
+            RunReport {
+                rounds: 3,
+                messages: 1,
+                ..Default::default()
+            },
+        );
+        l.record_parallel(
+            "b",
+            [
+                RunReport {
+                    rounds: 7,
+                    messages: 5,
+                    ..Default::default()
+                },
+                RunReport {
+                    rounds: 4,
+                    messages: 5,
+                    ..Default::default()
+                },
+            ],
+        );
+        assert_eq!(l.phase("a").rounds, 5);
+        assert_eq!(l.phase("b").rounds, 7);
+        assert_eq!(l.phase("b").messages, 10);
+        assert_eq!(l.phase("missing"), RunReport::default());
+        assert_eq!(l.total().rounds, 12);
+        assert_eq!(l.iter().count(), 2);
+
+        let mut m = PhaseLedger::new();
+        m.absorb(&l);
+        m.absorb(&l);
+        assert_eq!(m.phase("a").rounds, 10);
+    }
+
+    #[test]
+    fn empty_parallel_record_is_noop() {
+        let mut l = PhaseLedger::new();
+        l.record_parallel("x", std::iter::empty());
+        assert_eq!(l.iter().count(), 0);
+        assert_eq!(l.total(), RunReport::default());
     }
 
     #[test]

@@ -114,7 +114,130 @@ pub struct DecompositionResult {
     pub ledger: RoundLedger,
 }
 
+/// A reusable, pipeline-friendly view of a decomposition: cluster id per
+/// vertex, the inter-cluster edge list, and per-cluster conductance
+/// certificates. Built by [`DecompositionResult::cluster_assignment`].
+///
+/// This is the contract the triangle pipeline consumes (DESIGN.md §6):
+/// every kept edge has both endpoints in the same cluster, every removed
+/// edge appears exactly once in [`ClusterAssignment::inter_cluster`], and
+/// each cluster carries the conductance promise `φ` plus cheap measured
+/// evidence (volume, internal edge count) that downstream load-balancing
+/// arguments rely on.
+#[derive(Debug, Clone)]
+pub struct ClusterAssignment {
+    /// Number of vertices of the underlying graph.
+    pub n: usize,
+    /// Cluster id of every vertex (dense ids `0..cluster_count`).
+    pub cluster_of: Vec<u32>,
+    /// The clusters themselves, indexed by cluster id.
+    pub clusters: Vec<VertexSet>,
+    /// Every inter-cluster (removed) edge with its removal tag.
+    pub inter_cluster: Vec<(VertexId, VertexId, RemovalTag)>,
+    /// The conductance target `φ` every cluster is promised to meet.
+    pub phi: f64,
+    /// Per-cluster certificates, indexed by cluster id.
+    pub certificates: Vec<ClusterCertificate>,
+}
+
+/// Cheap per-cluster evidence backing the `φ` promise: the quantities the
+/// triangle pipeline's load-balancing argument needs, measured exactly.
+/// (For spectral certification of `φ` itself, see [`crate::verify`].)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCertificate {
+    /// Number of vertices in the cluster.
+    pub size: usize,
+    /// Edges with both endpoints inside the cluster (in the input graph).
+    pub internal_edges: usize,
+    /// Total input-graph degree of the cluster's vertices. Degrees are
+    /// preserved by loop compensation, so this is `Vol(G{Vᵢ})` too.
+    pub volume: usize,
+    /// Removed edges with at least one endpoint in this cluster.
+    pub incident_removed: usize,
+    /// The promised conductance of `G{Vᵢ}` (`φ_k` of the schedule).
+    pub phi_target: f64,
+}
+
+impl ClusterAssignment {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster id of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn cluster_id(&self, v: VertexId) -> u32 {
+        self.cluster_of[v as usize]
+    }
+
+    /// Whether `{u, v}` has both endpoints in the same cluster (kept edges
+    /// always do; removed edges never).
+    pub fn is_intra(&self, u: VertexId, v: VertexId) -> bool {
+        self.cluster_of[u as usize] == self.cluster_of[v as usize]
+    }
+
+    /// The inter-cluster edges without their tags (the recursion input of
+    /// the triangle pipeline).
+    pub fn inter_cluster_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.inter_cluster.iter().map(|&(u, v, _)| (u, v))
+    }
+}
+
 impl DecompositionResult {
+    /// Builds the [`ClusterAssignment`] view against the input graph `g`
+    /// (the graph `run` was called on — needed for the measured volumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different vertex count than the decomposed
+    /// graph.
+    pub fn cluster_assignment(&self, g: &Graph) -> ClusterAssignment {
+        let n = g.n();
+        let mut cluster_of = vec![u32::MAX; n];
+        for (id, part) in self.parts.iter().enumerate() {
+            for v in part.iter() {
+                cluster_of[v as usize] = id as u32;
+            }
+        }
+        assert!(
+            cluster_of.iter().all(|&c| c != u32::MAX),
+            "parts must cover every vertex of g"
+        );
+        let mut incident_removed = vec![0usize; self.parts.len()];
+        for &(u, v, _) in &self.removed_edges {
+            incident_removed[cluster_of[u as usize] as usize] += 1;
+            if cluster_of[u as usize] != cluster_of[v as usize] {
+                incident_removed[cluster_of[v as usize] as usize] += 1;
+            }
+        }
+        let certificates = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(id, part)| {
+                let volume = part.iter().map(|v| g.degree(v)).sum();
+                ClusterCertificate {
+                    size: part.len(),
+                    internal_edges: g.internal_edges(part),
+                    volume,
+                    incident_removed: incident_removed[id],
+                    phi_target: self.phi,
+                }
+            })
+            .collect();
+        ClusterAssignment {
+            n,
+            cluster_of,
+            clusters: self.parts.clone(),
+            inter_cluster: self.removed_edges.clone(),
+            phi: self.phi,
+            certificates,
+        }
+    }
+
     /// Fraction of edges removed: must be ≤ ε.
     pub fn inter_cluster_fraction(&self) -> f64 {
         if self.m == 0 {
@@ -638,6 +761,59 @@ mod tests {
         check_is_partition(&res.parts, 16);
         assert_eq!(res.parts.len(), 2);
         assert!(res.removed_edges.is_empty());
+    }
+
+    #[test]
+    fn cluster_assignment_is_consistent() {
+        let (g, _) = gen::ring_of_cliques(6, 8).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .epsilon(0.3)
+            .seed(7)
+            .build()
+            .run(&g)
+            .unwrap();
+        let asg = res.cluster_assignment(&g);
+        assert_eq!(asg.n, g.n());
+        assert_eq!(asg.cluster_count(), res.parts.len());
+        assert_eq!(asg.inter_cluster.len(), res.removed_edges.len());
+        // cluster_of agrees with the parts.
+        for (id, part) in asg.clusters.iter().enumerate() {
+            for v in part.iter() {
+                assert_eq!(asg.cluster_id(v), id as u32);
+            }
+        }
+        // Every removed edge crosses clusters; every kept edge does not.
+        for (u, v) in asg.inter_cluster_edges() {
+            assert!(!asg.is_intra(u, v), "removed edge {u}-{v} intra-cluster");
+        }
+        let kept = g.remove_edges(asg.inter_cluster_edges(), false);
+        for (u, v) in kept.edges() {
+            assert!(asg.is_intra(u, v), "kept edge {u}-{v} crosses clusters");
+        }
+        // Certificates measure the input graph exactly.
+        let total_internal: usize = asg.certificates.iter().map(|c| c.internal_edges).sum();
+        assert_eq!(total_internal + asg.inter_cluster.len(), g.m());
+        let total_vol: usize = asg.certificates.iter().map(|c| c.volume).sum();
+        assert_eq!(total_vol, g.total_volume());
+        for c in &asg.certificates {
+            assert!((c.phi_target - res.phi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cluster_assignment_covers_singletons() {
+        // A path decomposes heavily; every vertex must still get a cluster.
+        let g = gen::path(12).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .seed(3)
+            .build()
+            .run(&g)
+            .unwrap();
+        let asg = res.cluster_assignment(&g);
+        assert!(asg
+            .cluster_of
+            .iter()
+            .all(|&c| (c as usize) < asg.cluster_count()));
     }
 
     #[test]

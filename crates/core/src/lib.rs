@@ -49,6 +49,8 @@ pub mod rounds;
 pub mod sparse_cut;
 pub mod verify;
 
-pub use decomposition::{DecompositionResult, ExpanderDecomposition};
+pub use decomposition::{
+    ClusterAssignment, ClusterCertificate, DecompositionResult, ExpanderDecomposition,
+};
 pub use params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
 pub use sparse_cut::{nearly_most_balanced_sparse_cut, SparseCutOutcome};

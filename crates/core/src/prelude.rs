@@ -1,6 +1,8 @@
 //! Convenience re-exports for consumers of the `expander` crate.
 
-pub use crate::decomposition::{DecompositionResult, ExpanderDecomposition, RemovalTag};
+pub use crate::decomposition::{
+    ClusterAssignment, ClusterCertificate, DecompositionResult, ExpanderDecomposition, RemovalTag,
+};
 pub use crate::ldd::{
     clustering, clustering_with_starts, low_diameter_decomposition, LddOutcome, LddParams,
 };

@@ -32,11 +32,14 @@ pub fn to_edge_list(g: &Graph) -> String {
 
 /// Parses the edge-list format produced by [`to_edge_list`].
 ///
+/// Every rejection is a [`GraphError::Parse`] carrying the 1-based line
+/// number and the offending token, so errors in pipeline-scale inputs
+/// (hundreds of thousands of lines) point at the exact record to fix.
+///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] on malformed input and
-/// [`GraphError::VertexOutOfRange`] when an edge endpoint exceeds the
-/// declared vertex count.
+/// Returns [`GraphError::Parse`] on malformed input, including edge
+/// endpoints that exceed the declared vertex count.
 pub fn from_edge_list(text: &str) -> Result<Graph> {
     let mut n: Option<usize> = None;
     let mut edges = Vec::new();
@@ -46,29 +49,49 @@ pub fn from_edge_list(text: &str) -> Result<Graph> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next(), parts.next()) {
-            (Some("n"), Some(count), None) if n.is_none() => {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match (fields.as_slice(), n) {
+            (["n", count], None) => {
                 n = Some(count.parse().map_err(|_| GraphError::Parse {
                     line: line_no,
-                    reason: format!("bad vertex count {count:?}"),
+                    reason: format!("bad vertex count {count:?} in header"),
                 })?);
             }
-            (Some(a), Some(b), None) if n.is_some() => {
-                let u: u32 = a.parse().map_err(|_| GraphError::Parse {
-                    line: line_no,
-                    reason: format!("bad vertex id {a:?}"),
-                })?;
-                let v: u32 = b.parse().map_err(|_| GraphError::Parse {
-                    line: line_no,
-                    reason: format!("bad vertex id {b:?}"),
-                })?;
-                edges.push((u, v));
-            }
-            _ => {
+            (["n", _], Some(_)) => {
                 return Err(GraphError::Parse {
                     line: line_no,
-                    reason: format!("unrecognized record {line:?}"),
+                    reason: format!("duplicate 'n <count>' header {line:?}"),
+                });
+            }
+            ([_, _], None) => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("edge record {line:?} before the 'n <count>' header"),
+                });
+            }
+            ([a, b], Some(count)) => {
+                let parse_id = |tok: &str| -> Result<u32> {
+                    let id: u32 = tok.parse().map_err(|_| GraphError::Parse {
+                        line: line_no,
+                        reason: format!("bad vertex id {tok:?}"),
+                    })?;
+                    if id as usize >= count {
+                        return Err(GraphError::Parse {
+                            line: line_no,
+                            reason: format!("vertex id {tok:?} out of range (n = {count})"),
+                        });
+                    }
+                    Ok(id)
+                };
+                edges.push((parse_id(a)?, parse_id(b)?));
+            }
+            (fields, _) => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!(
+                        "unrecognized record {line:?}: expected 'u v', found {} field(s)",
+                        fields.len()
+                    ),
                 });
             }
         }
@@ -108,21 +131,46 @@ mod tests {
         assert_eq!(g.m(), 2);
     }
 
-    #[test]
-    fn parse_errors_carry_line_numbers() {
-        let err = from_edge_list("n 3\n0 x\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
-        let err = from_edge_list("0 1\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
-        let err = from_edge_list("").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
-        let err = from_edge_list("n 2\n0 1 2\n").unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    fn parse_reason(err: GraphError) -> (usize, String) {
+        match err {
+            GraphError::Parse { line, reason } => (line, reason),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]
-    fn out_of_range_edge_rejected() {
-        let err = from_edge_list("n 2\n0 7\n").unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    fn parse_errors_carry_line_numbers_and_tokens() {
+        let (line, reason) = parse_reason(from_edge_list("n 3\n0 x\n").unwrap_err());
+        assert_eq!(line, 2);
+        assert!(reason.contains("\"x\""), "token missing: {reason}");
+
+        let (line, reason) = parse_reason(from_edge_list("0 1\n").unwrap_err());
+        assert_eq!(line, 1);
+        assert!(reason.contains("before the 'n <count>' header"), "{reason}");
+
+        let (line, _) = parse_reason(from_edge_list("").unwrap_err());
+        assert_eq!(line, 0);
+
+        let (line, reason) = parse_reason(from_edge_list("n 2\n0 1 2\n").unwrap_err());
+        assert_eq!(line, 2);
+        assert!(reason.contains("3 field(s)"), "{reason}");
+
+        let (line, reason) = parse_reason(from_edge_list("n three\n").unwrap_err());
+        assert_eq!(line, 1);
+        assert!(reason.contains("\"three\""), "{reason}");
+
+        let (line, reason) = parse_reason(from_edge_list("n 2\nn 3\n0 1\n").unwrap_err());
+        assert_eq!(line, 2);
+        assert!(reason.contains("duplicate"), "{reason}");
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected_with_context() {
+        let (line, reason) = parse_reason(from_edge_list("n 2\n0 1\n0 7\n").unwrap_err());
+        assert_eq!(line, 3);
+        assert!(
+            reason.contains("\"7\"") && reason.contains("n = 2"),
+            "{reason}"
+        );
     }
 }

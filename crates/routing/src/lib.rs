@@ -30,7 +30,7 @@
 mod hierarchy;
 mod mixing;
 
-pub use hierarchy::{RouteOutcome, RoutingHierarchy, RoutingRequest};
+pub use hierarchy::{BatchOutcome, EdgeBatch, RouteOutcome, RoutingHierarchy, RoutingRequest};
 pub use mixing::estimate_mixing_time;
 
 /// Errors from building or querying the routing structure.

@@ -14,6 +14,11 @@
 //!   CONGESTED-CLIQUE lister (`O(n^{1/3})` rounds via Lenzen routing),
 //!   the baseline that establishes Theorem 2's headline: CONGEST matches
 //!   CONGESTED-CLIQUE up to polylog factors.
+//! * [`pipeline`] — the end-to-end composition: decomposition →
+//!   per-cluster batched expander routing → intra-cluster enumeration
+//!   executed on the parallel CONGEST round engine → recursion on `E*`,
+//!   with per-phase round/message budgets reported against the paper's
+//!   bounds.
 //!
 //! Every algorithm returns a *sorted, deduplicated* triangle list so
 //! completeness is a one-line assertion against ground truth.
@@ -24,7 +29,9 @@
 pub mod clique_algo;
 pub mod congest_algo;
 pub mod count;
+pub mod pipeline;
 
 pub use clique_algo::{clique_enumerate, CliqueEnumeration};
 pub use congest_algo::{congest_enumerate, CongestEnumeration, TriangleConfig};
 pub use count::{count_triangles, enumerate_triangles, Triangle};
+pub use pipeline::{enumerate_via_decomposition, PipelineParams, TriangleReport};

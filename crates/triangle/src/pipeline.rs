@@ -1,0 +1,721 @@
+//! The end-to-end Theorem 2 pipeline: expander decomposition → per-cluster
+//! expander routing → intra-cluster enumeration **on the CONGEST round
+//! engine** → recursion on the removed-edge subgraph.
+//!
+//! This module wires the repo's pieces — [`expander::decomposition`] (via
+//! its [`expander::ClusterAssignment`] contract), [`routing`]'s batched
+//! [`EdgeBatch`] deliveries, and the [`congest`] engine in
+//! [`ExecMode::Parallel`] — into the single entry point
+//! [`enumerate_via_decomposition`]. Where [`crate::congest_algo`] charges
+//! the listing rounds analytically, the pipeline *executes* the
+//! intra-cluster exchange as a real [`congest::VertexProgram`] per cluster
+//! and reports measured engine traffic per phase next to the analytic
+//! routing/decomposition charges and the paper's budgets.
+//!
+//! Per recursion level, on the current edge set `E`:
+//!
+//! 1. **Decompose** (`ε ≤ 1/6`): [`ExpanderDecomposition`] splits `E` into
+//!    expander clusters plus removed edges `E*` (`|E*| ≤ ε·|E|`).
+//! 2. **Route**: inside each cluster, the cluster-incident edge slices are
+//!    redistributed to the owners of the DLP group triples with one
+//!    batched [`RoutingHierarchy::route_edges`] instance (per-vertex load
+//!    `O(deg(v))` per query ⇒ `Õ(n^{1/3})` queries, §3).
+//! 3. **Enumerate**: each cluster runs an adjacency-exchange
+//!    [`congest::VertexProgram`] on its induced subgraph under
+//!    [`ExecMode::Parallel`]; every triangle with ≥ 1 intra-cluster edge
+//!    is listed at the edge's lower endpoint. Disjoint clusters step
+//!    simultaneously, so their [`RunReport`]s fold via
+//!    [`RunReport::parallel_with`] into the level's [`PhaseLedger`].
+//! 4. **Recurse** on `E*` with the depth schedule of
+//!    [`expander::params::DecompositionParams`]; since `|E*| ≤ |E|/6`,
+//!    `O(log m)` levels suffice, after which any residual is brute-forced
+//!    with an honest `O(m + n)` charge.
+
+use crate::count::Triangle;
+use congest::{Ctx, ExecMode, Network, PhaseLedger, RunReport, VertexProgram};
+use expander::params::DecompositionParams;
+use expander::{ExpanderDecomposition, ParamMode};
+use graph::view::Subgraph;
+use graph::{Graph, VertexId, VertexSet};
+use routing::{EdgeBatch, RoutingHierarchy};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for [`enumerate_via_decomposition`].
+#[derive(Debug, Clone)]
+pub struct PipelineParams {
+    /// Decomposition edge budget per level (clamped to the paper's
+    /// `ε ≤ 1/6`).
+    pub epsilon: f64,
+    /// Decomposition trade-off integer `k`.
+    pub decomposition_k: usize,
+    /// GKS hierarchy depth per cluster (constant, per §3).
+    pub routing_depth: usize,
+    /// Parameter calibration.
+    pub mode: ParamMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Hard cap on recursion depth; the schedule derived from
+    /// [`DecompositionParams`] is used up to this cap, after which the
+    /// residual is brute-forced.
+    pub max_depth: usize,
+    /// How the engine steps vertices inside each cluster run.
+    pub exec: ExecMode,
+    /// Maximum number of witness triangles sampled into the report.
+    pub witness_cap: usize,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            epsilon: 1.0 / 6.0,
+            decomposition_k: 2,
+            routing_depth: 3,
+            mode: ParamMode::Practical,
+            seed: 0,
+            max_depth: 12,
+            exec: ExecMode::Parallel,
+            witness_cap: 16,
+        }
+    }
+}
+
+/// Per-level breakdown: analytic charges next to measured engine traffic.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// Recursion depth of this level (0 = the input graph).
+    pub depth: usize,
+    /// Edges at this level.
+    pub m: usize,
+    /// Non-singleton clusters that ran the enumeration.
+    pub clusters: usize,
+    /// The conductance promise `φ` of this level's decomposition.
+    pub phi: f64,
+    /// Triangles first reported at this level.
+    pub triangles_found: usize,
+    /// Rounds charged to the expander decomposition (RoundLedger total).
+    pub decomposition_rounds: u64,
+    /// Routing preprocessing rounds (max over clusters — they build in
+    /// parallel).
+    pub routing_build_rounds: u64,
+    /// Routing queries of the heaviest cluster's batched redistribution.
+    pub routing_queries: u64,
+    /// Rounds of the batched redistribution (max over clusters).
+    pub routing_rounds: u64,
+    /// Measured engine traffic of the intra-cluster enumeration runs
+    /// (parallel fold over clusters).
+    pub engine: RunReport,
+}
+
+impl LevelReport {
+    /// Total rounds charged to this level (analytic + measured).
+    pub fn rounds(&self) -> u64 {
+        self.decomposition_rounds
+            + self.routing_build_rounds
+            + self.routing_rounds
+            + self.engine.rounds as u64
+    }
+}
+
+/// Result of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct TriangleReport {
+    /// All triangles, sorted and deduplicated.
+    pub triangles: Vec<Triangle>,
+    /// A deterministic sample of at most `witness_cap` triangles, spread
+    /// evenly across the sorted list.
+    pub witnesses: Vec<Triangle>,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelReport>,
+    /// Engine-measured traffic attributed to pipeline phases
+    /// (`"enumerate"` is the only engine-driven phase today; the hooks
+    /// accept more as phases move onto the engine).
+    pub phases: PhaseLedger,
+    /// The depth/φ schedule the recursion was configured from.
+    pub schedule: DecompositionParams,
+    /// Rounds charged for the residual brute force (0 unless `max_depth`
+    /// was exhausted with edges left).
+    pub residual_rounds: u64,
+    /// Vertices of the input graph.
+    pub n: usize,
+    /// Edges of the input graph.
+    pub m: usize,
+}
+
+impl TriangleReport {
+    /// Number of triangles found.
+    pub fn count(&self) -> u64 {
+        self.triangles.len() as u64
+    }
+
+    /// Total rounds across all levels plus the residual charge.
+    pub fn total_rounds(&self) -> u64 {
+        self.levels.iter().map(LevelReport::rounds).sum::<u64>() + self.residual_rounds
+    }
+
+    /// The heaviest batched-routing instance across all levels — the
+    /// quantity Theorem 2 bounds by `Õ(n^{1/3})`.
+    pub fn max_routing_queries(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.routing_queries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The paper's per-cluster query budget `n^{1/3}·log² n` (the polylog
+    /// is the practical stand-in for the Õ(·) factors; EXPERIMENTS
+    /// compare measured queries against this curve).
+    pub fn paper_query_budget(&self) -> f64 {
+        let n = self.n.max(2) as f64;
+        n.powf(1.0 / 3.0) * n.log2() * n.log2()
+    }
+
+    /// Whether every level's measured queries stayed within
+    /// `slack × paper_query_budget()`.
+    pub fn within_paper_budget(&self, slack: f64) -> bool {
+        self.max_routing_queries() as f64 <= slack * self.paper_query_budget()
+    }
+}
+
+/// Runs the full paper algorithm on `g`: decomposition, per-cluster
+/// routing + engine-driven enumeration, recursion on the removed edges.
+///
+/// # Example
+///
+/// ```
+/// use triangle::pipeline::{enumerate_via_decomposition, PipelineParams};
+///
+/// let g = graph::gen::gnp(40, 0.3, 7).unwrap();
+/// let report = enumerate_via_decomposition(&g, &PipelineParams::default());
+/// assert_eq!(report.count(), triangle::count_triangles(&g));
+/// assert!(report.total_rounds() > 0);
+/// ```
+pub fn enumerate_via_decomposition(g: &Graph, params: &PipelineParams) -> TriangleReport {
+    let n = g.n();
+    let eps = params.epsilon.clamp(1e-3, 1.0 / 6.0);
+    // The depth/φ schedule: DecompositionParams carries the per-level φ
+    // ladder; |E*| ≤ ε·|E| per level bounds the useful recursion depth at
+    // log_{1/ε}(m) + 1, capped by the configured max_depth.
+    let schedule = DecompositionParams::new(eps, params.decomposition_k.max(1), n, params.mode);
+    let depth_cap = if g.m() == 0 {
+        0
+    } else {
+        let by_shrink = ((g.m() as f64).ln() / (1.0 / eps).ln()).ceil() as usize + 1;
+        by_shrink.min(params.max_depth)
+    };
+
+    let mut triangles: Vec<Triangle> = Vec::new();
+    let mut levels: Vec<LevelReport> = Vec::new();
+    let mut phases = PhaseLedger::new();
+    let mut current = g.clone();
+    for depth in 0..depth_cap {
+        if current.m() == 0 || n < 3 {
+            break;
+        }
+        let decomp = ExpanderDecomposition::builder()
+            .epsilon(eps)
+            .k(params.decomposition_k.max(1))
+            .mode(params.mode)
+            .seed(params.seed.wrapping_add(depth as u64 * 0x9E37))
+            .build()
+            .run(&current)
+            .expect("level graph is non-empty");
+        let assignment = decomp.cluster_assignment(&current);
+        let kept = current.remove_edges(assignment.inter_cluster_edges(), false);
+
+        let mut level = LevelReport {
+            depth,
+            m: current.m(),
+            clusters: 0,
+            phi: decomp.phi,
+            triangles_found: 0,
+            decomposition_rounds: decomp.ledger.total(),
+            routing_build_rounds: 0,
+            routing_queries: 0,
+            routing_rounds: 0,
+            engine: RunReport::default(),
+        };
+        let before = triangles.len();
+        let mut engine_reports: Vec<RunReport> = Vec::new();
+        for (id, part) in assignment.clusters.iter().enumerate() {
+            if assignment.certificates[id].internal_edges == 0 || part.len() < 2 {
+                continue;
+            }
+            let cluster = run_cluster(&current, &kept, part, params, depth as u64);
+            level.clusters += 1;
+            level.routing_build_rounds = level.routing_build_rounds.max(cluster.build_rounds);
+            level.routing_queries = level.routing_queries.max(cluster.queries);
+            level.routing_rounds = level.routing_rounds.max(cluster.routing_rounds);
+            engine_reports.push(cluster.engine);
+            triangles.extend(cluster.triangles);
+        }
+        level.engine = engine_reports
+            .iter()
+            .fold(RunReport::default(), |acc, r| acc.parallel_with(r));
+        phases.record_parallel("enumerate", engine_reports);
+        triangles.sort_unstable();
+        triangles.dedup();
+        level.triangles_found = triangles.len().saturating_sub(before.min(triangles.len()));
+        levels.push(level);
+
+        // Recurse on E*.
+        current = Graph::from_edges(n, assignment.inter_cluster_edges()).expect("ids in range");
+    }
+
+    // Residual brute force: only reached when the depth schedule was
+    // exhausted with edges left; charged O(m + n).
+    let mut residual_rounds = 0u64;
+    if current.m() > 0 && n >= 3 {
+        triangles.extend(crate::count::enumerate_triangles(&current));
+        triangles.sort_unstable();
+        triangles.dedup();
+        residual_rounds = (current.m() + n) as u64;
+    }
+
+    let witnesses = sample_witnesses(&triangles, params.witness_cap);
+    TriangleReport {
+        witnesses,
+        triangles,
+        levels,
+        phases,
+        schedule,
+        residual_rounds,
+        n,
+        m: g.m(),
+    }
+}
+
+/// Deterministic, evenly spread sample of at most `cap` triangles.
+fn sample_witnesses(triangles: &[Triangle], cap: usize) -> Vec<Triangle> {
+    if cap == 0 || triangles.is_empty() {
+        return Vec::new();
+    }
+    let take = cap.min(triangles.len());
+    (0..take)
+        .map(|i| triangles[i * triangles.len() / take])
+        .collect()
+}
+
+/// What one cluster contributes to a level.
+struct ClusterRun {
+    triangles: Vec<Triangle>,
+    build_rounds: u64,
+    queries: u64,
+    routing_rounds: u64,
+    engine: RunReport,
+}
+
+/// Runs one cluster: routing redistribution accounting + the engine-driven
+/// adjacency exchange + the local joins.
+fn run_cluster(
+    current: &Graph,
+    kept: &Graph,
+    part: &VertexSet,
+    params: &PipelineParams,
+    level_salt: u64,
+) -> ClusterRun {
+    let sub = Subgraph::induced(kept, part);
+    let members: Vec<VertexId> = sub.parent_ids().to_vec();
+    let local_n = members.len();
+
+    // Full-graph (current level) adjacency of every member, sorted and
+    // deduplicated — the per-vertex local knowledge CONGEST grants.
+    let full_adj: Arc<Vec<Vec<VertexId>>> = Arc::new(
+        members
+            .iter()
+            .map(|&v| {
+                let mut a: Vec<VertexId> = current.neighbors(v).to_vec();
+                a.dedup(); // neighbors() is sorted; drop parallel edges
+                a
+            })
+            .collect(),
+    );
+
+    // ── Phase: route — batched redistribution of the cluster-incident
+    // edge slices to the DLP triple owners, accounted via route_edges. ──
+    let (build_rounds, queries, routing_rounds) =
+        route_cluster_slices(current, part, &sub, &members, params, level_salt);
+
+    // ── Phase: enumerate — the adjacency exchange on the round engine. ──
+    let max_items = full_adj.iter().map(Vec::len).max().unwrap_or(0);
+    let network = Network::new(sub.graph()).with_exec_mode(params.exec);
+    let adj_for_make = Arc::clone(&full_adj);
+    let make = move |v: VertexId| AdjacencyExchange::new(v, local_n, Arc::clone(&adj_for_make));
+    let (engine, programs) = network
+        .run_collect(make, max_items + 2)
+        .expect("adjacency exchange is a valid CONGEST program");
+
+    // Local joins: for every intra-cluster edge {u, v} (lower local id
+    // owns it), intersect N(u) with the collected N(v).
+    let mut triangles = Vec::new();
+    for (u_local, prog) in programs.iter().enumerate() {
+        let u_global = members[u_local];
+        let mut prev = None;
+        for &v_local in sub.graph().neighbors(u_local as VertexId) {
+            if (v_local as usize) <= u_local || prev == Some(v_local) {
+                continue; // lower endpoint owns the edge; skip parallels
+            }
+            prev = Some(v_local);
+            let v_global = members[v_local as usize];
+            let nv = &prog.collected[v_local as usize];
+            merge_intersect(&full_adj[u_local], nv, u_global, v_global, &mut triangles);
+        }
+    }
+    triangles.sort_unstable();
+    triangles.dedup();
+
+    ClusterRun {
+        triangles,
+        build_rounds,
+        queries,
+        routing_rounds,
+        engine,
+    }
+}
+
+/// Builds the DLP tripartition batches for one cluster and routes them
+/// through the cluster's GKS hierarchy. Returns
+/// `(build_rounds, queries, routing_rounds)`.
+fn route_cluster_slices(
+    current: &Graph,
+    part: &VertexSet,
+    sub: &Subgraph,
+    members: &[VertexId],
+    params: &PipelineParams,
+    level_salt: u64,
+) -> (u64, u64, u64) {
+    let hierarchy = match RoutingHierarchy::build(
+        sub.graph(),
+        params.routing_depth.max(1),
+        params.seed ^ 0xABCD ^ level_salt,
+    ) {
+        Ok(h) => h,
+        // Degenerate cluster (cannot happen when internal_edges > 0).
+        Err(_) => return (0, 1, 1),
+    };
+
+    // Group the global vertex set into g = ⌈|Vᵢ|^{1/3}⌉ classes.
+    let groups = (members.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
+    let salt = params.seed ^ level_salt.wrapping_mul(0x9E3779B97F4A7C15);
+    let group_of = |v: VertexId| {
+        ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32
+    };
+    let pair_index = |x: u32, y: u32| {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        lo as usize * groups + hi as usize
+    };
+
+    // Bucket the cluster-incident edges by group pair; the cluster-side
+    // endpoint (lower one for intra edges) holds the slice.
+    let mut pair_holders: Vec<Vec<VertexId>> = vec![Vec::new(); groups * groups];
+    for u in part.iter() {
+        for &w in current.neighbors(u) {
+            if w > u || !part.contains(w) {
+                pair_holders[pair_index(group_of(u), group_of(w))].push(u);
+            }
+        }
+    }
+
+    // Degree-proportional triple ownership (the DLP counting argument):
+    // vertex v owns ⌈deg(v)·T/Vol⌉ consecutive triples.
+    let total_deg: usize = members
+        .iter()
+        .map(|&v| current.degree(v))
+        .sum::<usize>()
+        .max(1);
+    let triple_total = groups * (groups + 1) * (groups + 2) / 6; // C(g+2, 3)
+    let share = |v: VertexId| {
+        (current.degree(v) * triple_total)
+            .div_ceil(total_deg)
+            .max(1)
+    };
+    let mut slice_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+    let mut acc = 0usize;
+    let mut member_idx = 0usize;
+    let mut member_budget = share(members[0]);
+    for a in 0..groups as u32 {
+        for b in a..groups as u32 {
+            for c in b..groups as u32 {
+                let owner_local = member_idx as VertexId;
+                // A degenerate triple (repeated groups) references the
+                // same pair bucket more than once — deliver it once.
+                let mut pairs = [pair_index(a, b), pair_index(b, c), pair_index(a, c)];
+                pairs.sort_unstable();
+                for (i, &pair) in pairs.iter().enumerate() {
+                    if i > 0 && pairs[i - 1] == pair {
+                        continue;
+                    }
+                    for &holder in &pair_holders[pair] {
+                        let holder_local = sub.to_local(holder).expect("holder is a member");
+                        *slice_words.entry((holder_local, owner_local)).or_insert(0) += 1;
+                    }
+                }
+                acc += 1;
+                if acc >= member_budget && member_idx + 1 < members.len() {
+                    acc = 0;
+                    member_idx += 1;
+                    member_budget = share(members[member_idx]);
+                }
+            }
+        }
+    }
+    let mut batches: Vec<EdgeBatch> = slice_words
+        .into_iter()
+        .map(|((src, dst), words)| EdgeBatch { src, dst, words })
+        .collect();
+    batches.sort_unstable_by_key(|b| (b.src, b.dst)); // determinism
+    let outcome = hierarchy
+        .route_edges(sub.graph(), &batches)
+        .expect("batch endpoints are cluster-local");
+    (
+        hierarchy.preprocessing_rounds(),
+        outcome.queries,
+        outcome.rounds,
+    )
+}
+
+/// Merge-intersects two sorted neighbor lists, emitting triangles for the
+/// intra edge `{u, v}`.
+fn merge_intersect(
+    nu: &[VertexId],
+    nv: &[VertexId],
+    u: VertexId,
+    v: VertexId,
+    out: &mut Vec<Triangle>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let w = nu[i];
+                if w != u && w != v {
+                    out.push(Triangle::new(u, v, w));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// The intra-cluster exchange program: each vertex streams its full-graph
+/// adjacency (global ids, one per round per incident cluster edge) to all
+/// cluster neighbors; receivers with a lower local id collect the lists
+/// they will join against. Rounds = max full-graph degree in the cluster.
+struct AdjacencyExchange {
+    me: usize,
+    /// Shared per-vertex full-graph adjacency, indexed by local id.
+    adj: Arc<Vec<Vec<VertexId>>>,
+    /// Next item of our own list to stream.
+    pos: usize,
+    /// Collected lists, indexed by sender local id (only senders with a
+    /// higher local id are stored — the lower endpoint owns each edge).
+    collected: Vec<Vec<VertexId>>,
+}
+
+impl AdjacencyExchange {
+    fn new(me: VertexId, local_n: usize, adj: Arc<Vec<Vec<VertexId>>>) -> Self {
+        AdjacencyExchange {
+            me: me as usize,
+            adj,
+            pos: 0,
+            collected: vec![Vec::new(); local_n],
+        }
+    }
+
+    fn stream_next<M>(&mut self, ctx: &mut Ctx<'_, M>)
+    where
+        M: congest::Payload + From<VertexId>,
+    {
+        if self.pos < self.adj[self.me].len() {
+            ctx.broadcast(M::from(self.adj[self.me][self.pos]));
+            self.pos += 1;
+        }
+    }
+}
+
+impl VertexProgram for AdjacencyExchange {
+    type Msg = u32;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+        self.stream_next(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+        for &(sender, item) in inbox {
+            if (sender as usize) > self.me {
+                self.collected[sender as usize].push(item);
+            }
+        }
+        self.stream_next(ctx);
+    }
+
+    fn halted(&self) -> bool {
+        self.pos >= self.adj[self.me].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::enumerate_triangles;
+    use graph::gen;
+
+    fn assert_complete(g: &Graph, params: &PipelineParams) -> TriangleReport {
+        let report = enumerate_via_decomposition(g, params);
+        let want = enumerate_triangles(g);
+        assert_eq!(
+            report.triangles,
+            want,
+            "n = {}, m = {}: pipeline incomplete",
+            g.n(),
+            g.m()
+        );
+        report
+    }
+
+    #[test]
+    fn complete_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnp(40, 0.25, seed).unwrap();
+            assert_complete(&g, &PipelineParams::default());
+        }
+    }
+
+    #[test]
+    fn complete_on_cluster_graphs() {
+        let (g, _) = gen::ring_of_cliques(5, 6).unwrap();
+        assert_complete(&g, &PipelineParams::default());
+        let pp = gen::planted_partition(&[20, 20], 0.5, 0.08, 7).unwrap();
+        assert_complete(&pp.graph, &PipelineParams::default());
+    }
+
+    #[test]
+    fn complete_when_decomposition_removes_everything() {
+        // Paths, stars and matchings decompose into singletons — every
+        // edge lands in E* and recursion/residual must still finish.
+        for g in [
+            gen::path(10).unwrap(),
+            gen::star(8).unwrap(),
+            Graph::from_edges(8, [(0, 1), (2, 3), (4, 5), (6, 7)]).unwrap(),
+        ] {
+            assert_complete(&g, &PipelineParams::default());
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_exec_agree() {
+        let g = gen::gnp(36, 0.3, 9).unwrap();
+        let par = enumerate_via_decomposition(
+            &g,
+            &PipelineParams {
+                exec: ExecMode::Parallel,
+                ..Default::default()
+            },
+        );
+        let seq = enumerate_via_decomposition(
+            &g,
+            &PipelineParams {
+                exec: ExecMode::Sequential,
+                ..Default::default()
+            },
+        );
+        assert_eq!(par.triangles, seq.triangles);
+        assert_eq!(par.total_rounds(), seq.total_rounds());
+        assert_eq!(par.phases.phase("enumerate"), seq.phases.phase("enumerate"));
+    }
+
+    #[test]
+    fn engine_traffic_is_measured() {
+        let (g, _) = gen::ring_of_cliques(4, 6).unwrap();
+        let report = assert_complete(&g, &PipelineParams::default());
+        let enumerate = report.phases.phase("enumerate");
+        assert!(enumerate.rounds > 0, "engine rounds must be measured");
+        assert!(enumerate.messages > 0);
+        assert!(report.levels[0].engine.rounds > 0);
+        // The engine phase is part of the total.
+        assert!(report.total_rounds() >= enumerate.rounds as u64);
+    }
+
+    #[test]
+    fn witnesses_are_a_sample_of_the_listing() {
+        let g = gen::complete(12).unwrap();
+        let report = assert_complete(&g, &PipelineParams::default());
+        assert_eq!(report.witnesses.len(), 16.min(report.triangles.len()));
+        for w in &report.witnesses {
+            assert!(report.triangles.binary_search(w).is_ok());
+        }
+        let none = enumerate_via_decomposition(
+            &g,
+            &PipelineParams {
+                witness_cap: 0,
+                ..Default::default()
+            },
+        );
+        assert!(none.witnesses.is_empty());
+    }
+
+    #[test]
+    fn levels_shrink_and_budget_holds() {
+        let g = gen::gnp(50, 0.3, 11).unwrap();
+        let report = assert_complete(&g, &PipelineParams::default());
+        for pair in report.levels.windows(2) {
+            assert!(
+                pair[1].m <= pair[0].m / 2,
+                "E* must shrink: {} -> {}",
+                pair[0].m,
+                pair[1].m
+            );
+        }
+        assert!(
+            report.within_paper_budget(8.0),
+            "queries {} vs budget {}",
+            report.max_routing_queries(),
+            report.paper_query_budget()
+        );
+    }
+
+    #[test]
+    fn triangle_free_graphs_report_nothing() {
+        for g in [gen::cycle(12).unwrap(), gen::grid(5, 5).unwrap()] {
+            let report = enumerate_via_decomposition(&g, &PipelineParams::default());
+            assert!(report.triangles.is_empty());
+            assert!(report.witnesses.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::gnp(36, 0.3, 5).unwrap();
+        let a = enumerate_via_decomposition(&g, &PipelineParams::default());
+        let b = enumerate_via_decomposition(&g, &PipelineParams::default());
+        assert_eq!(a.triangles, b.triangles);
+        assert_eq!(a.total_rounds(), b.total_rounds());
+        assert_eq!(a.witnesses, b.witnesses);
+    }
+
+    #[test]
+    fn edgeless_and_tiny_graphs() {
+        let empty = Graph::from_edges(5, []).unwrap();
+        let report = enumerate_via_decomposition(&empty, &PipelineParams::default());
+        assert!(report.triangles.is_empty());
+        assert_eq!(report.total_rounds(), 0);
+        let two = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let report = enumerate_via_decomposition(&two, &PipelineParams::default());
+        assert!(report.triangles.is_empty());
+    }
+
+    #[test]
+    fn schedule_is_exposed() {
+        let g = gen::gnp(30, 0.3, 2).unwrap();
+        let report = enumerate_via_decomposition(&g, &PipelineParams::default());
+        assert_eq!(report.schedule.k, 2);
+        assert!(!report.schedule.phi_schedule.is_empty());
+        for level in &report.levels {
+            assert!(level.phi > 0.0);
+        }
+    }
+}

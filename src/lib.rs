@@ -56,7 +56,7 @@ pub mod prelude {
     pub use graph::prelude::*;
     pub use routing::{RoutingHierarchy, RoutingRequest};
     pub use triangle::{
-        clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles, Triangle,
-        TriangleConfig,
+        clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
+        enumerate_via_decomposition, PipelineParams, Triangle, TriangleConfig, TriangleReport,
     };
 }
