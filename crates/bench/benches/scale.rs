@@ -1,0 +1,50 @@
+//! Scale-tier benches: chunk-parallel generation and the
+//! planted-assignment pipeline, sequential vs scheduler-parallel.
+//!
+//! Sizes are chosen so one iteration stays well under a second — the CI
+//! `bench-smoke` job runs these in quick mode and gates regressions
+//! against `BENCH_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::{ClusterAssignment, SchedulerPolicy};
+use triangle::pipeline::{enumerate_with_assignment, PipelineParams};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("gen_power_law", "100k"), |b| {
+        b.iter(|| bench_suite::scale_power_law(100_000, 7))
+    });
+    group.bench_function(BenchmarkId::new("gen_ring_expanders", "100k"), |b| {
+        b.iter(|| bench_suite::scale_ring_of_expanders(100_000, 7))
+    });
+    group.bench_function(BenchmarkId::new("gen_planted", "100k"), |b| {
+        b.iter(|| bench_suite::scale_planted_partition(100_000, 7))
+    });
+    group.finish();
+}
+
+fn bench_planted_pipeline(c: &mut Criterion) {
+    let (g, blocks) = bench_suite::scale_ring_of_expanders(30_000, 11);
+    let assignment =
+        ClusterAssignment::from_parts(&g, &blocks, 0.25, &SchedulerPolicy::sequential());
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for (label, exec) in [
+        ("seq", congest::ExecMode::Sequential),
+        ("par", congest::ExecMode::Parallel),
+    ] {
+        let params = PipelineParams {
+            exec,
+            recursion_exec: exec,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("pipeline_ring30k", label), |b| {
+            b.iter(|| enumerate_with_assignment(&g, &assignment, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_planted_pipeline);
+criterion_main!(benches);

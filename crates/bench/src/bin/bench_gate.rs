@@ -1,15 +1,22 @@
 //! CI bench-regression gate (the `bench-smoke` job's comparator).
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! * `bench_gate collect <raw.jsonl> -o <out.json>` — fold the JSON lines
 //!   the criterion shim appended (`CRITERION_BENCH_JSON`) into one flat
 //!   `{bench: median_seconds}` object (`BENCH_pr.json`).
 //! * `bench_gate compare <baseline.json> <current.json> [--threshold 0.30]`
 //!   — exit 1 if any baseline bench is missing or regressed by more than
-//!   the threshold.
+//!   the threshold; every offender is listed, not just the first.
+//! * `bench_gate summary <baseline.json> <current.json> [--threshold 0.30]
+//!   [--out <file>] [--history <file> --label <run>]` — render the
+//!   baseline-vs-PR markdown table (appended to `--out`, e.g.
+//!   `$GITHUB_STEP_SUMMARY`) and append per-bench history records to the
+//!   committed `BENCH_history.jsonl`. Never fails the build — the gate
+//!   is `compare`.
 
 use bench_suite::gate;
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -20,7 +27,9 @@ fn main() -> ExitCode {
             eprintln!("bench_gate: {e}");
             eprintln!(
                 "usage: bench_gate collect <raw.jsonl> -o <out.json>\n       \
-                 bench_gate compare <baseline.json> <current.json> [--threshold 0.30]"
+                 bench_gate compare <baseline.json> <current.json> [--threshold 0.30]\n       \
+                 bench_gate summary <baseline.json> <current.json> [--threshold 0.30] \
+                 [--out <file>] [--history <file> --label <run>]"
             );
             ExitCode::from(2)
         }
@@ -48,45 +57,120 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Some("compare") => {
-            let (files, threshold) = parse_compare_args(&args[1..])?;
-            let [baseline_path, current_path] = files;
-            let baseline = read_map(&baseline_path)?;
-            let current = read_map(&current_path)?;
-            let report = gate::compare(&baseline, &current, threshold);
+            let opts = parse_compare_args(&args[1..])?;
+            let baseline = read_map(&opts.baseline)?;
+            let current = read_map(&opts.current)?;
+            let report = gate::compare(&baseline, &current, opts.threshold);
             print!("{}", report.to_text());
             if report.passed() {
                 eprintln!("bench gate: PASS");
-                Ok(ExitCode::SUCCESS)
-            } else {
-                eprintln!("bench gate: FAIL (regression or missing bench)");
-                Ok(ExitCode::FAILURE)
+                return Ok(ExitCode::SUCCESS);
             }
+            // Fail with the complete offender list, not the first hit.
+            let regressed = report.regressed();
+            if !regressed.is_empty() {
+                let list: Vec<String> = regressed
+                    .iter()
+                    .map(|(n, r)| format!("{n} ({:+.1}%)", (r - 1.0) * 100.0))
+                    .collect();
+                eprintln!(
+                    "bench gate: {} bench(es) regressed beyond {:.0}%: {}",
+                    regressed.len(),
+                    opts.threshold * 100.0,
+                    list.join(", ")
+                );
+            }
+            let missing = report.missing();
+            if !missing.is_empty() {
+                eprintln!(
+                    "bench gate: {} baseline bench(es) missing from {}: {} — if a bench \
+                     was renamed or removed on purpose, regenerate BENCH_baseline.json \
+                     (per-bench max of 3 quick runs; see DESIGN.md §6)",
+                    missing.len(),
+                    opts.current,
+                    missing.join(", ")
+                );
+            }
+            eprintln!("bench gate: FAIL");
+            Ok(ExitCode::FAILURE)
+        }
+        Some("summary") => {
+            let opts = parse_compare_args(&args[1..])?;
+            let baseline = read_map(&opts.baseline)?;
+            let current = read_map(&opts.current)?;
+            let md = gate::markdown_summary(&baseline, &current, opts.threshold);
+            print!("{md}");
+            if let Some(out) = &opts.out {
+                append(out, &md)?;
+                eprintln!("bench summary: appended markdown to {out}");
+            }
+            if let Some(history) = &opts.history {
+                let label = opts.label.as_deref().unwrap_or("pr");
+                append(history, &gate::history_lines(label, &current))?;
+                eprintln!(
+                    "bench summary: appended {} history records (run {label}) to {history}",
+                    current.len()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
 
-fn parse_compare_args(args: &[String]) -> Result<([String; 2], f64), String> {
+fn append(path: &str, text: &str) -> Result<(), String> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(text.as_bytes()))
+        .map_err(|e| format!("cannot append to {path}: {e}"))
+}
+
+struct CompareOpts {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    out: Option<String>,
+    history: Option<String>,
+    label: Option<String>,
+}
+
+fn parse_compare_args(args: &[String]) -> Result<CompareOpts, String> {
     let mut files = Vec::new();
     let mut threshold = 0.30f64;
+    let mut out = None;
+    let mut history = None;
+    let mut label = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--threshold" {
-            let v = it.next().ok_or("--threshold needs a value")?;
-            threshold = v
-                .parse::<f64>()
-                .map_err(|_| format!("bad threshold {v:?}"))?;
-            if !threshold.is_finite() || threshold <= 0.0 {
-                return Err("threshold must be positive".to_string());
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad threshold {v:?}"))?;
+                if !threshold.is_finite() || threshold <= 0.0 {
+                    return Err("threshold must be positive".to_string());
+                }
             }
-        } else {
-            files.push(a.clone());
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--history" => history = Some(it.next().ok_or("--history needs a value")?.clone()),
+            "--label" => label = Some(it.next().ok_or("--label needs a value")?.clone()),
+            _ => files.push(a.clone()),
         }
     }
     let [b, c] = files.as_slice() else {
-        return Err("compare needs: <baseline.json> <current.json>".to_string());
+        return Err("need exactly: <baseline.json> <current.json>".to_string());
     };
-    Ok(([b.clone(), c.clone()], threshold))
+    Ok(CompareOpts {
+        baseline: b.clone(),
+        current: c.clone(),
+        threshold,
+        out,
+        history,
+        label,
+    })
 }
 
 fn read_map(path: &str) -> Result<gate::BenchMap, String> {

@@ -15,7 +15,8 @@ use graph::gen;
 
 fn main() {
     // (a) + (b): k sweep and budget split on a 4-block SBM.
-    let pp = gen::planted_partition(&[48, 48, 48, 48], 0.35, 0.004, 9).expect("sbm");
+    let block = bench_suite::tiny_or(16, 48);
+    let pp = gen::planted_partition(&[block; 4], 0.35, 0.004, 9).expect("sbm");
     let g = &pp.graph;
     let eps = 0.3;
     let mut ka = Table::new(

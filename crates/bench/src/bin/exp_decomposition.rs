@@ -30,7 +30,8 @@ fn main() {
     );
     let mut scaling: Vec<(usize, usize, u64)> = Vec::new(); // (k, n, rounds)
 
-    for &n in &[96usize, 192, 384, 768] {
+    let sizes: &[usize] = bench_suite::tiny_or(&[48, 96], &[96, 192, 384, 768]);
+    for &n in sizes {
         for &eps in &[0.1f64, 0.3] {
             for &k in &[1usize, 2, 3] {
                 let (g, _) = ring_family(n);

@@ -1,6 +1,6 @@
 //! **E4 + E5 — Theorem 4 and Lemma 12**: low-diameter decomposition.
 //!
-//! E4: over 100 seeds per (family, β): the empirical quantiles of the cut
+//! E4: over 100 seeds (5 in `--tiny` mode) per (family, β): the empirical quantiles of the cut
 //! fraction vs the w.h.p. bound `3β`, and the worst part diameter vs
 //! `O(log²n/β²)`.
 //!
@@ -21,9 +21,9 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 fn main() {
-    let trials = 100u64;
+    let trials: u64 = bench_suite::tiny_or(5, 100);
     let mut e4 = Table::new(
-        "E4: LowDiamDecomposition over 100 seeds (Theorem 4)",
+        &format!("E4: LowDiamDecomposition over {trials} seeds (Theorem 4)"),
         &[
             "family",
             "n",
@@ -40,9 +40,10 @@ fn main() {
     // V_D/V_S classification to mark anything sparse; the compact families
     // (grid, ring) stay all-dense at laptop scale and document the
     // "no cut needed" contrast.
+    let long = bench_suite::tiny_or(200, 1500);
     let families: Vec<(String, graph::Graph)> = vec![
-        ("path1500".into(), gen::path(1500).expect("path")),
-        ("cycle1500".into(), gen::cycle(1500).expect("cycle")),
+        (format!("path{long}"), gen::path(long).expect("path")),
+        (format!("cycle{long}"), gen::cycle(long).expect("cycle")),
         ("grid17x17".into(), gen::grid(17, 17).expect("grid")),
         (
             "ring20x6".into(),

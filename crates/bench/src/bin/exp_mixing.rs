@@ -33,7 +33,8 @@ fn main() {
             }
         };
         let starts = spectral::extreme_starts(&g);
-        let tau = spectral::mixing_time(&g, &starts, 0.25, 2_000_000)
+        let step_cap = bench_suite::tiny_or(200_000, 2_000_000);
+        let tau = spectral::mixing_time(&g, &starts, 0.25, step_cap)
             .expect("graphs small enough to mix") as f64;
         // Constants: lower side uses c = 1/20 (lazy walk halves movement;
         // TV target 1/4 softens it further); upper uses C = 40.

@@ -13,7 +13,8 @@ use graph::gen;
 use rand::SeedableRng as _;
 
 fn main() {
-    let g = gen::gnp(300, 0.03, 17).expect("gnp");
+    let (n, p) = bench_suite::tiny_or((100, 0.06), (300, 0.03));
+    let g = gen::gnp(n, p, 17).expect("gnp");
     let params = SparseCutParams::new(0.002, g.m(), g.total_volume(), ParamMode::Practical);
     let mut e9 = Table::new(
         "E9a: Nibble participation volume vs Lemma 3 bound",
@@ -49,7 +50,7 @@ fn main() {
             "aborted",
         ],
     );
-    for seed in 0..8u64 {
+    for seed in 0..bench_suite::tiny_or(2u64, 8u64) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let out = parallel_nibble(&g, &params, 6, &mut rng);
         e9b.row(vec![

@@ -36,11 +36,13 @@ fn main() {
     let params = PipelineParams::default();
 
     let mut workloads: Vec<(String, graph::Graph)> = Vec::new();
-    for &n in &[32usize, 64, 96, 128] {
+    let sizes: &[usize] = bench_suite::tiny_or(&[24, 32], &[32, 64, 96, 128]);
+    for &n in sizes {
         workloads.push((format!("gnp{n}"), gnp_family(n, 0.3, 42 + n as u64)));
     }
-    let (ring, _) = graph::gen::ring_of_cliques(8, 8).unwrap();
-    workloads.push(("ring8x8".to_string(), ring));
+    let (rc, rs) = bench_suite::tiny_or((4, 5), (8, 8));
+    let (ring, _) = graph::gen::ring_of_cliques(rc, rs).unwrap();
+    workloads.push((format!("ring{rc}x{rs}"), ring));
 
     for (name, g) in &workloads {
         let report = enumerate_via_decomposition(g, &params);

@@ -25,9 +25,11 @@ fn main() {
     );
     let mut growth: Vec<(usize, f64, f64)> = Vec::new(); // (k, n, preprocessing)
 
-    for &n in &[256usize, 512, 1024, 2048] {
+    let sizes: &[usize] = bench_suite::tiny_or(&[64, 128], &[256, 512, 1024, 2048]);
+    let k_max = bench_suite::tiny_or(2usize, 4usize);
+    for &n in sizes {
         let g = expander_family(n, 3);
-        for k in 1..=4usize {
+        for k in 1..=k_max {
             let h = RoutingHierarchy::build(&g, k, 11).expect("expander builds");
             // A permutation routing instance to validate delivery.
             let reqs: Vec<RoutingRequest> = (0..n as u32)
@@ -55,7 +57,7 @@ fn main() {
         "E6b: preprocessing growth exponent vs n (paper: β = n^{1/k} term)",
         &["k", "fitted_exponent", "paper_shape"],
     );
-    for k in 1..=4usize {
+    for k in 1..=k_max {
         let pts: Vec<(f64, f64)> = growth
             .iter()
             .filter(|&&(kk, _, _)| kk == k)

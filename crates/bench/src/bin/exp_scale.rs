@@ -1,0 +1,357 @@
+//! **E7 — the scale sweep**: the large-graph workload tier through the
+//! parallel cluster-recursion scheduler, swept over edge target, thread
+//! count and execution mode.
+//!
+//! For every workload of [`bench_suite::scale_tier`] (power-law,
+//! planted partition, ring of expanders — each ≈ `--edges` edges):
+//!
+//! 1. time the chunk-parallel generation (CSR built via
+//!    `Graph::from_edge_chunks`),
+//! 2. run the triangle pipeline once per `(mode, threads)` combo and
+//!    record wall-clock next to the scheduler's `RecursionReport`
+//!    (jobs, steals, imbalance, arena reuse),
+//! 3. assert every combo lists the **same** triangle count (sequential
+//!    vs parallel bit-identity; `--verify` additionally checks the
+//!    centralized counter).
+//!
+//! Families with planted clusters (planted partition, ring of
+//! expanders) run `enumerate_with_assignment` on their ground-truth
+//! blocks — the full cluster machinery (scheduler fan-out, routing,
+//! engine enumeration, residual) without the measured Theorem 1
+//! decomposition, which is the bottleneck beyond ~10³ edges (its
+//! peeling loop rebuilds the working graph per removal). The power-law
+//! family has no planted clusters, so it runs the measured
+//! decomposition up to `--decompose-cap` edges and the centralized
+//! counter beyond that — logged loudly, never silently skipped.
+//!
+//! `--json <path>` appends one `{"name": ..., "median_s": ...}` line per
+//! measurement — the format `bench_gate collect` already consumes, so
+//! CI's `scale-smoke` job uploads the sweep as a bench artifact.
+//!
+//! Defaults target the million-edge tier; pass `--edges 100000` (CI) or
+//! `--tiny` (≈20k) for capped runs.
+
+use bench_suite::{scale_tier, Table};
+use congest::ExecMode;
+use expander::{ClusterAssignment, SchedulerPolicy};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+use triangle::pipeline::{enumerate_via_decomposition, enumerate_with_assignment, PipelineParams};
+
+struct Args {
+    edges: usize,
+    threads: Vec<usize>,
+    modes: Vec<&'static str>,
+    seed: u64,
+    json: Option<String>,
+    families: Option<Vec<String>>,
+    verify: bool,
+    max_depth: usize,
+    decompose_cap: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        edges: 1_000_000,
+        threads: vec![1, 2, 4],
+        modes: vec!["seq", "par"],
+        seed: 42,
+        json: None,
+        families: None,
+        verify: false,
+        max_depth: 2,
+        decompose_cap: 2_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--edges" => {
+                args.edges = value("--edges")?
+                    .parse()
+                    .map_err(|e| format!("bad --edges: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad --threads: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--modes" => {
+                let raw = value("--modes")?;
+                args.modes = raw
+                    .split(',')
+                    .map(|m| match m.trim() {
+                        "seq" => Ok("seq"),
+                        "par" => Ok("par"),
+                        other => Err(format!("unknown mode {other:?} (want seq|par)")),
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--families" => {
+                args.families = Some(
+                    value("--families")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--max-depth" => {
+                args.max_depth = value("--max-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-depth: {e}"))?
+            }
+            "--decompose-cap" => {
+                args.decompose_cap = value("--decompose-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --decompose-cap: {e}"))?
+            }
+            "--verify" => args.verify = true,
+            "--tiny" => args.edges = 20_000,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.threads.is_empty() || args.modes.is_empty() {
+        return Err("need at least one thread count and one mode".to_string());
+    }
+    Ok(args)
+}
+
+fn emit_json(path: &Option<String>, name: &str, seconds: f64) {
+    let Some(path) = path else { return };
+    let line = format!("{{\"name\": \"{name}\", \"median_s\": {seconds:e}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("exp_scale: cannot append to {path}: {e}");
+    }
+}
+
+/// "1m", "100k", "20k" — compact edge-target label for bench names.
+fn edge_label(edges: usize) -> String {
+    if edges % 1_000_000 == 0 && edges > 0 {
+        format!("{}m", edges / 1_000_000)
+    } else if edges % 1_000 == 0 && edges > 0 {
+        format!("{}k", edges / 1_000)
+    } else {
+        edges.to_string()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exp_scale: {e}");
+            eprintln!(
+                "usage: exp_scale [--edges N] [--threads 1,2,4] [--modes seq,par] \
+                 [--seed S] [--json out.jsonl] [--families power_law,planted4,ring_expanders] \
+                 [--max-depth D] [--decompose-cap M] [--verify] [--tiny]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let label = edge_label(args.edges);
+    let mut table = Table::new(
+        &format!("E7: scale sweep (target {} edges)", args.edges),
+        &[
+            "family",
+            "n",
+            "m",
+            "mode",
+            "threads",
+            "wall_s",
+            "triangles",
+            "levels",
+            "jobs",
+            "steals",
+            "imbalance",
+            "arena_hits",
+        ],
+    );
+
+    let gen_start = Instant::now();
+    let mut workloads = scale_tier(args.edges, args.seed);
+    let gen_wall = gen_start.elapsed();
+    eprintln!(
+        "generated {} workloads in {:.2?}",
+        workloads.len(),
+        gen_wall
+    );
+    emit_json(
+        &args.json,
+        &format!("scale/{label}/gen_tier"),
+        gen_wall.as_secs_f64(),
+    );
+    if let Some(fams) = &args.families {
+        workloads.retain(|w| fams.iter().any(|f| f == &w.name));
+        if workloads.is_empty() {
+            eprintln!("exp_scale: --families matched nothing");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failures = 0usize;
+    for w in &workloads {
+        // Pick the pipeline path: planted clusters when the family has
+        // them, the measured decomposition for small instances, the
+        // centralized counter otherwise (never a silent skip).
+        let assignment = match (&w.planted, w.graph.m() <= args.decompose_cap) {
+            (Some(parts), _) => {
+                let start = Instant::now();
+                let asg = ClusterAssignment::from_parts(
+                    &w.graph,
+                    parts,
+                    w.planted_phi,
+                    &SchedulerPolicy::parallel(),
+                );
+                let wall = start.elapsed();
+                emit_json(
+                    &args.json,
+                    &format!("scale/{label}/{}/assign", w.name),
+                    wall.as_secs_f64(),
+                );
+                Some(asg)
+            }
+            (None, true) => None, // measured decomposition below
+            (None, false) => {
+                eprintln!(
+                    "exp_scale: {} has no planted clusters and m = {} exceeds \
+                     --decompose-cap {}; running the centralized counter instead \
+                     of the pipeline",
+                    w.name,
+                    w.graph.m(),
+                    args.decompose_cap
+                );
+                let start = Instant::now();
+                let count = triangle::count_triangles(&w.graph);
+                let wall = start.elapsed();
+                table.row(vec![
+                    w.name.clone(),
+                    w.graph.n().to_string(),
+                    w.graph.m().to_string(),
+                    "central".to_string(),
+                    "1".to_string(),
+                    format!("{:.3}", wall.as_secs_f64()),
+                    count.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                emit_json(
+                    &args.json,
+                    &format!("scale/{label}/{}/central", w.name),
+                    wall.as_secs_f64(),
+                );
+                continue;
+            }
+        };
+
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        for &mode in &args.modes {
+            let exec = if mode == "par" {
+                ExecMode::Parallel
+            } else {
+                ExecMode::Sequential
+            };
+            for &t in &args.threads {
+                if mode == "seq" && t != args.threads[0] {
+                    continue; // sequential wall-clock is thread-independent
+                }
+                let params = PipelineParams {
+                    seed: args.seed,
+                    exec,
+                    recursion_exec: exec,
+                    recursion_workers: t,
+                    max_depth: args.max_depth,
+                    ..Default::default()
+                };
+                let start = Instant::now();
+                let report = match &assignment {
+                    Some(asg) => enumerate_with_assignment(&w.graph, asg, &params),
+                    None => enumerate_via_decomposition(&w.graph, &params),
+                };
+                let wall = start.elapsed();
+                let combo = format!("{mode}/t{t}");
+                table.row(vec![
+                    w.name.clone(),
+                    w.graph.n().to_string(),
+                    w.graph.m().to_string(),
+                    if assignment.is_some() {
+                        format!("{mode}*") // * = planted assignment
+                    } else {
+                        mode.to_string()
+                    },
+                    t.to_string(),
+                    format!("{:.3}", wall.as_secs_f64()),
+                    report.count().to_string(),
+                    report.levels.len().to_string(),
+                    report.recursion.total_jobs().to_string(),
+                    report.recursion.total_steals().to_string(),
+                    format!("{:.2}", report.recursion.max_imbalance()),
+                    format!(
+                        "{}/{}",
+                        report.recursion.scratch_hits,
+                        report.recursion.scratch_hits + report.recursion.scratch_misses
+                    ),
+                ]);
+                emit_json(
+                    &args.json,
+                    &format!("scale/{label}/{}/{combo}", w.name),
+                    wall.as_secs_f64(),
+                );
+                counts.push((combo, report.count()));
+            }
+        }
+        // Bit-identity across every (mode, threads) combo.
+        if let Some((first_combo, first)) = counts.first().cloned() {
+            for (combo, count) in &counts[1..] {
+                if *count != first {
+                    eprintln!(
+                        "exp_scale: MISMATCH on {}: {first_combo} listed {first}, \
+                         {combo} listed {count}",
+                        w.name
+                    );
+                    failures += 1;
+                }
+            }
+            if args.verify {
+                let truth = triangle::count_triangles(&w.graph);
+                if first != truth {
+                    eprintln!(
+                        "exp_scale: {} pipeline listed {first} triangles, centralized \
+                         counter says {truth}",
+                        w.name
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    print!("{}", table.to_text());
+    println!();
+    print!("{}", table.to_csv());
+    if failures > 0 {
+        eprintln!("exp_scale: {failures} mode/thread combos disagreed");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("exp_scale: all mode/thread combos agree");
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,7 @@ use expander::prelude::*;
 use graph::gen;
 
 fn main() {
-    let seeds: Vec<u64> = (1..=10).collect();
+    let seeds: Vec<u64> = (1..=bench_suite::tiny_or(2, 10)).collect();
     let phi_target = 0.002;
     let mut table = Table::new(
         "E3: nearly most balanced sparse cut (Theorem 3)",
@@ -28,7 +28,7 @@ fn main() {
     );
 
     let mut workloads = dumbbell_sweep();
-    workloads.extend(sbm_sweep(&[24, 48]));
+    workloads.extend(sbm_sweep(bench_suite::tiny_or(&[16], &[24, 48])));
     for w in &workloads {
         let g = &w.graph;
         let b = g.balance(&w.planted).expect("planted cut valid");

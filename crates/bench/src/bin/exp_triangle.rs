@@ -29,7 +29,8 @@ fn main() {
     let mut query_pts = Vec::new();
     let mut clique_pts = Vec::new();
 
-    for &n in &[32usize, 64, 128, 256] {
+    let sizes: &[usize] = bench_suite::tiny_or(&[16, 24], &[32, 64, 128, 256]);
+    for &n in sizes {
         let g = gnp_family(n, 0.5, 42 + n as u64);
         let truth = enumerate_triangles(&g);
         let congest = congest_enumerate(&g, &TriangleConfig::default());

@@ -53,6 +53,32 @@ impl GateReport {
             .any(|(_, v)| matches!(v, Verdict::Regressed { .. }) || matches!(v, Verdict::Missing))
     }
 
+    /// Every regressed bench, worst ratio first — the gate reports all
+    /// offenders at once, not just the first.
+    pub fn regressed(&self) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .rows
+            .iter()
+            .filter_map(|(n, v)| match v {
+                Verdict::Regressed { ratio } => Some((n.as_str(), *ratio)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ratios"));
+        out
+    }
+
+    /// Every baseline bench absent from the current run, in name order.
+    pub fn missing(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter_map(|(n, v)| match v {
+                Verdict::Missing => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Renders the human-readable verdict table.
     pub fn to_text(&self) -> String {
         let width = self
@@ -109,6 +135,80 @@ pub fn compare(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> GateR
         }
     }
     GateReport { rows, threshold }
+}
+
+/// Renders a GitHub-flavored markdown table comparing `current` against
+/// `baseline` — the `bench_gate summary` payload for
+/// `$GITHUB_STEP_SUMMARY`.
+pub fn markdown_summary(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> String {
+    let report = compare(baseline, current, threshold);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Bench gate: baseline vs PR (fail above {:.0}% regression)\n\n",
+        threshold * 100.0
+    ));
+    out.push_str("| bench | baseline | PR | Δ | verdict |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for (name, verdict) in &report.rows {
+        let base = baseline.get(name).copied();
+        let cur = current.get(name).copied();
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), fmt_seconds);
+        let (delta, cell) = match verdict {
+            Verdict::Ok { ratio } => (format!("{:+.1}%", (ratio - 1.0) * 100.0), "ok".to_string()),
+            Verdict::Regressed { ratio } => (
+                format!("{:+.1}%", (ratio - 1.0) * 100.0),
+                "**REGRESSED**".to_string(),
+            ),
+            Verdict::Missing => ("—".to_string(), "**MISSING** from PR run".to_string()),
+            Verdict::New => ("—".to_string(), "new (no baseline)".to_string()),
+        };
+        out.push_str(&format!(
+            "| `{name}` | {} | {} | {delta} | {cell} |\n",
+            fmt(base),
+            fmt(cur)
+        ));
+    }
+    let summary = if report.passed() {
+        "\n**PASS** — no regressions, no missing benches.\n".to_string()
+    } else {
+        format!(
+            "\n**FAIL** — {} regressed, {} missing.\n",
+            report.regressed().len(),
+            report.missing().len()
+        )
+    };
+    out.push_str(&summary);
+    out
+}
+
+/// Formats seconds human-readably for the markdown table.
+fn fmt_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+/// Serializes one history record per bench — `{"run": label, "name": ...,
+/// "median_s": ...}` JSON lines appended to the committed
+/// `BENCH_history.jsonl`, so the perf trajectory accumulates across PRs.
+/// The lines stay parseable by [`collect_jsonl`] (extra string fields are
+/// tolerated).
+pub fn history_lines(label: &str, map: &BenchMap) -> String {
+    let mut out = String::new();
+    for (name, median) in map {
+        out.push_str(&format!(
+            "{{\"run\": \"{}\", \"name\": \"{}\", \"median_s\": {median:e}}}\n",
+            escape(label),
+            escape(name)
+        ));
+    }
+    out
 }
 
 /// Folds criterion-shim JSON lines (`{"name": ..., "median_s": ...}`)
@@ -341,6 +441,62 @@ mod tests {
         assert!(matches!(verdict("fresh"), Verdict::New));
         let text = report.to_text();
         assert!(text.contains("REGRESSED") && text.contains("MISSING"));
+    }
+
+    #[test]
+    fn regressed_and_missing_list_every_offender() {
+        let baseline: BenchMap = [
+            ("slow1".to_string(), 1.0),
+            ("slow2".to_string(), 1.0),
+            ("gone1".to_string(), 1.0),
+            ("gone2".to_string(), 1.0),
+            ("fine".to_string(), 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let current: BenchMap = [
+            ("slow1".to_string(), 2.0),
+            ("slow2".to_string(), 5.0),
+            ("fine".to_string(), 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let report = compare(&baseline, &current, 0.30);
+        assert_eq!(
+            report.regressed(),
+            vec![("slow2", 5.0), ("slow1", 2.0)],
+            "all regressions, worst first"
+        );
+        assert_eq!(report.missing(), vec!["gone1", "gone2"]);
+    }
+
+    #[test]
+    fn markdown_summary_covers_every_row() {
+        let baseline: BenchMap = [("a".to_string(), 1.0), ("gone".to_string(), 2e-3)]
+            .into_iter()
+            .collect();
+        let current: BenchMap = [("a".to_string(), 1.5), ("fresh".to_string(), 3e-6)]
+            .into_iter()
+            .collect();
+        let md = markdown_summary(&baseline, &current, 0.30);
+        assert!(md.contains("| `a` | 1.00 s | 1.50 s | +50.0% | **REGRESSED** |"));
+        assert!(md.contains("| `gone` | 2.00 ms | — | — | **MISSING** from PR run |"));
+        assert!(md.contains("| `fresh` | — | 3.00 µs | — | new (no baseline) |"));
+        assert!(md.contains("**FAIL** — 1 regressed, 1 missing."));
+        let ok = markdown_summary(&baseline, &baseline, 0.30);
+        assert!(ok.contains("**PASS**"));
+    }
+
+    #[test]
+    fn history_lines_roundtrip_through_collect() {
+        let map: BenchMap = [("a/b".to_string(), 1.5e-3), ("c".to_string(), 2.0)]
+            .into_iter()
+            .collect();
+        let lines = history_lines("abc123", &map);
+        assert_eq!(lines.lines().count(), 2);
+        assert!(lines.contains("\"run\": \"abc123\""));
+        let back = collect_jsonl(&lines).unwrap();
+        assert_eq!(back, map);
     }
 
     #[test]

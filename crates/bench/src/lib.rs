@@ -11,3 +11,22 @@ pub mod workloads;
 
 pub use tables::{fit_exponent, Table};
 pub use workloads::*;
+
+/// Whether the current experiment binary runs in tiny-input mode: either
+/// `--tiny` was passed on the command line or `EXP_TINY=1` is set. CI's
+/// `examples-smoke` job runs every `exp_*` binary this way so the
+/// experiment code cannot bit-rot without ever being executed.
+pub fn tiny_mode() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+        || std::env::var("EXP_TINY").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks the tiny or the full variant of a workload knob, per
+/// [`tiny_mode`].
+pub fn tiny_or<T>(tiny: T, full: T) -> T {
+    if tiny_mode() {
+        tiny
+    } else {
+        full
+    }
+}

@@ -1,6 +1,8 @@
 //! The workload families used by the experiments, with their ground-truth
-//! structure where applicable.
+//! structure where applicable — including the large-graph tier
+//! ([`scale_tier`]) built on the `O(n + m)` chunk-parallel generators.
 
+use graph::gen::PlantedPartition;
 use graph::{gen, Graph, VertexSet};
 
 /// A graph plus the most balanced planted sparse cut we know it contains.
@@ -83,6 +85,86 @@ pub fn mixing_family() -> Vec<(String, Graph, Option<f64>)> {
     out
 }
 
+/// One workload of the large-graph tier.
+#[derive(Debug, Clone)]
+pub struct ScaleWorkload {
+    /// Short family label for tables and bench names.
+    pub name: String,
+    /// The graph, sized to roughly the requested edge target.
+    pub graph: Graph,
+    /// Ground-truth clusters, when the family plants them — the scale
+    /// pipeline runs on these via `ClusterAssignment::from_parts`
+    /// instead of paying for the measured decomposition.
+    pub planted: Option<Vec<VertexSet>>,
+    /// Nominal conductance promise of the planted clusters.
+    pub planted_phi: f64,
+}
+
+/// Power-law member of the scale tier: Chung–Lu with average degree 10,
+/// `n` chosen so `m ≈ target_edges`.
+pub fn scale_power_law(target_edges: usize, seed: u64) -> Graph {
+    let avg = 10.0;
+    let n = ((2.0 * target_edges as f64 / avg) as usize).max(16);
+    gen::power_law_fast(n, 2.5, avg, seed).expect("valid power-law parameters")
+}
+
+/// Planted-partition member of the scale tier: equal blocks of ≈2k
+/// vertices (at least 4) with a 4:1 intra:inter edge split,
+/// `m ≈ target_edges`. Block size is capped so per-cluster work stays
+/// bounded while the cluster count grows with the instance — the shape
+/// the recursion scheduler is built for.
+pub fn scale_planted_partition(target_edges: usize, seed: u64) -> PlantedPartition {
+    let avg = 12.0;
+    let n = ((2.0 * target_edges as f64 / avg) as usize).max(16);
+    let blocks = (n / 2048).max(4);
+    let size = n / blocks;
+    let intra_pairs = blocks as f64 * (size * (size - 1) / 2) as f64;
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    let p_in = (0.8 * target_edges as f64 / intra_pairs.max(1.0)).min(1.0);
+    let p_out = (0.2 * target_edges as f64 / (total_pairs - intra_pairs).max(1.0)).min(1.0);
+    gen::planted_partition_fast(&vec![size; blocks], p_in, p_out, seed)
+        .expect("valid partition parameters")
+}
+
+/// Ring-of-expanders member of the scale tier: blocks of 256 vertices
+/// at degree 16, `count` chosen so `m ≈ target_edges`. (Block size
+/// trades cluster-job granularity against the `O(count·n)` memory of
+/// the planted `VertexSet` masks.)
+pub fn scale_ring_of_expanders(target_edges: usize, seed: u64) -> (Graph, Vec<VertexSet>) {
+    let (size, degree) = (256usize, 16usize);
+    let per_block = size * degree / 2 + 1;
+    let count = (target_edges / per_block).max(2);
+    gen::ring_of_expanders(count, size, degree, seed).expect("valid ring parameters")
+}
+
+/// The large-graph workload tier: one instance per scale family, each
+/// sized to roughly `target_edges` (pass ≥ 1_000_000 for the headline
+/// tier; CI's `scale-smoke` caps it at ~100k).
+pub fn scale_tier(target_edges: usize, seed: u64) -> Vec<ScaleWorkload> {
+    let pp = scale_planted_partition(target_edges, seed);
+    let (ring, blocks) = scale_ring_of_expanders(target_edges, seed);
+    vec![
+        ScaleWorkload {
+            name: "power_law".into(),
+            graph: scale_power_law(target_edges, seed),
+            planted: None,
+            planted_phi: 0.0,
+        },
+        ScaleWorkload {
+            name: "planted4".into(),
+            graph: pp.graph,
+            planted: Some(pp.blocks),
+            planted_phi: 0.1,
+        },
+        ScaleWorkload {
+            name: "ring_expanders".into(),
+            graph: ring,
+            planted: Some(blocks),
+            planted_phi: 0.25,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +194,26 @@ mod tests {
     fn ring_family_scales() {
         let (g, count) = ring_family(128);
         assert_eq!(g.n(), count * 8);
+    }
+
+    #[test]
+    fn scale_tier_hits_the_edge_target() {
+        for w in scale_tier(20_000, 7) {
+            let m = w.graph.m() as f64;
+            assert!(
+                (m - 20_000.0).abs() < 0.3 * 20_000.0,
+                "{}: m = {m} far from 20k",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_planted_partition_keeps_blocks() {
+        let pp = scale_planted_partition(10_000, 3);
+        assert_eq!(pp.blocks.len(), 4);
+        let phi = pp.graph.conductance(&pp.blocks[0]).unwrap();
+        assert!(phi < 0.25, "planted cut conductance {phi}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Offline compatibility shim for the subset of the `rayon` API the
-//! `congest` round engine uses.
+//! `congest` round engine and the `expander` recursion scheduler use.
 //!
 //! The build environment has no access to crates.io, so this in-tree crate
 //! stands in for the real `rayon`. It implements *indexed* parallel
@@ -9,6 +9,15 @@
 //! (`std::thread::scope`). That is exactly the execution shape rayon's
 //! work-stealing pool converges to for uniform per-item work, which is the
 //! engine's profile (every vertex does O(deg) work per round).
+//!
+//! It also provides [`scope`]/[`Scope::spawn`] for *coarse-grained* tasks
+//! (the recursion scheduler spawns a handful of worker tasks per level,
+//! each pulling jobs from a shared queue). Two honest deviations from
+//! rayon: each spawned task gets its own scoped OS thread instead of a
+//! pooled worker (fine at task counts ≲ dozens, which is the only way the
+//! workspace uses it — [`scope`] caps concurrency at [`MAX_SCOPED_TASKS`]
+//! and queues the rest), and the task closure takes no `&Scope` argument
+//! (swap in real rayon by writing `|_| …`; nested spawn is unused here).
 //!
 //! Thread count: `RAYON_NUM_THREADS` if set, else
 //! `std::thread::available_parallelism()`. With one thread the drivers run
@@ -22,7 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::OnceLock;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads the shim will use for `for_each`.
 pub fn current_num_threads() -> usize {
@@ -111,6 +122,72 @@ pub trait IndexedParallelIterator: Sized + Send {
             rest.into_seq().for_each(fref);
         });
     }
+}
+
+/// Hard cap on concurrently running scoped tasks: a [`scope`] never holds
+/// more OS threads than this; excess tasks queue behind the running ones.
+pub const MAX_SCOPED_TASKS: usize = 64;
+
+/// A fork-join task scope created by [`scope`]. Tasks spawned into it are
+/// guaranteed to have completed by the time [`scope`] returns.
+pub struct Scope<'env> {
+    tasks: RefCell<Vec<Box<dyn FnOnce() + Send + 'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Registers `body` to run on this scope. Unlike real rayon the body
+    /// takes no `&Scope` argument (nested spawn is unused in this
+    /// workspace) and execution is deferred until the [`scope`] closure
+    /// returns — equivalent for independent tasks, which is the only
+    /// shape the workspace spawns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.tasks.borrow_mut().push(Box::new(body));
+    }
+}
+
+/// Creates a task scope: `f` spawns tasks via [`Scope::spawn`]; all of
+/// them have run to completion when `scope` returns.
+///
+/// A single task runs inline on the caller's thread (zero spawn
+/// overhead); otherwise each task gets a scoped OS thread, at most
+/// [`MAX_SCOPED_TASKS`] concurrently (excess tasks are pulled from a
+/// shared queue as workers free up).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let s = Scope {
+        tasks: RefCell::new(Vec::new()),
+    };
+    let result = f(&s);
+    let tasks = s.tasks.into_inner();
+    match tasks.len() {
+        0 => {}
+        1 => {
+            for t in tasks {
+                t();
+            }
+        }
+        len => {
+            let workers = len.min(MAX_SCOPED_TASKS);
+            let queue: Mutex<VecDeque<Box<dyn FnOnce() + Send + 'env>>> = Mutex::new(tasks.into());
+            std::thread::scope(|ts| {
+                for _ in 0..workers {
+                    ts.spawn(|| loop {
+                        let task = queue.lock().expect("scope queue poisoned").pop_front();
+                        match task {
+                            Some(t) => t(),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+    }
+    result
 }
 
 /// Parallel iterator over `&mut [T]`. See [`prelude::ParallelSliceMut`].
@@ -315,6 +392,62 @@ mod tests {
         let mut one = [7u8];
         one.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(one[0], 8);
+    }
+
+    #[test]
+    fn scope_runs_every_task_before_returning() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 10);
+    }
+
+    #[test]
+    fn scope_tasks_run_concurrently() {
+        // Two tasks rendezvous through a barrier: only possible if they
+        // run on distinct threads at the same time.
+        let barrier = std::sync::Barrier::new(2);
+        let met = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    barrier.wait();
+                    met.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(met.into_inner());
+    }
+
+    #[test]
+    fn scope_returns_closure_value_and_handles_empty_and_single() {
+        assert_eq!(super::scope(|_| 7), 7);
+        // A single task runs inline on the caller's thread.
+        let caller = std::thread::current().id();
+        let mut ran_on = None;
+        super::scope(|s| {
+            s.spawn(|| ran_on = Some(std::thread::current().id()));
+        });
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn scope_survives_more_tasks_than_cap() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let tasks = super::MAX_SCOPED_TASKS + 9;
+        super::scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), tasks);
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Run statistics: the quantities the paper's theorems bound.
+//! Run statistics: the quantities the paper's theorems bound, plus
+//! wall-clock attribution for the host-machine perf dashboard.
+
+use std::time::Duration;
 
 /// Statistics from one simulated execution.
 ///
@@ -69,9 +72,16 @@ impl RunReport {
 /// assert_eq!(ledger.phase("enumerate").messages, 9);
 /// assert_eq!(ledger.total().rounds, 16);
 /// ```
+/// Simulated CONGEST traffic ([`RunReport`]) is the paper-facing measure;
+/// the ledger additionally tracks **measured host wall-clock** per phase
+/// (via [`PhaseLedger::record_wall`]) so the perf dashboard can attribute
+/// real time to pipeline phases next to the round charges. Wall-clock is
+/// machine-dependent and intentionally excluded from the determinism
+/// contracts (reports compare equal on rounds/traffic, never on walls).
 #[derive(Debug, Clone, Default)]
 pub struct PhaseLedger {
     phases: Vec<(String, RunReport)>,
+    walls: Vec<(String, Duration)>,
 }
 
 impl PhaseLedger {
@@ -127,10 +137,43 @@ impl PhaseLedger {
             .fold(RunReport::default(), |acc, (_, r)| acc.sequenced_with(r))
     }
 
-    /// Sequences every phase of `other` into this ledger (phase-wise).
+    /// Adds measured host wall-clock to `phase` (created on first use;
+    /// independent of the traffic entries — a phase may have either or
+    /// both).
+    pub fn record_wall(&mut self, phase: &str, wall: Duration) {
+        match self.walls.iter_mut().find(|(name, _)| name == phase) {
+            Some((_, agg)) => *agg += wall,
+            None => self.walls.push((phase.to_string(), wall)),
+        }
+    }
+
+    /// Accumulated wall-clock of one phase (zero if never recorded).
+    pub fn wall(&self, name: &str) -> Duration {
+        self.walls
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Iterates `(phase, wall)` in first-use order.
+    pub fn iter_walls(&self) -> impl Iterator<Item = (&str, Duration)> + '_ {
+        self.walls.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Total wall-clock across all phases.
+    pub fn total_wall(&self) -> Duration {
+        self.walls.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Sequences every phase of `other` into this ledger (phase-wise,
+    /// wall-clock included).
     pub fn absorb(&mut self, other: &PhaseLedger) {
         for (name, report) in other.iter() {
             self.record(name, report);
+        }
+        for (name, wall) in other.iter_walls() {
+            self.record_wall(name, wall);
         }
     }
 }
@@ -236,6 +279,26 @@ mod tests {
         m.absorb(&l);
         m.absorb(&l);
         assert_eq!(m.phase("a").rounds, 10);
+    }
+
+    #[test]
+    fn wall_clock_accumulates_and_absorbs() {
+        let mut l = PhaseLedger::new();
+        assert_eq!(l.wall("decompose"), Duration::ZERO);
+        l.record_wall("decompose", Duration::from_millis(5));
+        l.record_wall("decompose", Duration::from_millis(7));
+        l.record_wall("enumerate", Duration::from_millis(2));
+        assert_eq!(l.wall("decompose"), Duration::from_millis(12));
+        assert_eq!(l.total_wall(), Duration::from_millis(14));
+        assert_eq!(l.iter_walls().count(), 2);
+
+        let mut m = PhaseLedger::new();
+        m.absorb(&l);
+        m.absorb(&l);
+        assert_eq!(m.wall("enumerate"), Duration::from_millis(4));
+        // Wall entries are independent of traffic entries.
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.phase("decompose"), RunReport::default());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::ldd::{low_diameter_decomposition, LddParams};
 use crate::params::{DecompositionParams, ParamMode, SparseCutParams};
 use crate::partition::partition;
 use crate::rounds::RoundLedger;
+use crate::scheduler::{self, SchedulerPolicy};
 use graph::view::Subgraph;
 use graph::{Graph, VertexId, VertexSet};
 use rand::rngs::StdRng;
@@ -159,6 +160,47 @@ pub struct ClusterCertificate {
 }
 
 impl ClusterAssignment {
+    /// Builds an assignment from an **explicit partition** — planted
+    /// blocks of a generator, an external oracle, or a cached
+    /// decomposition — rather than from running Theorem 1. The
+    /// inter-cluster edge list is the measured set of crossing edges of
+    /// `g` (tagged [`RemovalTag::Remove1`] by convention: the planted
+    /// boundary plays the role of the LDD cut), `phi` is the caller's
+    /// conductance promise for the parts, and certificates are measured
+    /// exactly, as scheduler jobs under `policy`.
+    ///
+    /// This is how the scale tier drives the pipeline's cluster
+    /// machinery on million-edge instances whose ground-truth clusters
+    /// are known, where running the measured decomposition itself would
+    /// be the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` does not cover every vertex of `g`.
+    pub fn from_parts(
+        g: &Graph,
+        parts: &[VertexSet],
+        phi: f64,
+        policy: &SchedulerPolicy,
+    ) -> ClusterAssignment {
+        let mut cluster_of = vec![u32::MAX; g.n()];
+        for (id, part) in parts.iter().enumerate() {
+            for v in part.iter() {
+                cluster_of[v as usize] = id as u32;
+            }
+        }
+        assert!(
+            cluster_of.iter().all(|&c| c != u32::MAX),
+            "parts must cover every vertex of g"
+        );
+        let removed: Vec<(VertexId, VertexId, RemovalTag)> = g
+            .edges()
+            .filter(|&(u, v)| cluster_of[u as usize] != cluster_of[v as usize])
+            .map(|(u, v)| (u, v, RemovalTag::Remove1))
+            .collect();
+        assemble(g, parts, removed, phi, policy)
+    }
+
     /// Number of clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
@@ -190,52 +232,33 @@ impl DecompositionResult {
     /// Builds the [`ClusterAssignment`] view against the input graph `g`
     /// (the graph `run` was called on — needed for the measured volumes).
     ///
+    /// Equivalent to [`DecompositionResult::cluster_assignment_with`]
+    /// under a sequential [`SchedulerPolicy`]; per-cluster certificate
+    /// measurement is pure, so every policy yields the same assignment.
+    ///
     /// # Panics
     ///
     /// Panics if `g` has a different vertex count than the decomposed
     /// graph.
     pub fn cluster_assignment(&self, g: &Graph) -> ClusterAssignment {
-        let n = g.n();
-        let mut cluster_of = vec![u32::MAX; n];
-        for (id, part) in self.parts.iter().enumerate() {
-            for v in part.iter() {
-                cluster_of[v as usize] = id as u32;
-            }
-        }
-        assert!(
-            cluster_of.iter().all(|&c| c != u32::MAX),
-            "parts must cover every vertex of g"
-        );
-        let mut incident_removed = vec![0usize; self.parts.len()];
-        for &(u, v, _) in &self.removed_edges {
-            incident_removed[cluster_of[u as usize] as usize] += 1;
-            if cluster_of[u as usize] != cluster_of[v as usize] {
-                incident_removed[cluster_of[v as usize] as usize] += 1;
-            }
-        }
-        let certificates = self
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(id, part)| {
-                let volume = part.iter().map(|v| g.degree(v)).sum();
-                ClusterCertificate {
-                    size: part.len(),
-                    internal_edges: g.internal_edges(part),
-                    volume,
-                    incident_removed: incident_removed[id],
-                    phi_target: self.phi,
-                }
-            })
-            .collect();
-        ClusterAssignment {
-            n,
-            cluster_of,
-            clusters: self.parts.clone(),
-            inter_cluster: self.removed_edges.clone(),
-            phi: self.phi,
-            certificates,
-        }
+        self.cluster_assignment_with(g, &SchedulerPolicy::sequential())
+    }
+
+    /// Builds the [`ClusterAssignment`] view, measuring the per-cluster
+    /// certificates (volume + internal edge count, both `O(Vol(Vᵢ))`) as
+    /// scheduler jobs under `policy` — the decomposition-layer entry
+    /// point of the cluster-recursion scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different vertex count than the decomposed
+    /// graph.
+    pub fn cluster_assignment_with(
+        &self,
+        g: &Graph,
+        policy: &SchedulerPolicy,
+    ) -> ClusterAssignment {
+        assemble(g, &self.parts, self.removed_edges.clone(), self.phi, policy)
     }
 
     /// Fraction of edges removed: must be ≤ ε.
@@ -245,7 +268,58 @@ impl DecompositionResult {
         }
         self.removed_edges.len() as f64 / self.m as f64
     }
+}
 
+/// Shared assembly of a [`ClusterAssignment`] from a covering partition
+/// plus the removed-edge list: dense ids, incident-removed tallies, and
+/// the per-cluster certificates measured as scheduler jobs.
+fn assemble(
+    g: &Graph,
+    parts: &[VertexSet],
+    removed: Vec<(VertexId, VertexId, RemovalTag)>,
+    phi: f64,
+    policy: &SchedulerPolicy,
+) -> ClusterAssignment {
+    let n = g.n();
+    let mut cluster_of = vec![u32::MAX; n];
+    for (id, part) in parts.iter().enumerate() {
+        for v in part.iter() {
+            cluster_of[v as usize] = id as u32;
+        }
+    }
+    assert!(
+        cluster_of.iter().all(|&c| c != u32::MAX),
+        "parts must cover every vertex of g"
+    );
+    let mut incident_removed = vec![0usize; parts.len()];
+    for &(u, v, _) in &removed {
+        incident_removed[cluster_of[u as usize] as usize] += 1;
+        if cluster_of[u as usize] != cluster_of[v as usize] {
+            incident_removed[cluster_of[v as usize] as usize] += 1;
+        }
+    }
+    let (certificates, _stats) =
+        scheduler::run_jobs(parts.iter().collect::<Vec<_>>(), policy, |id, part| {
+            let volume = part.iter().map(|v| g.degree(v)).sum();
+            ClusterCertificate {
+                size: part.len(),
+                internal_edges: g.internal_edges(part),
+                volume,
+                incident_removed: incident_removed[id],
+                phi_target: phi,
+            }
+        });
+    ClusterAssignment {
+        n,
+        cluster_of,
+        clusters: parts.to_vec(),
+        inter_cluster: removed,
+        phi,
+        certificates,
+    }
+}
+
+impl DecompositionResult {
     /// Removed-edge count per tag, for auditing the three ε/3 budgets.
     pub fn removed_by_tag(&self) -> [usize; 3] {
         let mut counts = [0usize; 3];
@@ -798,6 +872,53 @@ mod tests {
         for c in &asg.certificates {
             assert!((c.phi_target - res.phi).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn cluster_assignment_policy_is_immaterial() {
+        let (g, _) = gen::ring_of_cliques(6, 8).unwrap();
+        let res = ExpanderDecomposition::builder()
+            .epsilon(0.3)
+            .seed(7)
+            .build()
+            .run(&g)
+            .unwrap();
+        let seq = res.cluster_assignment_with(&g, &SchedulerPolicy::sequential());
+        let par = res.cluster_assignment_with(&g, &SchedulerPolicy::with_workers(4));
+        assert_eq!(seq.cluster_of, par.cluster_of);
+        assert_eq!(seq.certificates, par.certificates);
+        assert_eq!(seq.inter_cluster, par.inter_cluster);
+    }
+
+    #[test]
+    fn from_parts_matches_planted_structure() {
+        let (g, blocks) = gen::ring_of_expanders(4, 12, 4, 5).unwrap();
+        let asg = ClusterAssignment::from_parts(&g, &blocks, 0.25, &SchedulerPolicy::sequential());
+        assert_eq!(asg.cluster_count(), 4);
+        assert_eq!(asg.inter_cluster.len(), 4, "one bridge per ring step");
+        for (u, v) in asg.inter_cluster_edges() {
+            assert!(!asg.is_intra(u, v));
+        }
+        let total_internal: usize = asg.certificates.iter().map(|c| c.internal_edges).sum();
+        assert_eq!(total_internal + asg.inter_cluster.len(), g.m());
+        for c in &asg.certificates {
+            assert_eq!(c.size, 12);
+            assert!((c.phi_target - 0.25).abs() < 1e-15);
+            assert_eq!(c.incident_removed, 2);
+        }
+        // Policy-independent.
+        let par =
+            ClusterAssignment::from_parts(&g, &blocks, 0.25, &SchedulerPolicy::with_workers(4));
+        assert_eq!(asg.certificates, par.certificates);
+        assert_eq!(asg.cluster_of, par.cluster_of);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every vertex")]
+    fn from_parts_rejects_partial_cover() {
+        let g = gen::path(4).unwrap();
+        let parts = [VertexSet::from_iter(4, [0u32, 1])];
+        ClusterAssignment::from_parts(&g, &parts, 0.1, &SchedulerPolicy::sequential());
     }
 
     #[test]

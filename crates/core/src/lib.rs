@@ -46,6 +46,7 @@ pub mod params;
 pub mod partition;
 pub mod prelude;
 pub mod rounds;
+pub mod scheduler;
 pub mod sparse_cut;
 pub mod verify;
 
@@ -53,4 +54,7 @@ pub use decomposition::{
     ClusterAssignment, ClusterCertificate, DecompositionResult, ExpanderDecomposition,
 };
 pub use params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
+pub use scheduler::{
+    derive_seed, JobStats, LevelExecution, RecursionReport, SchedulerPolicy, ScratchPool,
+};
 pub use sparse_cut::{nearly_most_balanced_sparse_cut, SparseCutOutcome};

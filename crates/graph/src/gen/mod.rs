@@ -12,11 +12,14 @@
 //! | [`ring_of_cliques`] | many balanced sparse cuts — decomposition stress test |
 //! | [`path`], [`cycle`], [`grid`], [`hypercube`], [`complete`], [`star`] | structured baselines with known conductance/diameter |
 //! | [`chung_lu`] | power-law degrees — heterogeneous-volume stress test |
+//! | [`scale`] ([`power_law_fast`], [`planted_partition_fast`], [`ring_of_expanders`]) | the million-edge tier: `O(n + m)` chunk-parallel generators |
 
 mod composite;
 mod lattice;
 mod random;
+pub mod scale;
 
 pub use composite::{barbell, dumbbell, ring_of_cliques};
 pub use lattice::{complete, cycle, grid, hypercube, path, star};
 pub use random::{chung_lu, gnp, planted_partition, random_regular, PlantedPartition};
+pub use scale::{planted_partition_fast, power_law_fast, ring_of_expanders};

@@ -268,8 +268,10 @@ pub fn chung_lu(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Result<Grap
     let exponent = -1.0 / (gamma - 1.0);
     let mut weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
     let sum: f64 = weights.iter().sum();
-    // Scale so the expected average degree matches the request.
-    let scale = (avg_degree * n as f64 / sum).sqrt();
+    // Scale so the expected average degree matches the request: with
+    // p(u,v) = w_u·w_v/Σw, E[deg u] ≈ w_u, so Σw must equal avg·n
+    // (up to the min(1, ·) clipping at the heavy head).
+    let scale = avg_degree * n as f64 / sum;
     for w in &mut weights {
         *w *= scale;
     }

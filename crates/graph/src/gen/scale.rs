@@ -1,0 +1,394 @@
+//! The large-graph workload tier: `O(n + m)` generators that build CSR
+//! through [`Graph::from_edge_chunks`] with chunk-parallel edge
+//! generation, targeting million-edge instances.
+//!
+//! The quadratic-pair generators in [`super::random`] are fine up to a
+//! few hundred vertices; these three families replace them at scale:
+//!
+//! * [`power_law_fast`] — Chung–Lu with the Miller–Hagberg skipping
+//!   sampler: expected work `O(n + m)` instead of `O(n²)`, identical
+//!   per-pair marginals to [`super::chung_lu`].
+//! * [`planted_partition_fast`] — the stochastic block model with
+//!   geometric skipping per (row, block) segment; identical marginals to
+//!   [`super::planted_partition`].
+//! * [`ring_of_expanders`] — a cycle of random-regular expanders joined
+//!   by single bridge edges: many planted sparse cuts between
+//!   high-conductance clusters, the decomposition stress test at scale.
+//!
+//! **Determinism is chunk-logical, not thread-logical:** the vertex range
+//! is split into fixed-size chunks, chunk `c` generates its rows with an
+//! RNG seeded [`derive_seed`]`(seed, c)`, and chunks land in CSR in chunk
+//! order — so the output is a function of `(parameters, seed)` alone,
+//! bit-for-bit identical at any thread count (including 1).
+
+use crate::gen::random::PlantedPartition;
+use crate::seed::derive_seed;
+use crate::{gen, Graph, GraphError, Result, VertexId, VertexSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Rows per generation chunk. Fixed (never derived from the thread
+/// count) so chunk seeds — and therefore the graph — are scheduling-
+/// independent.
+const CHUNK_ROWS: usize = 4096;
+
+/// Splits `0..n` into [`CHUNK_ROWS`]-sized row ranges.
+fn row_chunks(n: usize) -> Vec<(usize, usize)> {
+    (0..n.div_ceil(CHUNK_ROWS))
+        .map(|c| (c * CHUNK_ROWS, ((c + 1) * CHUNK_ROWS).min(n)))
+        .collect()
+}
+
+/// Runs `fill(chunk_index, row_range, rng, out)` for every row chunk in
+/// parallel, each chunk under its derived seed, and returns the per-chunk
+/// edge lists in chunk order.
+fn generate_chunks<F>(n: usize, seed: u64, fill: F) -> Vec<Vec<(VertexId, VertexId)>>
+where
+    F: Fn(usize, (usize, usize), &mut StdRng, &mut Vec<(VertexId, VertexId)>) + Sync,
+{
+    let ranges = row_chunks(n);
+    let mut chunks: Vec<Vec<(VertexId, VertexId)>> = Vec::new();
+    chunks.resize_with(ranges.len(), Vec::new);
+    chunks
+        .par_iter_mut()
+        .zip(ranges.par_iter())
+        .enumerate()
+        .for_each(|(c, (out, &range))| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, c as u64));
+            fill(c, range, &mut rng, out);
+        });
+    chunks
+}
+
+/// Geometric skip length for success probability `p ∈ (0, 1)`: the
+/// number of consecutive misses before the next hit.
+#[inline]
+fn geometric_skip(rng: &mut StdRng, p: f64) -> usize {
+    let r: f64 = rng.random();
+    ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize
+}
+
+/// Chung–Lu power-law graph in expected `O(n + m)` time: vertex `v` gets
+/// weight `w_v ∝ (v+1)^{-1/(γ−1)}` and pair `{u, v}` connects with
+/// probability `min(1, w_u·w_v/Σw)` — the same marginals as
+/// [`super::chung_lu`], sampled with the Miller–Hagberg skipping walk
+/// (weights are non-increasing in the vertex id, so each row walks its
+/// tail with a decreasing probability bound and geometric skips).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `γ > 2` (finite mean).
+pub fn power_law_fast(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Result<Graph> {
+    if gamma <= 2.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("power-law exponent gamma = {gamma} must be > 2"),
+        });
+    }
+    if avg_degree <= 0.0 || avg_degree.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("average degree {avg_degree} must be positive"),
+        });
+    }
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    // Σw = avg·n makes E[deg u] ≈ w_u (see `gen::chung_lu`).
+    let scale = avg_degree * n as f64 / sum.max(f64::MIN_POSITIVE);
+    for w in &mut weights {
+        *w *= scale;
+    }
+    let total: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+
+    let chunks = generate_chunks(n, seed, |_, (lo, hi), rng, out| {
+        for u in lo..hi {
+            let mut v = u + 1;
+            // Invariant: p bounds the connect probability of every pair
+            // {u, x} with x ≥ v (weights are non-increasing).
+            let mut p = match weights.get(v) {
+                Some(&wv) => (weights[u] * wv / total).min(1.0),
+                None => continue,
+            };
+            while v < n && p > 0.0 {
+                if p < 1.0 {
+                    v += geometric_skip(rng, p);
+                    if v >= n {
+                        break;
+                    }
+                }
+                let q = (weights[u] * weights[v] / total).min(1.0);
+                if rng.random::<f64>() < q / p {
+                    out.push((u as VertexId, v as VertexId));
+                }
+                p = q;
+                v += 1;
+            }
+        }
+    });
+    Graph::from_edge_chunks(n, &chunks)
+}
+
+/// Stochastic block model in expected `O(n + m)` time: consecutive
+/// blocks of the given sizes, intra-block pairs with `p_in`, inter-block
+/// pairs with `p_out` — the same marginals as
+/// [`super::planted_partition`], sampled with geometric skipping over
+/// each row's constant-probability block segments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for empty blocks or
+/// probabilities outside `[0, 1]`.
+pub fn planted_partition_fast(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<PlantedPartition> {
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(GraphError::InvalidParameter {
+            reason: "planted partition needs non-empty blocks".to_string(),
+        });
+    }
+    for &p in &[p_in, p_out] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("probability {p} outside [0, 1]"),
+            });
+        }
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block_of = vec![0usize; n];
+    let mut starts = Vec::with_capacity(sizes.len() + 1);
+    let mut start = 0usize;
+    for (b, &sz) in sizes.iter().enumerate() {
+        starts.push(start);
+        block_of[start..start + sz].fill(b);
+        start += sz;
+    }
+    starts.push(n);
+
+    let block_of_ref = &block_of;
+    let starts_ref = &starts;
+    let chunks = generate_chunks(n, seed, |_, (lo, hi), rng, out| {
+        for (u, &ub) in block_of_ref.iter().enumerate().take(hi).skip(lo) {
+            // The row u+1..n is a run of constant-probability segments:
+            // the tail of u's own block, then each later block whole.
+            for b in ub..starts_ref.len() - 1 {
+                let seg_lo = starts_ref[b].max(u + 1);
+                let seg_hi = starts_ref[b + 1];
+                if seg_lo >= seg_hi {
+                    continue;
+                }
+                let p = if b == ub { p_in } else { p_out };
+                if p <= 0.0 {
+                    continue;
+                }
+                if p >= 1.0 {
+                    for v in seg_lo..seg_hi {
+                        out.push((u as VertexId, v as VertexId));
+                    }
+                    continue;
+                }
+                let mut pos = seg_lo;
+                loop {
+                    pos += geometric_skip(rng, p);
+                    if pos >= seg_hi {
+                        break;
+                    }
+                    out.push((u as VertexId, pos as VertexId));
+                    pos += 1;
+                }
+            }
+        }
+    });
+    let graph = Graph::from_edge_chunks(n, &chunks)?;
+    let blocks = (0..sizes.len())
+        .map(|b| VertexSet::from_fn(n, |v| block_of[v as usize] == b))
+        .collect();
+    Ok(PlantedPartition {
+        graph,
+        block_of,
+        blocks,
+    })
+}
+
+/// A cycle of `count` random `degree`-regular expanders on `size`
+/// vertices each, consecutive blocks joined by one bridge edge. Returns
+/// the graph and the planted blocks (each a sparse cut of conductance
+/// `O(1/(size·degree))` against a Θ(1) intra-block conductance w.h.p.).
+///
+/// Blocks are generated **in parallel**, one job per block under seed
+/// `derive_seed(seed, block)`, so the graph is identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `count == 0` or no simple
+/// `degree`-regular graph on `size` vertices exists.
+pub fn ring_of_expanders(
+    count: usize,
+    size: usize,
+    degree: usize,
+    seed: u64,
+) -> Result<(Graph, Vec<VertexSet>)> {
+    if count == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "ring of expanders needs at least one block".to_string(),
+        });
+    }
+    let n = count * size;
+    // One chunk per block: generate each expander under its derived seed.
+    let mut chunks: Vec<std::result::Result<Vec<(VertexId, VertexId)>, GraphError>> = Vec::new();
+    chunks.resize_with(count, || Ok(Vec::new()));
+    chunks.par_iter_mut().enumerate().for_each(|(b, out)| {
+        *out = gen::random_regular(size, degree, derive_seed(seed, b as u64)).map(|g| {
+            let base = (b * size) as VertexId;
+            g.edges().map(|(u, v)| (base + u, base + v)).collect()
+        });
+    });
+    let mut edge_chunks = Vec::with_capacity(count + 1);
+    for c in chunks {
+        edge_chunks.push(c?);
+    }
+    // The ring bridges. Skipped for a single block (the "next" block is
+    // the block itself); with exactly two blocks the wrap-around bridge
+    // would duplicate the forward one, so only the forward bridge is
+    // emitted — the graph stays simple with one bridge per block pair.
+    if count > 1 {
+        let bridge_count = if count == 2 { 1 } else { count };
+        let bridges: Vec<(VertexId, VertexId)> = (0..bridge_count)
+            .map(|b| {
+                let next = (b + 1) % count;
+                ((b * size) as VertexId, (next * size) as VertexId)
+            })
+            .collect();
+        edge_chunks.push(bridges);
+    }
+    let graph = Graph::from_edge_chunks(n, &edge_chunks)?;
+    let blocks = (0..count)
+        .map(|b| VertexSet::from_fn(n, |v| (v as usize) / size == b))
+        .collect();
+    Ok((graph, blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_fast_is_deterministic_and_heavy_tailed() {
+        let a = power_law_fast(2000, 2.5, 8.0, 11).unwrap();
+        let b = power_law_fast(2000, 2.5, 8.0, 11).unwrap();
+        assert_eq!(a, b);
+        let c = power_law_fast(2000, 2.5, 8.0, 12).unwrap();
+        assert_ne!(a, c);
+        let avg = a.total_volume() as f64 / a.n() as f64;
+        assert!((avg - 8.0).abs() < 2.0, "average degree {avg} far from 8");
+        assert!(
+            a.max_degree() as f64 > 3.0 * avg,
+            "max {} vs avg {avg} not heavy-tailed",
+            a.max_degree()
+        );
+        assert!(power_law_fast(10, 1.5, 4.0, 0).is_err());
+        assert!(power_law_fast(10, 2.5, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn power_law_fast_marginals_match_chung_lu_scale() {
+        // Same weight formula as the quadratic sampler ⇒ comparable m.
+        let fast = power_law_fast(400, 2.5, 8.0, 5).unwrap();
+        let slow = gen::chung_lu(400, 2.5, 8.0, 5).unwrap();
+        let (mf, ms) = (fast.m() as f64, slow.m() as f64);
+        assert!(
+            (mf - ms).abs() < 0.25 * ms.max(1.0),
+            "fast m = {mf}, quadratic m = {ms}"
+        );
+    }
+
+    #[test]
+    fn planted_partition_fast_has_sparse_planted_cuts() {
+        let pp = planted_partition_fast(&[300, 300], 0.1, 0.002, 9).unwrap();
+        assert_eq!(pp.graph.n(), 600);
+        assert_eq!(pp.blocks[0].len(), 300);
+        assert_eq!(pp.block_of[0], 0);
+        assert_eq!(pp.block_of[599], 1);
+        let phi = pp.graph.conductance(&pp.blocks[0]).unwrap();
+        assert!(phi < 0.1, "planted cut conductance {phi}");
+        let expected_m = 2.0 * (300.0 * 299.0 / 2.0) * 0.1 + 300.0 * 300.0 * 0.002;
+        let m = pp.graph.m() as f64;
+        assert!(
+            (m - expected_m).abs() < 0.15 * expected_m,
+            "m = {m}, expected ≈ {expected_m}"
+        );
+        assert!(planted_partition_fast(&[], 0.5, 0.1, 0).is_err());
+        assert!(planted_partition_fast(&[3, 0], 0.5, 0.1, 0).is_err());
+        assert!(planted_partition_fast(&[3, 3], 1.5, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn planted_partition_fast_extreme_probabilities() {
+        let full = planted_partition_fast(&[4, 4], 1.0, 0.0, 0).unwrap();
+        assert_eq!(full.graph.m(), 2 * (4 * 3 / 2));
+        assert_eq!(full.graph.boundary(&full.blocks[0]), 0);
+        let empty = planted_partition_fast(&[5, 5], 0.0, 0.0, 0).unwrap();
+        assert_eq!(empty.graph.m(), 0);
+    }
+
+    #[test]
+    fn ring_of_expanders_structure() {
+        let (g, blocks) = ring_of_expanders(6, 20, 4, 3).unwrap();
+        assert_eq!(g.n(), 120);
+        assert_eq!(g.m(), 6 * (20 * 4 / 2) + 6);
+        assert_eq!(blocks.len(), 6);
+        // Bridge endpoints have degree d+2 (two ring bridges at vertex 0
+        // of each block); everyone else is d-regular.
+        for (b, block) in blocks.iter().enumerate() {
+            for v in block.iter() {
+                let expect = if v as usize % 20 == 0 { 6 } else { 4 };
+                assert_eq!(g.degree(v), expect, "vertex {v}");
+            }
+            let phi = g.conductance(block).unwrap();
+            assert!(phi < 0.05, "block {b} conductance {phi}");
+        }
+        // Deterministic per seed.
+        let (h, _) = ring_of_expanders(6, 20, 4, 3).unwrap();
+        assert_eq!(g, h);
+        assert!(ring_of_expanders(0, 10, 3, 0).is_err());
+        assert!(ring_of_expanders(3, 4, 9, 0).is_err());
+    }
+
+    #[test]
+    fn two_block_ring_has_exactly_one_simple_bridge() {
+        let (g, blocks) = ring_of_expanders(2, 12, 4, 3).unwrap();
+        assert_eq!(g.m(), 2 * (12 * 4 / 2) + 1, "one bridge, not a doubled one");
+        assert_eq!(g.boundary(&blocks[0]), 1);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(12), 5);
+        // No parallel edges anywhere.
+        for v in 0..g.n() as u32 {
+            for w in g.neighbors(v).windows(2) {
+                assert!(w[0] < w[1], "parallel edge at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_ring_has_no_bridges() {
+        let (g, blocks) = ring_of_expanders(1, 16, 4, 7).unwrap();
+        assert_eq!(g.m(), 16 * 4 / 2);
+        assert_eq!(blocks.len(), 1);
+        assert!((0..16u32).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_show_in_output() {
+        // A graph larger than one chunk: row CHUNK_ROWS-1 and CHUNK_ROWS
+        // are generated by different chunks; the CSR must still be a
+        // well-formed simple-ish graph with sorted rows (checked by
+        // equality with a from_edges rebuild).
+        let n = super::CHUNK_ROWS + 100;
+        let g = power_law_fast(n, 2.6, 4.0, 1).unwrap();
+        let rebuilt = Graph::from_edges(n, g.edges()).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+}

@@ -106,6 +106,77 @@ impl Graph {
         })
     }
 
+    /// Builds a graph from per-chunk edge lists, finalizing the CSR rows
+    /// **in parallel** — the constructor the large-graph generators in
+    /// [`crate::gen::scale`] feed (they produce one edge list per vertex
+    /// chunk). Semantically identical to concatenating the chunks and
+    /// calling [`Graph::from_edges`], but the dominant cost — sorting
+    /// every adjacency row — runs one row per parallel task, so
+    /// million-edge graphs finalize at memory speed on multicore hosts.
+    /// Degree counting and the scatter pass stay sequential (they are
+    /// cheap linear sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn from_edge_chunks(n: usize, chunks: &[Vec<(VertexId, VertexId)>]) -> Result<Self> {
+        use rayon::prelude::*;
+
+        let mut loops = vec![0u32; n];
+        let mut deg = vec![0usize; n];
+        let mut m = 0usize;
+        for chunk in chunks {
+            for &(u, v) in chunk {
+                check_vertex(u, n)?;
+                check_vertex(v, n)?;
+                if u == v {
+                    loops[u as usize] += 1;
+                } else {
+                    deg[u as usize] += 1;
+                    deg[v as usize] += 1;
+                    m += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut adj = vec![0 as VertexId; acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for chunk in chunks {
+            for &(u, v) in chunk {
+                if u != v {
+                    adj[cursor[u as usize]] = v;
+                    cursor[u as usize] += 1;
+                    adj[cursor[v as usize]] = u;
+                    cursor[v as usize] += 1;
+                }
+            }
+        }
+        // Parallel row sort: slice the flat adjacency into per-vertex
+        // rows (safe disjoint splits) and sort each independently.
+        let mut rows: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+        let mut rest: &mut [VertexId] = &mut adj;
+        for v in 0..n {
+            let (row, tail) = rest.split_at_mut(offsets[v + 1] - offsets[v]);
+            rows.push(row);
+            rest = tail;
+        }
+        rows.par_iter_mut().for_each(|row| row.sort_unstable());
+        let total_loops = loops.iter().map(|&l| l as usize).sum();
+        Ok(Graph {
+            offsets,
+            adj,
+            loops,
+            m,
+            total_loops,
+        })
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -578,6 +649,23 @@ mod tests {
         let g = path4();
         let dbg = format!("{g:?}");
         assert!(dbg.contains("Graph") && dbg.contains('4'));
+    }
+
+    #[test]
+    fn from_edge_chunks_matches_from_edges() {
+        let chunks = vec![
+            vec![(0u32, 1u32), (3, 2), (1, 1)],
+            vec![],
+            vec![(2, 0), (1, 3), (0, 1)], // parallel edge across chunks
+        ];
+        let flat: Vec<_> = chunks.iter().flatten().copied().collect();
+        let a = Graph::from_edge_chunks(4, &chunks).unwrap();
+        let b = Graph::from_edges(4, flat).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.m(), 5);
+        assert_eq!(a.self_loops(1), 1);
+        assert!(Graph::from_edge_chunks(2, &[vec![(0, 9)]]).is_err());
+        assert_eq!(Graph::from_edge_chunks(3, &[]).unwrap().m(), 0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod cut;
 pub mod gen;
 pub mod io;
 pub mod prelude;
+pub mod seed;
 pub mod spectral;
 pub mod traversal;
 pub mod view;
@@ -57,6 +58,7 @@ pub use builder::GraphBuilder;
 pub use cut::{Cut, VertexSet};
 pub use error::GraphError;
 pub use graph_impl::{EdgeIter, Graph, NeighborIter};
+pub use seed::derive_seed;
 
 /// Identifier of a vertex: a dense index in `0..n`.
 ///

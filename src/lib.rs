@@ -57,6 +57,7 @@ pub mod prelude {
     pub use routing::{RoutingHierarchy, RoutingRequest};
     pub use triangle::{
         clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
-        enumerate_via_decomposition, PipelineParams, Triangle, TriangleConfig, TriangleReport,
+        enumerate_via_decomposition, enumerate_with_assignment, PipelineParams, Triangle,
+        TriangleConfig, TriangleReport,
     };
 }

@@ -1,0 +1,134 @@
+//! The cluster-recursion scheduler's determinism contract (DESIGN.md
+//! §7), property-tested end to end: the pipeline's output — cluster
+//! assignment, triangle list, witness sample, round totals, per-level
+//! routing charges — must be **bit-for-bit identical** between
+//! sequential execution and work-stealing parallel execution on a
+//! forced multi-thread pool, across random, planted-partition and
+//! degenerate graphs.
+
+use expander::scheduler::{run_jobs, SchedulerPolicy};
+use expander::{ClusterAssignment, ExpanderDecomposition};
+use expander_repro::prelude::*;
+use proptest::prelude::*;
+use triangle::enumerate_with_assignment;
+
+/// Force real multi-threading in the scheduler's worker tasks, even on
+/// one-core hosts (the rayon shim reads this once, at first use; the
+/// scheduler additionally spawns one scoped task per configured worker
+/// regardless of the global count). `set_var` runs exactly once under a
+/// `Once` guard — repeated writes from concurrently running tests would
+/// race with `getenv` readers elsewhere in the process.
+fn force_threads() {
+    static FORCE: std::sync::Once = std::sync::Once::new();
+    FORCE.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+}
+
+fn params(exec: ExecMode, workers: usize, seed: u64) -> PipelineParams {
+    PipelineParams {
+        seed,
+        exec,
+        recursion_exec: exec,
+        recursion_workers: workers,
+        ..Default::default()
+    }
+}
+
+/// Everything the determinism contract covers, extracted for equality.
+type Fingerprint = (Vec<Triangle>, Vec<Triangle>, u64, Vec<(u64, u64, usize)>);
+
+fn fingerprint(r: &TriangleReport) -> Fingerprint {
+    (
+        r.triangles.clone(),
+        r.witnesses.clone(),
+        r.total_rounds(),
+        r.levels
+            .iter()
+            .map(|l| (l.routing_queries, l.rounds(), l.clusters))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_parallel_is_bit_identical_on_gnp(
+        n in 8usize..32, p in 0.1f64..0.5, seed in any::<u64>()
+    ) {
+        force_threads();
+        let g = gen::gnp(n, p, seed).unwrap();
+        let seq = enumerate_via_decomposition(&g, &params(ExecMode::Sequential, 1, seed));
+        let par = enumerate_via_decomposition(&g, &params(ExecMode::Parallel, 4, seed));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn pipeline_parallel_is_bit_identical_on_planted_partitions(
+        half in 8usize..20, seed in any::<u64>()
+    ) {
+        force_threads();
+        let pp = gen::planted_partition_fast(&[half, half], 0.5, 0.05, seed).unwrap();
+        let seq = enumerate_via_decomposition(&pp.graph, &params(ExecMode::Sequential, 1, seed));
+        let par = enumerate_via_decomposition(&pp.graph, &params(ExecMode::Parallel, 4, seed));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+        // And the decomposition layer itself: certificates measured in
+        // parallel equal certificates measured sequentially.
+        let decomp = ExpanderDecomposition::builder().seed(seed).build().run(&pp.graph).unwrap();
+        let a = decomp.cluster_assignment_with(&pp.graph, &SchedulerPolicy::sequential());
+        let b = decomp.cluster_assignment_with(&pp.graph, &SchedulerPolicy::with_workers(4));
+        prop_assert_eq!(a.cluster_of, b.cluster_of);
+        prop_assert_eq!(a.certificates, b.certificates);
+        prop_assert_eq!(a.inter_cluster, b.inter_cluster);
+    }
+
+    #[test]
+    fn planted_assignment_pipeline_is_bit_identical(
+        count in 2usize..6, size in 8usize..20, seed in any::<u64>()
+    ) {
+        force_threads();
+        let degree = 4usize.min(size - 1);
+        let (g, blocks) = gen::ring_of_expanders(count, size, degree, seed).unwrap();
+        let asg = ClusterAssignment::from_parts(&g, &blocks, 0.2, &SchedulerPolicy::sequential());
+        let seq = enumerate_with_assignment(&g, &asg, &params(ExecMode::Sequential, 1, seed));
+        let par = enumerate_with_assignment(&g, &asg, &params(ExecMode::Parallel, 4, seed));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+        prop_assert_eq!(seq.count(), triangle::count_triangles(&g));
+    }
+
+    #[test]
+    fn scheduler_merge_order_is_execution_independent(
+        jobs in proptest::collection::vec(any::<u32>(), 24), seed in any::<u64>()
+    ) {
+        force_threads();
+        // Pure jobs with seed-derived outputs and wildly uneven runtimes:
+        // the merged result vector must equal the inline map regardless.
+        let work = |i: usize, j: u32| {
+            let salt = expander::derive_seed(seed, i as u64);
+            std::thread::sleep(std::time::Duration::from_micros((salt % 300) + u64::from(j % 7)));
+            (i, j, salt)
+        };
+        let (seq, seq_stats) = run_jobs(jobs.clone(), &SchedulerPolicy::sequential(), work);
+        let (par, par_stats) = run_jobs(jobs, &SchedulerPolicy::with_workers(4), work);
+        prop_assert_eq!(&seq, &par);
+        prop_assert_eq!(seq_stats.jobs, par_stats.jobs);
+        prop_assert_eq!(par_stats.per_worker.iter().sum::<usize>(), par_stats.jobs);
+    }
+}
+
+#[test]
+fn degenerate_graphs_are_mode_independent() {
+    force_threads();
+    for g in [
+        Graph::from_edges(1, []).unwrap(),
+        Graph::from_edges(6, []).unwrap(),
+        Graph::from_edges(4, [(0, 0), (1, 1)]).unwrap(), // loops only
+        Graph::from_edges(2, [(0, 1), (0, 1)]).unwrap(), // parallel edges
+        gen::star(9).unwrap(),                           // shreds to singletons
+        gen::path(12).unwrap(),
+    ] {
+        let seq = enumerate_via_decomposition(&g, &params(ExecMode::Sequential, 1, 3));
+        let par = enumerate_via_decomposition(&g, &params(ExecMode::Parallel, 4, 3));
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "n = {}", g.n());
+        assert_eq!(seq.count(), triangle::count_triangles(&g));
+    }
+}
