@@ -5,9 +5,12 @@
 //! * `bench_gate collect <raw.jsonl> -o <out.json>` — fold the JSON lines
 //!   the criterion shim appended (`CRITERION_BENCH_JSON`) into one flat
 //!   `{bench: median_seconds}` object (`BENCH_pr.json`).
-//! * `bench_gate compare <baseline.json> <current.json> [--threshold 0.30]`
-//!   — exit 1 if any baseline bench is missing or regressed by more than
-//!   the threshold; every offender is listed, not just the first.
+//! * `bench_gate compare <baseline.json> <current.json> [--threshold 0.30]
+//!   [--noise-floor 0.005]` — exit 1 if any baseline bench is missing or
+//!   regressed by more than the threshold; every offender is listed, not
+//!   just the first. Benches whose baseline median is under the absolute
+//!   noise floor (seconds) get no regression verdict — quick-mode jitter
+//!   on sub-millisecond benches is not a regression signal.
 //! * `bench_gate summary <baseline.json> <current.json> [--threshold 0.30]
 //!   [--out <file>] [--history <file> --label <run>]` — render the
 //!   baseline-vs-PR markdown table (appended to `--out`, e.g.
@@ -27,9 +30,10 @@ fn main() -> ExitCode {
             eprintln!("bench_gate: {e}");
             eprintln!(
                 "usage: bench_gate collect <raw.jsonl> -o <out.json>\n       \
-                 bench_gate compare <baseline.json> <current.json> [--threshold 0.30]\n       \
+                 bench_gate compare <baseline.json> <current.json> [--threshold 0.30] \
+                 [--noise-floor 0.005]\n       \
                  bench_gate summary <baseline.json> <current.json> [--threshold 0.30] \
-                 [--out <file>] [--history <file> --label <run>]"
+                 [--noise-floor 0.005] [--out <file>] [--history <file> --label <run>]"
             );
             ExitCode::from(2)
         }
@@ -60,7 +64,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let opts = parse_compare_args(&args[1..])?;
             let baseline = read_map(&opts.baseline)?;
             let current = read_map(&opts.current)?;
-            let report = gate::compare(&baseline, &current, opts.threshold);
+            let report = gate::compare(&baseline, &current, opts.threshold, opts.noise_floor);
             print!("{}", report.to_text());
             if report.passed() {
                 eprintln!("bench gate: PASS");
@@ -98,7 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let opts = parse_compare_args(&args[1..])?;
             let baseline = read_map(&opts.baseline)?;
             let current = read_map(&opts.current)?;
-            let md = gate::markdown_summary(&baseline, &current, opts.threshold);
+            let md = gate::markdown_summary(&baseline, &current, opts.threshold, opts.noise_floor);
             print!("{md}");
             if let Some(out) = &opts.out {
                 append(out, &md)?;
@@ -131,6 +135,7 @@ struct CompareOpts {
     baseline: String,
     current: String,
     threshold: f64,
+    noise_floor: f64,
     out: Option<String>,
     history: Option<String>,
     label: Option<String>,
@@ -139,6 +144,7 @@ struct CompareOpts {
 fn parse_compare_args(args: &[String]) -> Result<CompareOpts, String> {
     let mut files = Vec::new();
     let mut threshold = 0.30f64;
+    let mut noise_floor = 0.0f64;
     let mut out = None;
     let mut history = None;
     let mut label = None;
@@ -154,6 +160,15 @@ fn parse_compare_args(args: &[String]) -> Result<CompareOpts, String> {
                     return Err("threshold must be positive".to_string());
                 }
             }
+            "--noise-floor" => {
+                let v = it.next().ok_or("--noise-floor needs a value")?;
+                noise_floor = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad noise floor {v:?}"))?;
+                if !noise_floor.is_finite() || noise_floor < 0.0 {
+                    return Err("noise floor must be non-negative".to_string());
+                }
+            }
             "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--history" => history = Some(it.next().ok_or("--history needs a value")?.clone()),
             "--label" => label = Some(it.next().ok_or("--label needs a value")?.clone()),
@@ -167,6 +182,7 @@ fn parse_compare_args(args: &[String]) -> Result<CompareOpts, String> {
         baseline: b.clone(),
         current: c.clone(),
         threshold,
+        noise_floor,
         out,
         history,
         label,

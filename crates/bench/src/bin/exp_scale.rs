@@ -49,6 +49,12 @@ struct Args {
     verify: bool,
     max_depth: usize,
     decompose_cap: usize,
+    /// Force the measured Theorem 1 decomposition for *every* family,
+    /// ignoring planted clusters and the decompose cap.
+    measured: bool,
+    /// Fail the sweep if any single pipeline run exceeds this wall-clock
+    /// budget (seconds) — the CI `decomp-scale-smoke` guard.
+    budget_s: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,7 +67,13 @@ fn parse_args() -> Result<Args, String> {
         families: None,
         verify: false,
         max_depth: 2,
-        decompose_cap: 2_000,
+        // The incremental working-graph overlay runs the measured
+        // decomposition at the million-edge tier, so the default path for
+        // families without planted clusters IS the measured decomposition
+        // now; the cap only guards accidental 10⁷+-edge invocations.
+        decompose_cap: 2_000_000,
+        measured: false,
+        budget_s: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -118,6 +130,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --decompose-cap: {e}"))?
             }
             "--verify" => args.verify = true,
+            "--measured" => args.measured = true,
+            "--budget-s" => {
+                args.budget_s = Some(
+                    value("--budget-s")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-s: {e}"))?,
+                )
+            }
             "--tiny" => args.edges = 20_000,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -160,7 +180,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: exp_scale [--edges N] [--threads 1,2,4] [--modes seq,par] \
                  [--seed S] [--json out.jsonl] [--families power_law,planted4,ring_expanders] \
-                 [--max-depth D] [--decompose-cap M] [--verify] [--tiny]"
+                 [--max-depth D] [--decompose-cap M] [--measured] [--budget-s S] \
+                 [--verify] [--tiny]"
             );
             return ExitCode::from(2);
         }
@@ -207,10 +228,12 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     for w in &workloads {
-        // Pick the pipeline path: planted clusters when the family has
-        // them, the measured decomposition for small instances, the
-        // centralized counter otherwise (never a silent skip).
-        let assignment = match (&w.planted, w.graph.m() <= args.decompose_cap) {
+        // Pick the pipeline path: the measured decomposition when forced
+        // (--measured) or when the family plants no clusters and fits the
+        // cap, planted clusters otherwise, the centralized counter as the
+        // loud last resort (never a silent skip).
+        let planted = if args.measured { &None } else { &w.planted };
+        let assignment = match (planted, w.graph.m() <= args.decompose_cap || args.measured) {
             (Some(parts), _) => {
                 let start = Instant::now();
                 let asg = ClusterAssignment::from_parts(
@@ -289,6 +312,16 @@ fn main() -> ExitCode {
                 };
                 let wall = start.elapsed();
                 let combo = format!("{mode}/t{t}");
+                eprintln!(
+                    "  {}/{combo}: wall {:.2?} (decompose {:.2?}, clusters {:.2?}, \
+                     merge {:.2?}), {} triangles",
+                    w.name,
+                    wall,
+                    report.phases.wall("decompose"),
+                    report.phases.wall("clusters"),
+                    report.phases.wall("merge"),
+                    report.count()
+                );
                 table.row(vec![
                     w.name.clone(),
                     w.graph.n().to_string(),
@@ -316,6 +349,16 @@ fn main() -> ExitCode {
                     &format!("scale/{label}/{}/{combo}", w.name),
                     wall.as_secs_f64(),
                 );
+                if let Some(budget) = args.budget_s {
+                    if wall.as_secs_f64() > budget {
+                        eprintln!(
+                            "exp_scale: BUDGET BLOWN on {}/{combo}: {:.1}s > {budget}s",
+                            w.name,
+                            wall.as_secs_f64()
+                        );
+                        failures += 1;
+                    }
+                }
                 counts.push((combo, report.count()));
             }
         }

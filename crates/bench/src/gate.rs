@@ -29,6 +29,13 @@ pub enum Verdict {
         /// current / baseline.
         ratio: f64,
     },
+    /// Baseline median is under the absolute noise floor: too fast to
+    /// judge a relative regression from a quick-mode run, so no verdict
+    /// is issued (always passes, ratio reported informationally).
+    Noise {
+        /// current / baseline.
+        ratio: f64,
+    },
     /// Present in the baseline but absent from the current run.
     Missing,
     /// Present in the current run but not in the baseline (informational).
@@ -42,6 +49,8 @@ pub struct GateReport {
     pub rows: Vec<(String, Verdict)>,
     /// The threshold the comparison used.
     pub threshold: f64,
+    /// The absolute noise floor (seconds) the comparison used.
+    pub noise_floor: f64,
 }
 
 impl GateReport {
@@ -98,6 +107,12 @@ impl GateReport {
                 Verdict::Regressed { ratio } => {
                     format!("REGRESSED {:+6.1}%", (ratio - 1.0) * 100.0)
                 }
+                Verdict::Noise { ratio } => {
+                    format!(
+                        "noise     {:+6.1}% (baseline under floor)",
+                        (ratio - 1.0) * 100.0
+                    )
+                }
                 Verdict::Missing => "MISSING from current run".to_string(),
                 Verdict::New => "new (no baseline)".to_string(),
             };
@@ -108,8 +123,18 @@ impl GateReport {
 }
 
 /// Compares `current` medians against `baseline` with a relative
-/// `threshold` (0.30 = fail when current is >30% slower).
-pub fn compare(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> GateReport {
+/// `threshold` (0.30 = fail when current is >30% slower) and an absolute
+/// `noise_floor` in seconds: benches whose baseline median sits under the
+/// floor get [`Verdict::Noise`] instead of a regression verdict — on
+/// sub-millisecond benches a quick-mode run's jitter routinely exceeds
+/// any sensible relative threshold, so a relative verdict is meaningless
+/// there. Missing benches are still reported regardless of the floor.
+pub fn compare(
+    baseline: &BenchMap,
+    current: &BenchMap,
+    threshold: f64,
+    noise_floor: f64,
+) -> GateReport {
     let mut rows = Vec::new();
     for (name, &base) in baseline {
         match current.get(name) {
@@ -120,7 +145,9 @@ pub fn compare(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> GateR
                 } else {
                     f64::INFINITY
                 };
-                let verdict = if ratio > 1.0 + threshold {
+                let verdict = if base < noise_floor {
+                    Verdict::Noise { ratio }
+                } else if ratio > 1.0 + threshold {
                     Verdict::Regressed { ratio }
                 } else {
                     Verdict::Ok { ratio }
@@ -134,14 +161,23 @@ pub fn compare(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> GateR
             rows.push((name.clone(), Verdict::New));
         }
     }
-    GateReport { rows, threshold }
+    GateReport {
+        rows,
+        threshold,
+        noise_floor,
+    }
 }
 
 /// Renders a GitHub-flavored markdown table comparing `current` against
 /// `baseline` — the `bench_gate summary` payload for
 /// `$GITHUB_STEP_SUMMARY`.
-pub fn markdown_summary(baseline: &BenchMap, current: &BenchMap, threshold: f64) -> String {
-    let report = compare(baseline, current, threshold);
+pub fn markdown_summary(
+    baseline: &BenchMap,
+    current: &BenchMap,
+    threshold: f64,
+    noise_floor: f64,
+) -> String {
+    let report = compare(baseline, current, threshold, noise_floor);
     let mut out = String::new();
     out.push_str(&format!(
         "### Bench gate: baseline vs PR (fail above {:.0}% regression)\n\n",
@@ -158,6 +194,10 @@ pub fn markdown_summary(baseline: &BenchMap, current: &BenchMap, threshold: f64)
             Verdict::Regressed { ratio } => (
                 format!("{:+.1}%", (ratio - 1.0) * 100.0),
                 "**REGRESSED**".to_string(),
+            ),
+            Verdict::Noise { ratio } => (
+                format!("{:+.1}%", (ratio - 1.0) * 100.0),
+                "noise (under floor)".to_string(),
             ),
             Verdict::Missing => ("—".to_string(), "**MISSING** from PR run".to_string()),
             Verdict::New => ("—".to_string(), "new (no baseline)".to_string()),
@@ -425,7 +465,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let report = compare(&baseline, &current, 0.30);
+        let report = compare(&baseline, &current, 0.30, 0.0);
         assert!(!report.passed());
         let verdict = |name: &str| {
             report
@@ -461,7 +501,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let report = compare(&baseline, &current, 0.30);
+        let report = compare(&baseline, &current, 0.30, 0.0);
         assert_eq!(
             report.regressed(),
             vec![("slow2", 5.0), ("slow1", 2.0)],
@@ -478,12 +518,12 @@ mod tests {
         let current: BenchMap = [("a".to_string(), 1.5), ("fresh".to_string(), 3e-6)]
             .into_iter()
             .collect();
-        let md = markdown_summary(&baseline, &current, 0.30);
+        let md = markdown_summary(&baseline, &current, 0.30, 0.0);
         assert!(md.contains("| `a` | 1.00 s | 1.50 s | +50.0% | **REGRESSED** |"));
         assert!(md.contains("| `gone` | 2.00 ms | — | — | **MISSING** from PR run |"));
         assert!(md.contains("| `fresh` | — | 3.00 µs | — | new (no baseline) |"));
         assert!(md.contains("**FAIL** — 1 regressed, 1 missing."));
-        let ok = markdown_summary(&baseline, &baseline, 0.30);
+        let ok = markdown_summary(&baseline, &baseline, 0.30, 0.0);
         assert!(ok.contains("**PASS**"));
     }
 
@@ -503,10 +543,56 @@ mod tests {
     fn compare_passes_within_threshold() {
         let baseline: BenchMap = [("a".to_string(), 1.0)].into_iter().collect();
         let current: BenchMap = [("a".to_string(), 1.29)].into_iter().collect();
-        assert!(compare(&baseline, &current, 0.30).passed());
+        assert!(compare(&baseline, &current, 0.30, 0.0).passed());
         // Speedups always pass.
         let current: BenchMap = [("a".to_string(), 0.1)].into_iter().collect();
-        assert!(compare(&baseline, &current, 0.30).passed());
+        assert!(compare(&baseline, &current, 0.30, 0.0).passed());
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_bench_regressions() {
+        // 1 ms baseline doubling: a regression without a floor, noise
+        // with a 5 ms floor. A slow bench still regresses either way,
+        // and missing benches are never excused by the floor.
+        let baseline: BenchMap = [
+            ("tiny".to_string(), 1e-3),
+            ("big".to_string(), 1.0),
+            ("gone".to_string(), 1e-4),
+        ]
+        .into_iter()
+        .collect();
+        let current: BenchMap = [("tiny".to_string(), 2e-3), ("big".to_string(), 2.0)]
+            .into_iter()
+            .collect();
+        let without = compare(&baseline, &current, 0.30, 0.0);
+        assert!(matches!(
+            without.rows.iter().find(|(n, _)| n == "tiny").unwrap().1,
+            Verdict::Regressed { .. }
+        ));
+        let with = compare(&baseline, &current, 0.30, 5e-3);
+        assert!(matches!(
+            with.rows.iter().find(|(n, _)| n == "tiny").unwrap().1,
+            Verdict::Noise { .. }
+        ));
+        assert!(matches!(
+            with.rows.iter().find(|(n, _)| n == "big").unwrap().1,
+            Verdict::Regressed { .. }
+        ));
+        assert!(matches!(
+            with.rows.iter().find(|(n, _)| n == "gone").unwrap().1,
+            Verdict::Missing
+        ));
+        assert!(!with.passed(), "big regression + missing still fail");
+        // Only the tiny bench regressed → the floor alone rescues the run.
+        let only_tiny: BenchMap = [("tiny".to_string(), 1e-3)].into_iter().collect();
+        let cur_tiny: BenchMap = [("tiny".to_string(), 9e-3)].into_iter().collect();
+        assert!(!compare(&only_tiny, &cur_tiny, 0.30, 0.0).passed());
+        assert!(compare(&only_tiny, &cur_tiny, 0.30, 5e-3).passed());
+        let text = compare(&only_tiny, &cur_tiny, 0.30, 5e-3).to_text();
+        assert!(text.contains("noise"), "{text}");
+        let md = markdown_summary(&only_tiny, &cur_tiny, 0.30, 5e-3);
+        assert!(md.contains("noise (under floor)"), "{md}");
+        assert!(md.contains("**PASS**"), "{md}");
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl_tuple_strategy! {
 pub mod collection {
     use super::Strategy;
 
-    /// Strategy for fixed-length vectors. Created by [`vec`].
+    /// Strategy for fixed-length vectors. Created by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: usize,

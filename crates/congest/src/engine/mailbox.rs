@@ -71,6 +71,39 @@ impl<M: Clone> OutBuf<M> {
     }
 }
 
+/// One sender's broadcast cell for one round: when a vertex sends the
+/// *same* message to *every* neighbor (the dominant pattern of streaming
+/// programs), the message is stored once here instead of once per
+/// adjacency slot, and receivers read one flat, cache-friendly cell
+/// instead of chasing into the sender's slot storage.
+#[derive(Debug)]
+pub(crate) struct BcastCell<M> {
+    stamp: usize,
+    msg: Option<M>,
+}
+
+impl<M> BcastCell<M> {
+    fn new() -> Self {
+        BcastCell {
+            stamp: NEVER,
+            msg: None,
+        }
+    }
+
+    /// Whether this cell carries a broadcast for `round`.
+    #[inline]
+    pub(crate) fn is_stamped(&self, round: usize) -> bool {
+        self.stamp == round
+    }
+
+    /// Stores a broadcast for `round`.
+    #[inline]
+    pub(crate) fn put(&mut self, round: usize, msg: M) {
+        self.stamp = round;
+        self.msg = Some(msg);
+    }
+}
+
 /// Precomputed reverse-edge index.
 ///
 /// For the `i`-th adjacency position of vertex `v` (neighbor `u`),
@@ -132,6 +165,17 @@ impl RevIndex {
 pub(crate) struct Mailboxes<M> {
     arenas: [Vec<OutBuf<M>>; 2],
     mail: [Vec<AtomicUsize>; 2],
+    /// Per-*sender* round stamps (same two-generation scheme as `mail`):
+    /// `sent[r % 2][u] == r` iff `u` queued at least one message in round
+    /// `r`. Receivers consult this one flat array before touching a
+    /// sender's arena segment, so a gather over a mostly-idle
+    /// neighborhood (the long tail of streaming programs, where only a
+    /// few high-degree vertices are still talking) costs one predictable
+    /// load per neighbor instead of two dependent loads into per-sender
+    /// slot storage.
+    sent: [Vec<AtomicUsize>; 2],
+    /// Per-sender broadcast cells (two generations like the arenas).
+    bcast: [Vec<BcastCell<M>>; 2],
     rev: RevIndex,
 }
 
@@ -153,10 +197,26 @@ impl<M: Clone> Mailboxes<M> {
         Mailboxes {
             arenas: [arena(), arena()],
             // Round 0 delivers nothing, so the initial stamp 0 (meaning
-            // "mail for round 0") is never consulted.
+            // "mail for round 0") is never consulted. The initial `sent`
+            // stamp 0 makes every vertex look like a round-0 sender to
+            // the round-1 gather — an unfiltered first round, after
+            // which the slot stamps remain the ground truth.
             mail: [stamps(), stamps()],
+            sent: [stamps(), stamps()],
+            bcast: [
+                (0..n).map(|_| BcastCell::new()).collect(),
+                (0..n).map(|_| BcastCell::new()).collect(),
+            ],
             rev: RevIndex::build(g),
         }
+    }
+
+    /// Test-only: pretend `v` sent something in `round`, so gathers are
+    /// not short-circuited by the sent filter when a test wants to
+    /// exercise the slot-stamp logic directly.
+    #[cfg(test)]
+    pub(crate) fn mark_sent_for_test(&self, v: VertexId, round: usize) {
+        self.sent[round % 2][v as usize].store(round, Ordering::Relaxed);
     }
 
     /// Splits the state into the pieces round `round` needs: the writer
@@ -166,21 +226,35 @@ impl<M: Clone> Mailboxes<M> {
     pub(crate) fn split_for_round(
         &mut self,
         round: usize,
-    ) -> (&mut Vec<OutBuf<M>>, MailReader<'_, M>) {
+    ) -> (
+        &mut Vec<OutBuf<M>>,
+        &mut Vec<BcastCell<M>>,
+        MailReader<'_, M>,
+    ) {
         let [a, b] = &mut self.arenas;
-        let (write, read) = if writer_of(round) == 0 {
-            (a, &*b)
+        let [ba, bb] = &mut self.bcast;
+        let (write, read, bcast_write, bcast_read) = if writer_of(round) == 0 {
+            (a, &*b, ba, &*bb)
         } else {
-            (b, &*a)
+            (b, &*a, bb, &*ba)
         };
         let mail_cur = &self.mail[round % 2][..];
         let mail_next = &self.mail[(round + 1) % 2][..];
+        // Generations alternate by round parity, so the generation this
+        // round *writes* is disjoint from the one it *reads* (which round
+        // `round - 1` wrote): (round + 1) % 2 == (round - 1) % 2.
+        let sent_write = &self.sent[round % 2][..];
+        let sent_read = &self.sent[(round + 1) % 2][..];
         (
             write,
+            bcast_write,
             MailReader {
                 read,
+                bcast_read,
                 mail_cur,
                 mail_next,
+                sent_write,
+                sent_read,
                 rev: &self.rev,
                 round,
             },
@@ -192,8 +266,11 @@ impl<M: Clone> Mailboxes<M> {
 /// the previous round's arena and stamp next-round mail.
 pub(crate) struct MailReader<'e, M> {
     read: &'e Vec<OutBuf<M>>,
+    bcast_read: &'e [BcastCell<M>],
     mail_cur: &'e [AtomicUsize],
     mail_next: &'e [AtomicUsize],
+    sent_write: &'e [AtomicUsize],
+    sent_read: &'e [AtomicUsize],
     rev: &'e RevIndex,
     round: usize,
 }
@@ -221,6 +298,12 @@ impl<M: Clone> MailReader<'_, M> {
         self.mail_next[to as usize].store(self.round + 1, Ordering::Relaxed);
     }
 
+    /// Stamps `from` as having sent something this round.
+    #[inline]
+    pub(crate) fn mark_sent(&self, from: VertexId) {
+        self.sent_write[from as usize].store(self.round, Ordering::Relaxed);
+    }
+
     /// Pulls `v`'s inbox for this round into `inbox`, sorted by sender.
     ///
     /// Walks `v`'s sorted neighbor list; for each distinct neighbor `u`,
@@ -232,6 +315,17 @@ impl<M: Clone> MailReader<'_, M> {
         let neighbors = g.neighbors(v);
         for (i, &u) in neighbors.iter().enumerate() {
             if i > 0 && neighbors[i - 1] == u {
+                continue;
+            }
+            // Cheap first-level filter: skip neighbors that sent nothing
+            // at all last round before touching their arena segment.
+            if self.sent_read[u as usize].load(Ordering::Relaxed) != prev {
+                continue;
+            }
+            // Broadcast fast path: one flat cell read per sender.
+            let cell = &self.bcast_read[u as usize];
+            if cell.is_stamped(prev) {
+                inbox.push((u, cell.msg.clone().expect("stamped cell holds a message")));
                 continue;
             }
             let sender = &self.read[u as usize];
@@ -278,7 +372,7 @@ mod tests {
 
         // Round 0: vertex 0 sends 41 to 1; vertex 2 sends 43 to 1.
         {
-            let (write, reader) = boxes.split_for_round(0);
+            let (write, _bcast, reader) = boxes.split_for_round(0);
             let slot = g.neighbors(0).partition_point(|&w| w < 1);
             write[0].put(slot, 0, 41);
             reader.flag_mail(1);
@@ -288,7 +382,7 @@ mod tests {
         }
 
         // Round 1: vertex 1 has mail from 0 and 2, sorted by sender.
-        let (_, reader) = boxes.split_for_round(1);
+        let (_, _, reader) = boxes.split_for_round(1);
         assert!(reader.has_mail(1));
         assert!(!reader.has_mail(0) && !reader.has_mail(2));
         let mut inbox = Vec::new();
@@ -307,9 +401,12 @@ mod tests {
         let mut boxes: Mailboxes<u32> = Mailboxes::new(&g);
         // Round 0 writes arena 0.
         boxes.split_for_round(0).0[0].put(0, 0, 7);
-        // Round 2 also writes arena 0 but does not re-send; the gather in
-        // round 3 must not resurrect the round-0 message.
-        let (_, reader) = boxes.split_for_round(3);
+        // Round 2 also writes arena 0 but does not re-send this message;
+        // mark the sender active in round 2 so the gather actually
+        // consults the slot stamp — it must not resurrect the round-0
+        // message.
+        boxes.mark_sent_for_test(0, 2);
+        let (_, _, reader) = boxes.split_for_round(3);
         let mut inbox = Vec::new();
         reader.gather(&g, 1, &mut inbox);
         assert!(inbox.is_empty(), "stale stamp leaked: {inbox:?}");

@@ -12,20 +12,32 @@
 //! ranges, while [`run_sequential`] drives it in a plain loop (and
 //! therefore needs no `Send` bounds on the programs).
 //!
+//! Two scale provisions keep long, mostly-idle runs cheap (the measured
+//! decomposition's giant expander cluster streams for `Θ(max deg)`
+//! rounds during which almost every vertex is halted and silent):
+//!
+//! * the halt flags live in a compact side vector, so skipping a halted,
+//!   mail-less vertex reads two warm words and never touches its
+//!   [`Slot`] (whose program state is hundreds of bytes);
+//! * round statistics fold into a [`RoundAgg`] *during* the step pass —
+//!   only vertices that actually stepped contribute — instead of a
+//!   second full sweep over all per-vertex stats per round.
+//!
 //! Determinism: per-vertex results do not depend on visit order, the
 //! inbox is gathered in sorted-sender order by construction, and the
-//! per-round reduction (message/bit sums, max link bits, min-vertex
-//! error) is associative and commutative — sequential and parallel
-//! execution therefore produce bit-identical [`RunReport`]s, final
-//! program states, and errors. `tests/engine_determinism.rs` proves this
-//! property over randomized graphs and programs.
+//! [`RoundAgg`] reduction (message/bit sums, max link bits, min-vertex
+//! error) is associative and commutative over integers — sequential and
+//! parallel execution therefore produce bit-identical [`RunReport`]s,
+//! final program states, and errors. `tests/engine_determinism.rs`
+//! proves this property over randomized graphs and programs.
 
-use crate::engine::mailbox::{MailReader, Mailboxes, OutBuf};
+use crate::engine::mailbox::{BcastCell, MailReader, Mailboxes, OutBuf};
 use crate::engine::validate::SendStats;
 use crate::network::{Ctx, VertexProgram};
 use crate::{CongestError, Result, RunReport};
 use graph::{Graph, VertexId};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-vertex engine state: the program plus reusable scratch.
 pub(crate) struct Slot<P: VertexProgram> {
@@ -33,7 +45,56 @@ pub(crate) struct Slot<P: VertexProgram> {
     /// Reused inbox buffer (cleared, not reallocated, each round).
     inbox: Vec<(VertexId, P::Msg)>,
     stats: SendStats,
-    halted: bool,
+}
+
+/// One round's reduction, filled in by the stepping pass itself. All
+/// fields are sums/maxes/mins of per-vertex integers, so the result is
+/// independent of stepping order and of how vertices are chunked over
+/// threads. Vertices skipped by the idle fast path contribute exactly
+/// nothing (they are halted and sent nothing), which is also what the
+/// old second-pass reduction read from their zeroed stats.
+struct RoundAgg {
+    /// Messages queued this round (the round's `in_flight`).
+    sent: AtomicUsize,
+    /// Payload bits queued this round.
+    bits: AtomicUsize,
+    /// Largest single message queued this round.
+    max_bits: AtomicUsize,
+    /// Stepped vertices that are *not* halted after this round; every
+    /// skipped vertex is halted by definition, so `active == 0` is
+    /// exactly the old all-halted conjunction.
+    active: AtomicUsize,
+    /// Smallest vertex id that recorded a model violation
+    /// (`usize::MAX` = none) — the same tie-break the seed engine's
+    /// in-order scan produced.
+    err_vertex: AtomicUsize,
+}
+
+impl RoundAgg {
+    fn new() -> Self {
+        RoundAgg {
+            sent: AtomicUsize::new(0),
+            bits: AtomicUsize::new(0),
+            max_bits: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            err_vertex: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Folds one stepped vertex's round results in.
+    fn absorb(&self, v: usize, stats: &SendStats, halted: bool) {
+        if stats.error.is_some() {
+            self.err_vertex.fetch_min(v, Ordering::Relaxed);
+        }
+        if stats.sent > 0 {
+            self.sent.fetch_add(stats.sent, Ordering::Relaxed);
+            self.bits.fetch_add(stats.bits, Ordering::Relaxed);
+            self.max_bits.fetch_max(stats.max_bits, Ordering::Relaxed);
+        }
+        if !halted {
+            self.active.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Runs the engine stepping vertices one at a time, in ascending id
@@ -48,14 +109,30 @@ where
     P: VertexProgram,
     F: FnMut(VertexId) -> P,
 {
-    run_impl(g, make, max_rounds, |slots, boxes, round| {
-        let (write, reader) = boxes.split_for_round(round);
+    run_impl(g, make, max_rounds, |slots, halted, boxes, round, agg| {
+        let (write, bcast, reader) = boxes.split_for_round(round);
         slots
             .iter_mut()
             .zip(write.iter_mut())
+            .zip(bcast.iter_mut())
+            .zip(halted.iter_mut())
             .enumerate()
-            .for_each(|(v, (slot, out))| {
-                step_vertex(g, bandwidth_bits, round, v as VertexId, slot, out, reader)
+            .for_each(|(v, (((slot, out), cell), halt))| {
+                if round > 0 && *halt && !reader.has_mail(v as VertexId) {
+                    return; // idle fast path: the Slot is never touched
+                }
+                step_vertex(
+                    g,
+                    bandwidth_bits,
+                    round,
+                    v as VertexId,
+                    slot,
+                    out,
+                    cell,
+                    reader,
+                    halt,
+                );
+                agg.absorb(v, &slot.stats, *halt);
             });
     })
 }
@@ -73,14 +150,30 @@ where
     P::Msg: Send + Sync,
     F: FnMut(VertexId) -> P,
 {
-    run_impl(g, make, max_rounds, |slots, boxes, round| {
-        let (write, reader) = boxes.split_for_round(round);
+    run_impl(g, make, max_rounds, |slots, halted, boxes, round, agg| {
+        let (write, bcast, reader) = boxes.split_for_round(round);
         slots
             .par_iter_mut()
             .zip(write.par_iter_mut())
+            .zip(bcast.par_iter_mut())
+            .zip(halted.par_iter_mut())
             .enumerate()
-            .for_each(|(v, (slot, out))| {
-                step_vertex(g, bandwidth_bits, round, v as VertexId, slot, out, reader)
+            .for_each(|(v, (((slot, out), cell), halt))| {
+                if round > 0 && *halt && !reader.has_mail(v as VertexId) {
+                    return; // idle fast path: the Slot is never touched
+                }
+                step_vertex(
+                    g,
+                    bandwidth_bits,
+                    round,
+                    v as VertexId,
+                    slot,
+                    out,
+                    cell,
+                    reader,
+                    halt,
+                );
+                agg.absorb(v, &slot.stats, *halt);
             });
     })
 }
@@ -96,7 +189,7 @@ fn run_impl<P, F, S>(
 where
     P: VertexProgram,
     F: FnMut(VertexId) -> P,
-    S: FnMut(&mut [Slot<P>], &mut Mailboxes<P::Msg>, usize),
+    S: FnMut(&mut [Slot<P>], &mut [bool], &mut Mailboxes<P::Msg>, usize, &RoundAgg),
 {
     let n = g.n();
     let mut slots: Vec<Slot<P>> = (0..n as VertexId)
@@ -104,18 +197,31 @@ where
             program: make(v),
             inbox: Vec::new(),
             stats: SendStats::default(),
-            halted: false,
         })
         .collect();
+    let mut halted = vec![false; n];
     let mut boxes: Mailboxes<P::Msg> = Mailboxes::new(g);
     let mut report = RunReport::default();
 
-    // Round 0: init every vertex.
-    step_all(&mut slots, &mut boxes, 0);
-    let (mut in_flight, mut all_halted) = reduce(&slots, &mut report)?;
-
     let mut round = 0usize;
     loop {
+        let agg = RoundAgg::new();
+        step_all(&mut slots, &mut halted, &mut boxes, round, &agg);
+        let err = agg.err_vertex.load(Ordering::Relaxed);
+        if err != usize::MAX {
+            return Err(slots[err]
+                .stats
+                .error
+                .clone()
+                .expect("err_vertex recorded a violation"));
+        }
+        let in_flight = agg.sent.load(Ordering::Relaxed);
+        report.messages += in_flight;
+        report.bits += agg.bits.load(Ordering::Relaxed);
+        report.max_link_bits_per_round = report
+            .max_link_bits_per_round
+            .max(agg.max_bits.load(Ordering::Relaxed));
+        let all_halted = agg.active.load(Ordering::Relaxed) == 0;
         if all_halted && in_flight == 0 {
             break;
         }
@@ -123,8 +229,6 @@ where
             return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
         }
         round += 1;
-        step_all(&mut slots, &mut boxes, round);
-        (in_flight, all_halted) = reduce(&slots, &mut report)?;
     }
     report.rounds = round;
     Ok((report, slots.into_iter().map(|s| s.program).collect()))
@@ -132,6 +236,7 @@ where
 
 /// Delivers `v`'s inbox and steps its program; the one function both
 /// execution modes run, so their behavior cannot diverge.
+#[allow(clippy::too_many_arguments)] // the engine's full per-vertex context
 fn step_vertex<P: VertexProgram>(
     g: &Graph,
     bandwidth_bits: usize,
@@ -139,7 +244,9 @@ fn step_vertex<P: VertexProgram>(
     v: VertexId,
     slot: &mut Slot<P>,
     out: &mut OutBuf<P::Msg>,
+    cell: &mut BcastCell<P::Msg>,
     reader: MailReader<'_, P::Msg>,
+    halt: &mut bool,
 ) {
     slot.stats.reset();
     slot.inbox.clear();
@@ -148,13 +255,14 @@ fn step_vertex<P: VertexProgram>(
     }
     if round > 0 && slot.inbox.is_empty() && slot.program.halted() {
         // Halted and silent: skip the program, stay halted.
-        slot.halted = true;
+        *halt = true;
         return;
     }
     let sink = crate::engine::validate::SendSink::new(
         v,
         g.neighbors(v),
         out,
+        cell,
         reader,
         &mut slot.stats,
         round,
@@ -166,25 +274,5 @@ fn step_vertex<P: VertexProgram>(
     } else {
         slot.program.round(&mut ctx, &slot.inbox);
     }
-    slot.halted = slot.program.halted();
-}
-
-/// Folds the per-vertex round results into the run report and the halt
-/// decision. Sums and maxes are associative; the error reduction picks
-/// the smallest vertex id (the order the seed engine visited vertices),
-/// so both execution modes surface the identical error.
-fn reduce<P: VertexProgram>(slots: &[Slot<P>], report: &mut RunReport) -> Result<(usize, bool)> {
-    let mut in_flight = 0usize;
-    let mut all_halted = true;
-    for slot in slots {
-        if let Some(err) = &slot.stats.error {
-            return Err(err.clone());
-        }
-        in_flight += slot.stats.sent;
-        all_halted &= slot.halted;
-        report.messages += slot.stats.sent;
-        report.bits += slot.stats.bits;
-        report.max_link_bits_per_round = report.max_link_bits_per_round.max(slot.stats.max_bits);
-    }
-    Ok((in_flight, all_halted))
+    *halt = slot.program.halted();
 }

@@ -15,7 +15,7 @@
 //! run's error, picking the smallest offending vertex id so sequential
 //! and parallel execution report the identical [`CongestError`].
 
-use crate::engine::mailbox::{MailReader, OutBuf};
+use crate::engine::mailbox::{BcastCell, MailReader, OutBuf};
 use crate::{CongestError, Payload};
 use graph::VertexId;
 
@@ -47,6 +47,8 @@ pub(crate) struct SendSink<'a, M> {
     /// `me`'s sorted neighbor list (slot index space of `out`).
     neighbors: &'a [VertexId],
     out: &'a mut OutBuf<M>,
+    /// `me`'s broadcast cell for this round (see [`BcastCell`]).
+    cell: &'a mut BcastCell<M>,
     mail: MailReader<'a, M>,
     stats: &'a mut SendStats,
     round: usize,
@@ -54,10 +56,12 @@ pub(crate) struct SendSink<'a, M> {
 }
 
 impl<'a, M: Payload> SendSink<'a, M> {
+    #[allow(clippy::too_many_arguments)] // the sink bundles one vertex's full write context
     pub(crate) fn new(
         me: VertexId,
         neighbors: &'a [VertexId],
         out: &'a mut OutBuf<M>,
+        cell: &'a mut BcastCell<M>,
         mail: MailReader<'a, M>,
         stats: &'a mut SendStats,
         round: usize,
@@ -67,6 +71,7 @@ impl<'a, M: Payload> SendSink<'a, M> {
             me,
             neighbors,
             out,
+            cell,
             mail,
             stats,
             round,
@@ -91,6 +96,26 @@ impl<'a, M: Payload> SendSink<'a, M> {
             self.stats.error = Some(CongestError::NotANeighbor { from: self.me, to });
             return;
         }
+        self.send_at(slot, to, msg);
+    }
+
+    /// [`SendSink::send`] with the slot already resolved — the broadcast
+    /// loop iterates the neighbor list by index, so re-deriving the slot
+    /// by binary search per message would be pure overhead.
+    fn send_at(&mut self, slot: usize, to: VertexId, msg: M) {
+        if self.stats.error.is_some() {
+            return;
+        }
+        // A broadcast this round already reached every neighbor, so any
+        // further send is a duplicate.
+        if self.cell.is_stamped(self.round) {
+            self.stats.error = Some(CongestError::DuplicateSend {
+                from: self.me,
+                to,
+                round: self.round,
+            });
+            return;
+        }
         if self.out.is_stamped(slot, self.round) {
             self.stats.error = Some(CongestError::DuplicateSend {
                 from: self.me,
@@ -110,6 +135,9 @@ impl<'a, M: Payload> SendSink<'a, M> {
         }
         self.out.put(slot, self.round, msg);
         self.mail.flag_mail(to);
+        if self.stats.sent == 0 {
+            self.mail.mark_sent(self.me);
+        }
         self.stats.sent += 1;
         self.stats.bits += bits;
         self.stats.max_bits = self.stats.max_bits.max(bits);
@@ -122,6 +150,46 @@ impl<'a, M: Payload> SendSink<'a, M> {
     /// neighbor list (`O(deg + |excluded|)`). Unsorted lists fall back
     /// to a per-neighbor scan.
     pub(crate) fn send_to_all_except(&mut self, excluded: &[VertexId], msg: M) {
+        // Broadcast fast path: nothing excluded and nothing sent yet this
+        // round — store the message once in the broadcast cell instead of
+        // once per adjacency slot. Identical observable behavior: the
+        // same recipients get the same message, the same stats accrue,
+        // and any later send this round raises the same DuplicateSend the
+        // per-slot stamps would have raised.
+        if excluded.is_empty()
+            && self.stats.error.is_none()
+            && self.stats.sent == 0
+            && !self.cell.is_stamped(self.round)
+        {
+            if self.neighbors.is_empty() {
+                return; // no neighbors: a broadcast sends (and checks) nothing
+            }
+            let bits = msg.encoded_bits();
+            if bits > self.bandwidth_bits {
+                self.stats.error = Some(CongestError::BandwidthExceeded {
+                    from: self.me,
+                    bits,
+                    budget: self.bandwidth_bits,
+                });
+                return;
+            }
+            let mut distinct = 0usize;
+            for i in 0..self.neighbors.len() {
+                let w = self.neighbors[i];
+                if i > 0 && self.neighbors[i - 1] == w {
+                    continue; // parallel edge: one message per neighbor
+                }
+                distinct += 1;
+                self.mail.flag_mail(w);
+            }
+            debug_assert!(distinct > 0, "non-empty neighbor list");
+            self.cell.put(self.round, msg);
+            self.mail.mark_sent(self.me);
+            self.stats.sent += distinct;
+            self.stats.bits += bits * distinct;
+            self.stats.max_bits = self.stats.max_bits.max(bits);
+            return;
+        }
         let sorted = excluded.windows(2).all(|w| w[0] <= w[1]);
         let mut j = 0usize;
         for i in 0..self.neighbors.len() {
@@ -138,7 +206,8 @@ impl<'a, M: Payload> SendSink<'a, M> {
                 excluded.contains(&w)
             };
             if !skip {
-                self.send(w, msg.clone());
+                // `i` is the first copy's index == the lower-bound slot.
+                self.send_at(i, w, msg.clone());
             }
         }
     }

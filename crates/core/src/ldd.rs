@@ -23,6 +23,11 @@ use graph::{Graph, VertexId, VertexSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Components up to this size are classified by the exact per-vertex ball
+/// estimator; larger ones take the single-BFS eccentricity bound (see the
+/// classify step in [`low_diameter_decomposition`]).
+const EXACT_CLASSIFY_LIMIT: usize = 2048;
+
 /// Result of `Clustering(β)` (MPX): a cluster id per vertex.
 #[derive(Debug, Clone)]
 pub struct Clustering {
@@ -90,40 +95,79 @@ pub fn clustering(g: &Graph, beta: f64, seed: u64) -> Clustering {
 /// [`clustering`], exposed so the exact CONGEST simulation can be run with
 /// identical randomness and compared epoch for epoch).
 ///
+/// The simulation is event-driven: epochs in which no start fires and no
+/// wave can advance are skipped in `O(1)`, and each live epoch touches
+/// only the still-unclustered worklist. With `Exp(β)` shifts at small `β`
+/// the nominal horizon is `Θ(log n/β)` epochs of which only `O(diam)` do
+/// anything — the naive loop scanned all `n` vertices in every one of
+/// them, which was a scale wall for the decomposition's LDD step. The
+/// produced labels and epoch count are bit-identical to the naive loop.
+///
 /// # Panics
 ///
 /// Panics if `starts.len() != g.n()`.
 pub fn clustering_with_starts(g: &Graph, starts: &[usize], horizon: usize) -> Clustering {
     let n = g.n();
     assert_eq!(starts.len(), n, "one start epoch per vertex");
-    let start = starts;
     let mut cluster_of: Vec<Option<VertexId>> = vec![None; n];
+    // Epoch at which each vertex became clustered (`usize::MAX` = never):
+    // "clustered before epoch t" ⇔ `clustered_at[w] < t`, replacing the
+    // per-epoch snapshot clone of the whole assignment vector.
+    let mut clustered_at: Vec<usize> = vec![usize::MAX; n];
+    let mut unclustered: Vec<VertexId> = (0..n as VertexId).collect();
     let mut epochs = 0usize;
-    for t in 1..=horizon {
-        if cluster_of.iter().all(Option::is_some) {
+    let mut t = 1usize;
+    while !unclustered.is_empty() && t <= horizon {
+        epochs = t;
+        let mut progress = false;
+        let mut rest: Vec<VertexId> = Vec::with_capacity(unclustered.len());
+        for &v in &unclustered {
+            let decided = if starts[v as usize] == t {
+                Some(v)
+            } else if starts[v as usize] > t {
+                // Join the smallest-id cluster among neighbors clustered
+                // strictly before this epoch (ties arbitrary).
+                g.neighbors(v)
+                    .iter()
+                    .filter(|&&w| clustered_at[w as usize] < t)
+                    .filter_map(|&w| cluster_of[w as usize])
+                    .min()
+            } else {
+                // Unreachable: v centers itself at its own start epoch.
+                None
+            };
+            match decided {
+                Some(c) => {
+                    cluster_of[v as usize] = Some(c);
+                    clustered_at[v as usize] = t;
+                    progress = true;
+                }
+                None => rest.push(v),
+            }
+        }
+        unclustered = rest;
+        if unclustered.is_empty() {
             break;
         }
-        epochs = t;
-        // Epoch t: snapshot who was clustered before this epoch.
-        let before: Vec<Option<VertexId>> = cluster_of.clone();
-        for v in 0..n {
-            if before[v].is_some() {
-                continue;
-            }
-            if start[v] == t {
-                cluster_of[v] = Some(v as VertexId);
-            } else if start[v] > t {
-                // Join the smallest-id clustered neighbor (ties arbitrary).
-                let joined = g
-                    .neighbors(v as VertexId)
-                    .iter()
-                    .filter_map(|&w| before[w as usize])
-                    .min();
-                if let Some(c) = joined {
-                    cluster_of[v] = Some(c);
-                }
+        if progress {
+            t += 1;
+        } else {
+            // Dead stretch: nothing clustered at t, so joins stay
+            // impossible until the next start epoch fires — jump there.
+            match unclustered
+                .iter()
+                .map(|&v| starts[v as usize])
+                .filter(|&s| s > t)
+                .min()
+            {
+                Some(next) if next <= horizon => t = next,
+                _ => break,
             }
         }
+    }
+    if !unclustered.is_empty() && horizon > 0 {
+        // The naive loop would have idled through every remaining epoch.
+        epochs = horizon;
     }
     // Stragglers whose start epoch never fired (can't happen: start ≤
     // horizon by construction) — defensive fallback to singletons.
@@ -246,20 +290,38 @@ pub fn low_diameter_decomposition(g: &Graph, params: &LddParams, seed: u64) -> L
     let radius_eff = (radius as u64).min(n as u64);
     let log_n = (n.max(2) as f64).ln();
     ledger.charge("ldd.classify", radius_eff * (log_n * log_n).ceil() as u64);
+    let comps = traversal::connected_components(g);
     let mut dense_seed: Vec<VertexId> = Vec::new();
-    for comp in traversal::connected_components(g) {
-        // Fast path: if the a-ball covers the whole component, every
-        // vertex sees near == reference ≥ reference/2b, i.e. dense.
-        let comp_diam_ub = traversal::set_diameter(g, &comp).unwrap_or(u32::MAX);
-        if comp_diam_ub <= a {
-            dense_seed.extend(comp.iter());
-            continue;
-        }
-        for v in comp.iter() {
-            let near = traversal::ball_edge_count(g, v, a);
-            let reference = traversal::ball_edge_count(g, v, radius);
-            if (near as f64) >= reference as f64 / (2.0 * params.b as f64) {
-                dense_seed.push(v);
+    for comp in &comps {
+        if comp.len() <= EXACT_CLASSIFY_LIMIT {
+            // Fast path: if the a-ball covers the whole component, every
+            // vertex sees near == reference ≥ reference/2b, i.e. dense.
+            let comp_diam_ub = traversal::set_diameter(g, comp).unwrap_or(u32::MAX);
+            if comp_diam_ub <= a {
+                dense_seed.extend(comp.iter());
+                continue;
+            }
+            for v in comp.iter() {
+                let near = traversal::ball_edge_count(g, v, a);
+                let reference = traversal::ball_edge_count(g, v, radius);
+                if (near as f64) >= reference as f64 / (2.0 * params.b as f64) {
+                    dense_seed.push(v);
+                }
+            }
+        } else {
+            // Large component: the exact classifier above is
+            // O(|comp|·Vol(comp)) — a scale wall. One BFS bounds the
+            // diameter by 2·ecc(root); a component whose doubled
+            // eccentricity fits in `a` is entirely dense (near ==
+            // reference for every member). A wider large component is
+            // left entirely sparse: all its MPX inter-cluster edges get
+            // cut, and the decomposition's ε/3 budget guard remains the
+            // backstop (documented practical-mode approximation).
+            let root = comp.as_slice()[0];
+            let dist = traversal::bfs_distances(g, root);
+            let ecc = comp.iter().map(|v| dist[v as usize]).max().unwrap_or(0);
+            if ecc.saturating_mul(2) <= a {
+                dense_seed.extend(comp.iter());
             }
         }
     }
@@ -268,12 +330,32 @@ pub fn low_diameter_decomposition(g: &Graph, params: &LddParams, seed: u64) -> L
     // Step 2b: grow W₀ = {u : dist(u, V'_D) ≤ a} and merge any two
     // components within distance a until none remain (invariant H bounds
     // the iteration count by 2b and each component's diameter by O(ab)).
+    // W-components in different *graph* components can never come within
+    // distance a of each other, so only graph components hosting ≥ 2
+    // W-components enter the (ball-growing, hence costly) merge step.
     let mut w = expand_by_distance(g, &v_dense_core, a);
+    let mut comp_id = vec![usize::MAX; n];
+    for (ci, c) in comps.iter().enumerate() {
+        for v in c.iter() {
+            comp_id[v as usize] = ci;
+        }
+    }
     let mut merge_iters = 0usize;
     loop {
         merge_iters += 1;
-        let comps = components_within(g, &w);
-        let (merged, changed) = merge_close_components(g, &w, &comps, a);
+        let wcomps = components_within(g, &w);
+        let mut per_graph_comp = vec![0usize; comps.len()];
+        for wc in &wcomps {
+            per_graph_comp[comp_id[wc.as_slice()[0] as usize]] += 1;
+        }
+        let candidates: Vec<VertexSet> = wcomps
+            .into_iter()
+            .filter(|wc| per_graph_comp[comp_id[wc.as_slice()[0] as usize]] >= 2)
+            .collect();
+        if candidates.len() <= 1 {
+            break;
+        }
+        let (merged, changed) = merge_close_components(g, &w, &candidates, a);
         w = merged;
         if !changed || merge_iters > 2 * params.b + 2 {
             break;

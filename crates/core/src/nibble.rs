@@ -39,24 +39,36 @@ impl NibbleOutcome {
 }
 
 /// Shared sweep state at one time step `t`: support ordered by decreasing
-/// `ρ̃_t`, with prefix volumes and prefix boundaries.
+/// `ρ̃_t`, with prefix volumes and prefix boundaries. The vectors are
+/// reused across the `t₀` steps of a run (cleared, capacity kept) — a
+/// fresh `O(support)` allocation triple per step was almost pure
+/// mmap/munmap traffic once walks spread over large components.
+#[derive(Default)]
 struct Sweep {
     order: Vec<VertexId>,
     /// `vol[i]` = volume of the first `i+1` vertices.
     vol: Vec<usize>,
     /// `boundary[i]` = `|∂(prefix of length i+1)|`.
     boundary: Vec<usize>,
+    /// Sort-key scratch: `(ρ̃, v)` pairs, so each vertex's normalized
+    /// mass is computed once instead of twice per sort comparison.
+    keyed: Vec<(f64, VertexId)>,
 }
 
 impl Sweep {
-    fn new(g: &Graph, p: &WalkDistribution) -> Self {
-        let order = p.support_by_rho(g);
-        let mut vol = Vec::with_capacity(order.len());
-        let mut boundary = Vec::with_capacity(order.len());
-        let mut in_prefix = vec![false; g.n()];
+    /// Rebuilds the sweep state for the walk's current support. `scratch`
+    /// is an all-false mark vector of length `g.n()` that is restored to
+    /// all-false before returning.
+    fn fill(&mut self, g: &Graph, p: &WalkDistribution, scratch: &mut [bool]) {
+        self.order.clear();
+        self.vol.clear();
+        self.boundary.clear();
+        // The paper's permutation π̃_t: support by decreasing ρ̃, ties by id.
+        p.support_by_rho_into(g, &mut self.keyed, &mut self.order);
+        let in_prefix = scratch;
         let mut v_acc = 0usize;
         let mut b_acc = 0usize;
-        for &v in &order {
+        for &v in &self.order {
             in_prefix[v as usize] = true;
             v_acc += g.degree(v);
             for &w in g.neighbors(v) {
@@ -66,13 +78,11 @@ impl Sweep {
                     b_acc += 1;
                 }
             }
-            vol.push(v_acc);
-            boundary.push(b_acc);
+            self.vol.push(v_acc);
+            self.boundary.push(b_acc);
         }
-        Sweep {
-            order,
-            vol,
-            boundary,
+        for &v in &self.order {
+            in_prefix[v as usize] = false;
         }
     }
 
@@ -230,23 +240,62 @@ fn run(
     let n = g.n().max(2);
     let log_n = (n as f64).log2().ceil() as u64;
     let mut ledger = RoundLedger::new();
-    let mut participants = VertexSet::empty(g.n());
-    participants.insert(start);
+    // Participants accumulate via a mark vector + member list (a sorted
+    // VertexSet insert per support vertex per step was quadratic in the
+    // support size); the set is materialized once on return.
+    let mut part_seen = vec![false; g.n()];
+    let mut part_members: Vec<VertexId> = Vec::new();
+    part_seen[start as usize] = true;
+    part_members.push(start);
+    let mut sweep_scratch = vec![false; g.n()];
+    let mut sweep = Sweep::default();
+    // Previous step's (support, masses) snapshot for the fixed-point
+    // check below; double-buffered, O(support) per step.
+    let mut prev_state: Vec<(VertexId, f64)> = Vec::new();
+    let mut cur_state: Vec<(VertexId, f64)> = Vec::new();
+    // The sweep-search rounds charged by the latest step, so the
+    // fixed-point early-out can charge the identical remaining steps.
+    let mut last_search_charge = 0u64;
 
     let mut p = WalkDistribution::dirac(g, start);
-    // Lemma 9: computing p̃_t, ρ̃_t for all t takes t₀ rounds.
+    // Lemma 9: computing p̃_t, ρ̃_t for all t takes t₀ rounds (charged in
+    // full up front — the fixed-point early-out below saves simulation
+    // wall-clock, not model rounds).
     ledger.charge("nibble.walk", params.t0 as u64);
 
-    for _t in 1..=params.t0 {
+    for t in 1..=params.t0 {
         p.step(g);
         p.truncate(g, eps);
+        // Fixed point: the truncated walk map is deterministic, so if
+        // p̃_t == p̃_{t−1} bit-for-bit, every remaining step yields the
+        // same distribution, the same sweep, and the same (failing)
+        // candidates — the loop's outcome is already decided. On small
+        // components the truncation threshold can sit below the
+        // stationary mass, so the walk parks at its fixpoint and would
+        // otherwise burn the full t₀ budget doing provably nothing.
+        cur_state.clear();
+        cur_state.extend(p.iter());
+        if cur_state == prev_state {
+            // Every skipped step would have re-examined the identical
+            // candidate list; charge those rounds as the full loop would
+            // have, so the model accounting is unchanged by the early-out.
+            ledger.charge(
+                "nibble.sweep_search",
+                last_search_charge * (params.t0 - t + 1) as u64,
+            );
+            break;
+        }
+        std::mem::swap(&mut prev_state, &mut cur_state);
         for (v, _) in p.iter() {
-            participants.insert(v);
+            if !part_seen[v as usize] {
+                part_seen[v as usize] = true;
+                part_members.push(v);
+            }
         }
         if p.support_size() == 0 {
             break;
         }
-        let sweep = Sweep::new(g, &p);
+        sweep.fill(g, &p, &mut sweep_scratch);
         let candidates: Vec<(usize, Conditions)> = match variant {
             Variant::Exact => (1..=sweep.len()).map(|j| (j, Conditions::Exact)).collect(),
             Variant::Approximate => {
@@ -269,17 +318,15 @@ fn run(
         // exact variant is not distributable; we charge it identically so
         // comparisons are apples-to-apples.)
         let search = (sweep.len().max(2) as f64).log2().ceil() as u64;
-        ledger.charge(
-            "nibble.sweep_search",
-            candidates.len() as u64 * (search + 1) * params.t0 as u64,
-        );
+        last_search_charge = candidates.len() as u64 * (search + 1) * params.t0 as u64;
+        ledger.charge("nibble.sweep_search", last_search_charge);
         let _ = log_n;
         for (j, cond) in candidates {
             if check_candidate(g, &p, &sweep, params, b, j, cond, total_vol) {
                 let cut = VertexSet::from_iter(g.n(), sweep.order[..j].iter().copied());
                 return NibbleOutcome {
                     cut: Some(cut),
-                    participants,
+                    participants: VertexSet::from_iter(g.n(), part_members),
                     ledger,
                 };
             }
@@ -287,7 +334,7 @@ fn run(
     }
     NibbleOutcome {
         cut: None,
-        participants,
+        participants: VertexSet::from_iter(g.n(), part_members),
         ledger,
     }
 }
@@ -394,7 +441,9 @@ mod tests {
             p.step(&g);
             p.truncate(&g, params.eps_b(3));
         }
-        let sweep = Sweep::new(&g, &p);
+        let mut scratch = vec![false; g.n()];
+        let mut sweep = Sweep::default();
+        sweep.fill(&g, &p, &mut scratch);
         let seq = candidate_sequence(&sweep, params.phi);
         assert_eq!(*seq.first().unwrap(), 1);
         assert_eq!(*seq.last().unwrap(), sweep.len());

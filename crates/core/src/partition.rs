@@ -62,10 +62,14 @@ pub fn partition(
         };
     }
 
+    // G{W} is re-extracted only when W actually changed: iterations whose
+    // nibble came back empty leave W (and hence the subgraph) untouched,
+    // so the empty-streak tail reuses one extraction.
+    let mut sub_cache: Option<Subgraph> = None;
     for _ in 0..params.s_iterations {
         iterations += 1;
         // Extract G{W_{i-1}}: degrees preserved by loop augmentation.
-        let sub = Subgraph::loop_augmented(g, &w_set);
+        let sub = sub_cache.get_or_insert_with(|| Subgraph::loop_augmented(g, &w_set));
         if sub.graph().total_volume() == 0 {
             break;
         }
@@ -81,6 +85,7 @@ pub fn partition(
         }
         empty_streak = 0;
         let c_parent = sub.set_to_parent(&c_local, n);
+        sub_cache = None;
         cut = cut.union(&c_parent);
         w_set = w_set.difference(&c_parent);
         let w_vol: usize = w_set.iter().map(|v| g.degree(v)).sum();

@@ -19,7 +19,11 @@
 //!    logical position, never of the executing worker or of time.
 //!
 //! [`ScratchPool`] recycles per-job scratch arenas across jobs and across
-//! recursion levels instead of reallocating them, and
+//! recursion levels instead of reallocating them. The arenas hold
+//! *snapshots read through the level's `graph::WorkingGraph` overlay*
+//! (adjacency buffers filled from live slots) — never a cloned `Graph`,
+//! so arena refill cost tracks the cluster's live volume, not the level's
+//! total edge count. And
 //! [`RecursionReport`]/[`LevelExecution`] record what the scheduler did:
 //! per-level job counts, steal and imbalance statistics, and wall-clock
 //! per phase — the operational counterpart to the round-complexity

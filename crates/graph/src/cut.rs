@@ -2,12 +2,26 @@
 
 use crate::{Graph, GraphError, Result, VertexId};
 
-/// A subset of the vertices of an `n`-vertex graph with `O(1)` membership
+/// Density threshold: a set keeps a dense `O(n)` membership mask only when
+/// it holds at least `1/DENSE_DIVISOR` of its universe (and at least
+/// [`DENSE_MIN_LEN`] members). Below that it answers `contains` by binary
+/// search over the sorted member list, so `count` small clusters cost
+/// `O(Σ |cluster|)` memory instead of `O(count·n)`.
+const DENSE_DIVISOR: usize = 4;
+
+/// Minimum member count before a mask is worth allocating at all.
+const DENSE_MIN_LEN: usize = 64;
+
+/// A subset of the vertices of an `n`-vertex graph with cheap membership
 /// tests and ordered iteration.
 ///
-/// Internally a sorted member list plus a dense membership mask; the
-/// redundancy buys `O(1)` `contains` and cache-friendly iteration, which the
-/// sweep-cut inner loops need.
+/// Internally a sorted member list, plus a dense membership mask **only
+/// above a density threshold**: sets holding at least a quarter of the
+/// universe get the `O(1)`-lookup mask the sweep-cut inner loops want,
+/// while the many small cluster sets the decomposition produces stay
+/// sparse (`O(log |S|)` membership by binary search, `O(|S|)` memory).
+/// The representation is an implementation detail: two sets with the same
+/// universe and members compare equal regardless of density.
 ///
 /// # Example
 ///
@@ -20,26 +34,58 @@ use crate::{Graph, GraphError, Result, VertexId};
 /// assert!(!s.contains(2));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct VertexSet {
+    universe: usize,
+    /// Sorted, deduplicated member list — the canonical representation.
     members: Vec<VertexId>,
-    mask: Vec<bool>,
+    /// Dense membership mask, present only above the density threshold.
+    mask: Option<Vec<bool>>,
+}
+
+/// Whether a set of `len` members over `universe` vertices should carry the
+/// dense mask.
+#[inline]
+fn wants_mask(len: usize, universe: usize) -> bool {
+    len >= DENSE_MIN_LEN && len.saturating_mul(DENSE_DIVISOR) >= universe
 }
 
 impl VertexSet {
-    /// The empty subset of an `n`-vertex graph.
+    /// The empty subset of an `n`-vertex graph. Allocation-free — the
+    /// decomposition's peeling phase creates huge numbers of empty and
+    /// singleton sets.
     pub fn empty(n: usize) -> Self {
         VertexSet {
+            universe: n,
             members: Vec::new(),
-            mask: vec![false; n],
+            mask: None,
         }
     }
 
     /// The full vertex set `{0, …, n-1}`.
     pub fn full(n: usize) -> Self {
+        Self::from_sorted_members(n, (0..n as VertexId).collect())
+    }
+
+    /// Builds a set from an **already sorted and deduplicated** member
+    /// list, choosing the representation by density. Internal constructor
+    /// every public builder funnels through.
+    fn from_sorted_members(n: usize, members: Vec<VertexId>) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        debug_assert!(members.last().map_or(true, |&v| (v as usize) < n));
+        let mask = if wants_mask(members.len(), n) {
+            let mut m = vec![false; n];
+            for &v in &members {
+                m[v as usize] = true;
+            }
+            Some(m)
+        } else {
+            None
+        };
         VertexSet {
-            members: (0..n as VertexId).collect(),
-            mask: vec![true; n],
+            universe: n,
+            members,
+            mask,
         }
     }
 
@@ -52,13 +98,14 @@ impl VertexSet {
     where
         I: IntoIterator<Item = VertexId>,
     {
-        let mut mask = vec![false; n];
+        let mut members: Vec<VertexId> = Vec::new();
         for v in iter {
             assert!((v as usize) < n, "vertex {v} out of range for n = {n}");
-            mask[v as usize] = true;
+            members.push(v);
         }
-        let members = (0..n as VertexId).filter(|&v| mask[v as usize]).collect();
-        VertexSet { members, mask }
+        members.sort_unstable();
+        members.dedup();
+        Self::from_sorted_members(n, members)
     }
 
     /// Builds a set from a membership predicate over `0..n`.
@@ -66,21 +113,14 @@ impl VertexSet {
     where
         F: FnMut(VertexId) -> bool,
     {
-        let mut mask = vec![false; n];
-        let mut members = Vec::new();
-        for v in 0..n as VertexId {
-            if pred(v) {
-                mask[v as usize] = true;
-                members.push(v);
-            }
-        }
-        VertexSet { members, mask }
+        let members: Vec<VertexId> = (0..n as VertexId).filter(|&v| pred(v)).collect();
+        Self::from_sorted_members(n, members)
     }
 
     /// Size of the universe `n` this set lives in.
     #[inline]
     pub fn universe(&self) -> usize {
-        self.mask.len()
+        self.universe
     }
 
     /// Number of members.
@@ -95,14 +135,32 @@ impl VertexSet {
         self.members.is_empty()
     }
 
-    /// `O(1)` membership test.
+    /// Membership test: `O(1)` when the set is dense enough to carry its
+    /// mask, `O(log |S|)` binary search otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `v` is outside the universe.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        self.mask[v as usize]
+        match &self.mask {
+            Some(mask) => mask[v as usize],
+            None => {
+                assert!(
+                    (v as usize) < self.universe,
+                    "vertex {v} outside universe {}",
+                    self.universe
+                );
+                self.members.binary_search(&v).is_ok()
+            }
+        }
+    }
+
+    /// Whether this set carries the dense membership mask (diagnostic —
+    /// the representation never changes observable behaviour).
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.mask.is_some()
     }
 
     /// Iterator over members in increasing order.
@@ -117,57 +175,146 @@ impl VertexSet {
     }
 
     /// The complement `V ∖ S` within the same universe.
+    ///
+    /// Derived by a single gap-walk over the sorted member list — the
+    /// sparse representation never materializes a mask just to scan it
+    /// (the old implementation re-tested all `n` vertices through
+    /// `from_fn`).
     pub fn complement(&self) -> VertexSet {
-        let n = self.universe();
-        VertexSet::from_fn(n, |v| !self.mask[v as usize])
+        let n = self.universe;
+        let mut out: Vec<VertexId> = Vec::with_capacity(n - self.members.len());
+        let mut next = 0 as VertexId;
+        for &v in &self.members {
+            out.extend(next..v);
+            next = v + 1;
+        }
+        out.extend(next..n as VertexId);
+        Self::from_sorted_members(n, out)
     }
 
-    /// Set union (universes must match).
+    /// Set union (universes must match). `O(|self| + |other|)`.
     ///
     /// # Panics
     ///
     /// Panics if the universes differ.
     pub fn union(&self, other: &VertexSet) -> VertexSet {
-        assert_eq!(self.universe(), other.universe(), "universe mismatch");
-        VertexSet::from_fn(self.universe(), |v| self.contains(v) || other.contains(v))
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let (a, b) = (&self.members, &other.members);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Self::from_sorted_members(self.universe, out)
     }
 
-    /// Set intersection (universes must match).
+    /// Set intersection (universes must match). `O(|self| + |other|)`.
     ///
     /// # Panics
     ///
     /// Panics if the universes differ.
     pub fn intersection(&self, other: &VertexSet) -> VertexSet {
-        assert_eq!(self.universe(), other.universe(), "universe mismatch");
-        VertexSet::from_fn(self.universe(), |v| self.contains(v) && other.contains(v))
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let (a, b) = (&self.members, &other.members);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self::from_sorted_members(self.universe, out)
     }
 
     /// Set difference `self ∖ other` (universes must match).
+    /// `O(|self| + |other|)`.
     ///
     /// # Panics
     ///
     /// Panics if the universes differ.
     pub fn difference(&self, other: &VertexSet) -> VertexSet {
-        assert_eq!(self.universe(), other.universe(), "universe mismatch");
-        VertexSet::from_fn(self.universe(), |v| self.contains(v) && !other.contains(v))
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let (a, b) = (&self.members, &other.members);
+        let mut out = Vec::with_capacity(a.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        Self::from_sorted_members(self.universe, out)
     }
 
-    /// Adds a vertex; returns whether it was newly inserted.
+    /// Adds a vertex; returns whether it was newly inserted. May promote
+    /// the set to the dense representation when it crosses the density
+    /// threshold.
     ///
     /// # Panics
     ///
     /// Panics if `v` is outside the universe.
     pub fn insert(&mut self, v: VertexId) -> bool {
-        assert!((v as usize) < self.universe());
-        if self.mask[v as usize] {
+        assert!((v as usize) < self.universe);
+        if self.contains(v) {
             return false;
         }
-        self.mask[v as usize] = true;
         let pos = self.members.partition_point(|&m| m < v);
         self.members.insert(pos, v);
+        match &mut self.mask {
+            Some(mask) => mask[v as usize] = true,
+            None => {
+                if wants_mask(self.members.len(), self.universe) {
+                    let mut mask = vec![false; self.universe];
+                    for &m in &self.members {
+                        mask[m as usize] = true;
+                    }
+                    self.mask = Some(mask);
+                }
+            }
+        }
         true
     }
 }
+
+impl PartialEq for VertexSet {
+    /// Equality compares universe and membership only — the dense/sparse
+    /// representation is invisible.
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.members == other.members
+    }
+}
+
+impl Eq for VertexSet {}
 
 impl std::fmt::Debug for VertexSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -306,6 +453,49 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_iter_panics_out_of_range() {
         let _ = VertexSet::from_iter(3, [7u32]);
+    }
+
+    #[test]
+    fn sparse_and_dense_representations_agree() {
+        // Same membership through different constructors and densities
+        // must compare equal and answer identically.
+        let n = 400;
+        let sparse = VertexSet::from_iter(n, [3u32, 77, 200]);
+        assert!(!sparse.is_dense());
+        let dense_universe = VertexSet::from_fn(n, |v| v % 2 == 0);
+        assert!(dense_universe.is_dense());
+        for v in 0..n as VertexId {
+            assert_eq!(sparse.contains(v), matches!(v, 3 | 77 | 200));
+            assert_eq!(dense_universe.contains(v), v % 2 == 0);
+        }
+        // Equality ignores representation: grow a sparse set past the
+        // threshold by inserts and compare against from_fn.
+        let mut grown = VertexSet::empty(n);
+        for v in (0..n as VertexId).filter(|v| v % 2 == 0) {
+            grown.insert(v);
+        }
+        assert!(grown.is_dense(), "insert must promote past the threshold");
+        assert_eq!(grown, dense_universe);
+    }
+
+    #[test]
+    fn complement_of_sparse_set_is_dense_and_exact() {
+        let n = 300;
+        let s = VertexSet::from_iter(n, [0u32, 150, 299]);
+        let c = s.complement();
+        assert_eq!(c.len(), n - 3);
+        assert!(c.is_dense());
+        for v in 0..n as VertexId {
+            assert_eq!(c.contains(v), !s.contains(v));
+        }
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn sparse_contains_panics_outside_universe() {
+        let s = VertexSet::from_iter(3, [1u32]);
+        let _ = s.contains(9);
     }
 
     #[test]

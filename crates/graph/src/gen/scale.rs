@@ -2,7 +2,7 @@
 //! through [`Graph::from_edge_chunks`] with chunk-parallel edge
 //! generation, targeting million-edge instances.
 //!
-//! The quadratic-pair generators in [`super::random`] are fine up to a
+//! The quadratic-pair generators in `gen::random` are fine up to a
 //! few hundred vertices; these three families replace them at scale:
 //!
 //! * [`power_law_fast`] — Chung–Lu with the Miller–Hagberg skipping

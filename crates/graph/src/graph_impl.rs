@@ -30,15 +30,17 @@ use crate::{GraphError, Result, VertexId};
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR offsets; `adj[offsets[v]..offsets[v + 1]]` are `v`'s neighbors.
-    offsets: Vec<usize>,
+    /// Crate-visible so [`crate::working::WorkingGraph`] can snapshot the
+    /// CSR without re-deriving it edge by edge.
+    pub(crate) offsets: Vec<usize>,
     /// Flattened sorted neighbor lists (self loops excluded).
-    adj: Vec<VertexId>,
+    pub(crate) adj: Vec<VertexId>,
     /// Number of self loops at each vertex (each counts 1 toward the degree).
-    loops: Vec<u32>,
+    pub(crate) loops: Vec<u32>,
     /// Number of non-loop undirected edges (with multiplicity).
-    m: usize,
+    pub(crate) m: usize,
     /// Total number of self loops in the graph.
-    total_loops: usize,
+    pub(crate) total_loops: usize,
 }
 
 impl Graph {

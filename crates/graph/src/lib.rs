@@ -53,12 +53,14 @@ pub mod spectral;
 pub mod traversal;
 pub mod view;
 pub mod walks;
+pub mod working;
 
 pub use builder::GraphBuilder;
 pub use cut::{Cut, VertexSet};
 pub use error::GraphError;
 pub use graph_impl::{EdgeIter, Graph, NeighborIter};
 pub use seed::derive_seed;
+pub use working::WorkingGraph;
 
 /// Identifier of a vertex: a dense index in `0..n`.
 ///

@@ -6,6 +6,7 @@ pub use crate::gen;
 pub use crate::graph_impl::Graph;
 pub use crate::spectral;
 pub use crate::traversal;
-pub use crate::view::Subgraph;
+pub use crate::view::{AdjacencyView, Subgraph};
 pub use crate::walks::WalkDistribution;
+pub use crate::working::WorkingGraph;
 pub use crate::{GraphBuilder, GraphError, VertexId};

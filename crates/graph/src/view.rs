@@ -6,13 +6,86 @@
 //! The paper works with `G{S}` throughout because conductance statements
 //! about pieces must be measured against original volumes; it always holds
 //! that `Φ(G{S}) ≤ Φ(G[S])`.
+//!
+//! Extraction is generic over [`AdjacencyView`], so it reads through
+//! either an immutable [`Graph`] or the decomposition's incremental
+//! [`WorkingGraph`] overlay — tombstoned edges are filtered during the
+//! single `O(Vol(S))` pass, never materialized into an intermediate copy.
 
+use crate::working::WorkingGraph;
 use crate::{Graph, VertexId, VertexSet};
+
+/// Read-only adjacency access shared by [`Graph`] and the tombstone
+/// overlay [`WorkingGraph`] — the surface subgraph extraction (and any
+/// kernel that only walks neighborhoods) needs.
+pub trait AdjacencyView {
+    /// Number of vertices.
+    fn view_n(&self) -> usize;
+    /// `deg(v)` including self loops (each loop counts 1).
+    fn view_degree(&self, v: VertexId) -> usize;
+    /// Non-loop edge endpoints at `v` ([`WorkingGraph`]: live ones only).
+    fn view_degree_without_loops(&self, v: VertexId) -> usize;
+    /// Self loops at `v` ([`WorkingGraph`]: base plus compensation).
+    fn view_self_loops(&self, v: VertexId) -> u32;
+    /// Calls `f` for every (live) non-loop neighbor of `v`, in ascending
+    /// order, parallel edges repeated.
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId));
+}
+
+impl AdjacencyView for Graph {
+    fn view_n(&self) -> usize {
+        self.n()
+    }
+
+    fn view_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    fn view_degree_without_loops(&self, v: VertexId) -> usize {
+        self.degree_without_loops(v)
+    }
+
+    fn view_self_loops(&self, v: VertexId) -> u32 {
+        self.self_loops(v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &w in self.neighbors(v) {
+            f(w);
+        }
+    }
+}
+
+impl AdjacencyView for WorkingGraph {
+    fn view_n(&self) -> usize {
+        self.n()
+    }
+
+    fn view_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    fn view_degree_without_loops(&self, v: VertexId) -> usize {
+        self.degree_without_loops(v)
+    }
+
+    fn view_self_loops(&self, v: VertexId) -> u32 {
+        self.self_loops(v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for w in self.live_neighbors(v) {
+            f(w);
+        }
+    }
+}
 
 /// A subgraph together with the mapping back to the parent graph's ids.
 ///
 /// Vertices of the subgraph are relabeled densely to `0..s.len()`;
-/// [`Subgraph::to_parent`] and [`Subgraph::to_local`] translate ids.
+/// [`Subgraph::to_parent`] and [`Subgraph::to_local`] translate ids (the
+/// member list is sorted, so the inverse map is a binary search — no
+/// per-subgraph hash table).
 ///
 /// # Example
 ///
@@ -30,65 +103,57 @@ use crate::{Graph, VertexId, VertexSet};
 #[derive(Debug, Clone)]
 pub struct Subgraph {
     graph: Graph,
-    /// `orig[i]` is the parent id of local vertex `i`.
+    /// `orig[i]` is the parent id of local vertex `i` (sorted ascending).
     orig: Vec<VertexId>,
-    /// Sparse inverse map: parent id -> local id.
-    inverse: std::collections::HashMap<VertexId, VertexId>,
 }
 
 impl Subgraph {
     /// The plain induced subgraph `G[S]`: edges with both endpoints in `s`,
-    /// plus any self loops `G` already had at members of `s`.
-    pub fn induced(g: &Graph, s: &VertexSet) -> Subgraph {
+    /// plus any self loops the source already had at members of `s`.
+    /// Accepts a [`Graph`] or a [`WorkingGraph`] overlay.
+    pub fn induced<A: AdjacencyView + ?Sized>(g: &A, s: &VertexSet) -> Subgraph {
         Self::build(g, s, false)
     }
 
     /// The loop-augmented subgraph `G{S}`: `G[S]` plus enough self loops at
-    /// each `v ∈ S` to preserve `deg_G(v)`.
-    pub fn loop_augmented(g: &Graph, s: &VertexSet) -> Subgraph {
+    /// each `v ∈ S` to preserve `deg(v)` as the source reports it.
+    /// Accepts a [`Graph`] or a [`WorkingGraph`] overlay.
+    pub fn loop_augmented<A: AdjacencyView + ?Sized>(g: &A, s: &VertexSet) -> Subgraph {
         Self::build(g, s, true)
     }
 
-    fn build(g: &Graph, s: &VertexSet, augment: bool) -> Subgraph {
+    fn build<A: AdjacencyView + ?Sized>(g: &A, s: &VertexSet, augment: bool) -> Subgraph {
         let orig: Vec<VertexId> = s.iter().collect();
-        let inverse: std::collections::HashMap<VertexId, VertexId> = orig
-            .iter()
-            .enumerate()
-            .map(|(local, &parent)| (parent, local as VertexId))
-            .collect();
         let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
         for (idx, &u) in orig.iter().enumerate() {
             let lu = idx as VertexId;
-            for &w in g.neighbors(u) {
-                if w > u || !s.contains(w) {
-                    continue;
+            let mut in_set = 0usize;
+            g.for_each_neighbor(u, &mut |w| {
+                if s.contains(w) {
+                    in_set += 1;
+                    // Each undirected in-set edge is pushed once, from its
+                    // larger endpoint (both directions are visited).
+                    if w < u {
+                        let lw = orig.binary_search(&w).expect("member of s") as VertexId;
+                        edges.push((lu, lw));
+                    }
                 }
-                if let Some(&lw) = inverse.get(&w) {
-                    edges.push((lu, lw));
-                }
-            }
-            // Loops G already has at u.
-            for _ in 0..g.self_loops(u) {
+            });
+            // Loops the source already has at u, plus — when augmenting —
+            // one per neighbor that fell outside `s`, so deg is preserved.
+            // Batched here instead of per-vertex `with_extra_loops` calls,
+            // which each cloned the whole subgraph.
+            let extra = if augment {
+                g.view_degree_without_loops(u) - in_set
+            } else {
+                0
+            };
+            for _ in 0..(g.view_self_loops(u) as usize + extra) {
                 edges.push((lu, lu));
             }
         }
-        let mut sub = Graph::from_edges(orig.len(), edges).expect("local ids in range");
-        if augment {
-            for (idx, &u) in orig.iter().enumerate() {
-                let lu = idx as VertexId;
-                let missing = g.degree(u).saturating_sub(sub.degree(lu));
-                if missing > 0 {
-                    sub = sub
-                        .with_extra_loops(lu, missing as u32)
-                        .expect("local id in range");
-                }
-            }
-        }
-        Subgraph {
-            graph: sub,
-            orig,
-            inverse,
-        }
+        let graph = Graph::from_edges(orig.len(), edges).expect("local ids in range");
+        Subgraph { graph, orig }
     }
 
     /// The subgraph itself (vertices relabeled to `0..len`).
@@ -113,9 +178,10 @@ impl Subgraph {
         self.orig.get(local as usize).copied()
     }
 
-    /// Local id of a parent vertex, if it is in the subgraph.
+    /// Local id of a parent vertex, if it is in the subgraph
+    /// (`O(log |S|)` — the sorted member list is its own index).
     pub fn to_local(&self, parent: VertexId) -> Option<VertexId> {
-        self.inverse.get(&parent).copied()
+        self.orig.binary_search(&parent).ok().map(|i| i as VertexId)
     }
 
     /// Maps a local vertex set back to parent ids.
@@ -170,6 +236,29 @@ mod tests {
     }
 
     #[test]
+    fn extraction_through_overlay_matches_rebuild() {
+        // Remove edges on the overlay and on a from-scratch rebuild; the
+        // extracted subgraphs must be identical.
+        let g = c5();
+        let mut w = WorkingGraph::new(&g);
+        w.remove_edges([(1, 2), (4, 0)], true);
+        let rebuilt = g.remove_edges([(1, 2), (4, 0)], true);
+        let s = VertexSet::from_iter(5, [0u32, 1, 2, 4]);
+        for augment in [false, true] {
+            let via_overlay = Subgraph::build(&w, &s, augment);
+            let via_graph = Subgraph::build(&rebuilt, &s, augment);
+            assert_eq!(via_overlay.graph(), via_graph.graph(), "augment {augment}");
+            assert_eq!(via_overlay.parent_ids(), via_graph.parent_ids());
+        }
+        // And the augmented view preserves the original degrees.
+        let aug = Subgraph::loop_augmented(&w, &s);
+        for &p in aug.parent_ids() {
+            let l = aug.to_local(p).unwrap();
+            assert_eq!(aug.graph().degree(l), g.degree(p));
+        }
+    }
+
+    #[test]
     fn loop_augmented_conductance_at_most_induced() {
         // Φ(G{S}) ≤ Φ(G[S]) — the paper's observation. Check on a set where
         // loops make the denominator strictly larger.
@@ -214,6 +303,14 @@ mod tests {
         let sub = Subgraph::induced(&g, &s);
         let l1 = sub.to_local(1).unwrap();
         assert_eq!(sub.graph().self_loops(l1), 1);
+    }
+
+    #[test]
+    fn parallel_edges_survive_extraction() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 1), (1, 2)]).unwrap();
+        let s = VertexSet::from_iter(3, [0u32, 1]);
+        let sub = Subgraph::induced(&g, &s);
+        assert_eq!(sub.graph().m(), 2, "both parallel copies kept");
     }
 
     #[test]

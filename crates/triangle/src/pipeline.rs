@@ -39,9 +39,8 @@ use expander::scheduler::{
 };
 use expander::{ExpanderDecomposition, ParamMode};
 use graph::view::Subgraph;
-use graph::{Graph, VertexId, VertexSet};
+use graph::{Graph, VertexId, VertexSet, WorkingGraph};
 use routing::{EdgeBatch, RoutingHierarchy};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -271,7 +270,7 @@ pub fn enumerate_via_decomposition(g: &Graph, params: &PipelineParams) -> Triang
 }
 
 /// Runs a **single recursion level** of the pipeline on a caller-supplied
-/// [`ClusterAssignment`] — planted blocks, an oracle, or a cached
+/// [`expander::ClusterAssignment`] — planted blocks, an oracle, or a cached
 /// decomposition — then brute-forces the inter-cluster remainder with the
 /// honest `O(m + n)` residual charge.
 ///
@@ -367,7 +366,15 @@ impl<'p> PipelineRun<'p> {
         assignment: &expander::ClusterAssignment,
         input: LevelInput,
     ) -> Graph {
-        let kept = current.remove_edges(assignment.inter_cluster_edges(), false);
+        // The kept (intra-cluster) edge structure is a tombstone overlay
+        // over the level graph, not a rebuilt CSR: removal of the
+        // inter-cluster edges is O(|E*|·log Δ), and every cluster job
+        // extracts its induced subgraph by reading through the overlay.
+        let kept = {
+            let mut overlay = WorkingGraph::new(current);
+            overlay.remove_edges(assignment.inter_cluster_edges(), false);
+            overlay
+        };
         let mut level = LevelReport {
             depth: input.depth,
             m: current.m(),
@@ -516,7 +523,7 @@ struct ClusterScratch {
 /// `(inputs, cluster_seed)` — the scheduler's determinism contract.
 fn run_cluster(
     current: &Graph,
-    kept: &Graph,
+    kept: &WorkingGraph,
     part: &VertexSet,
     params: &PipelineParams,
     cluster_seed: u64,
@@ -544,6 +551,8 @@ fn run_cluster(
             .collect(),
     );
 
+    let dbg_scale = std::env::var_os("PIPELINE_PHASE_DEBUG").is_some() && local_n > 10_000;
+    let t_route = Instant::now();
     // ── Phase: route — batched redistribution of the cluster-incident
     // edge slices to the DLP triple owners, accounted via route_edges. ──
     let (build_rounds, queries, routing_rounds) = route_cluster_slices(
@@ -555,15 +564,52 @@ fn run_cluster(
         cluster_seed,
         &mut scratch,
     );
+    if dbg_scale {
+        eprintln!("    cluster n={local_n}: route {:.2?}", t_route.elapsed());
+    }
+    let t_engine = Instant::now();
 
     // ── Phase: enumerate — the adjacency exchange on the round engine. ──
+    // Each vertex collects streamed lists only from its higher-local-id
+    // cluster neighbors — the only senders it will ever join against. (A
+    // naive per-sender table would be O(|cluster|) Vec headers per vertex,
+    // i.e. O(|cluster|²) memory: invisible on the planted families' small
+    // blocks, gigabytes on the giant expander-core cluster the measured
+    // decomposition keeps whole.)
+    let higher: Arc<Vec<Vec<VertexId>>> = Arc::new(
+        (0..local_n)
+            .map(|u| {
+                let mut hs: Vec<VertexId> = sub
+                    .graph()
+                    .neighbors(u as VertexId)
+                    .iter()
+                    .copied()
+                    .filter(|&w| (w as usize) > u)
+                    .collect();
+                hs.dedup(); // sorted rows: parallel edges collapse
+                hs
+            })
+            .collect(),
+    );
     let max_items = full_adj.iter().map(Vec::len).max().unwrap_or(0);
     let network = Network::new(sub.graph()).with_exec_mode(params.exec);
     let adj_for_make = Arc::clone(&full_adj);
-    let make = move |v: VertexId| AdjacencyExchange::new(v, local_n, Arc::clone(&adj_for_make));
+    let higher_for_make = Arc::clone(&higher);
+    let make = move |v: VertexId| {
+        AdjacencyExchange::new(v, Arc::clone(&adj_for_make), Arc::clone(&higher_for_make))
+    };
     let (engine, programs) = network
         .run_collect(make, max_items + 2)
         .expect("adjacency exchange is a valid CONGEST program");
+    if dbg_scale {
+        eprintln!(
+            "    cluster n={local_n}: engine {:.2?} ({} rounds, {} msgs)",
+            t_engine.elapsed(),
+            engine.rounds,
+            engine.messages
+        );
+    }
+    let t_join = Instant::now();
 
     // Local joins: for every intra-cluster edge {u, v} (lower local id
     // owns it), intersect N(u) with the collected N(v).
@@ -578,12 +624,15 @@ fn run_cluster(
             }
             prev = Some(v_local);
             let v_global = members[v_local as usize];
-            let nv = &prog.collected[v_local as usize];
+            let nv = prog.collected_for(v_local);
             merge_intersect(&full_adj[u_local], nv, u_global, v_global, &mut triangles);
         }
     }
     triangles.sort_unstable();
     triangles.dedup();
+    if dbg_scale {
+        eprintln!("    cluster n={local_n}: join {:.2?}", t_join.elapsed());
+    }
 
     // The programs held the only other Arc clones; reclaim the adjacency
     // buffers into the arena for the next job.
@@ -635,15 +684,17 @@ fn route_cluster_slices(
     };
 
     // Bucket the cluster-incident edges by group pair; the cluster-side
-    // endpoint (lower one for intra edges) holds the slice. The bucket
-    // table is an arena reused across jobs and levels.
+    // endpoint (lower one for intra edges) holds the slice, recorded by
+    // its local id (`part.iter()` is sorted, so the enumeration index IS
+    // the local id — no per-edge inverse lookup). The bucket table is an
+    // arena reused across jobs and levels.
     scratch.holders.iter_mut().for_each(Vec::clear);
     scratch.holders.resize_with(groups * groups, Vec::new);
     let pair_holders = &mut scratch.holders;
-    for u in part.iter() {
+    for (lu, &u) in members.iter().enumerate() {
         for &w in current.neighbors(u) {
             if w > u || !part.contains(w) {
-                pair_holders[pair_index(group_of(u), group_of(w))].push(u);
+                pair_holders[pair_index(group_of(u), group_of(w))].push(lu as VertexId);
             }
         }
     }
@@ -661,14 +712,33 @@ fn route_cluster_slices(
             .div_ceil(total_deg)
             .max(1)
     };
-    let mut slice_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+    // Triple ownership advances monotonically through the member list, so
+    // per-(holder, owner) word counts accumulate in a dense per-owner
+    // counter array flushed on owner change — a hash map keyed by the
+    // (holder, owner) pair was the routing phase's scale bottleneck.
+    let mut counts: Vec<usize> = vec![0; members.len()];
+    let mut touched: Vec<VertexId> = Vec::new();
+    let mut batches: Vec<EdgeBatch> = Vec::new();
+    let flush = |owner: VertexId,
+                 counts: &mut Vec<usize>,
+                 touched: &mut Vec<VertexId>,
+                 batches: &mut Vec<EdgeBatch>| {
+        for &h in touched.iter() {
+            batches.push(EdgeBatch {
+                src: h,
+                dst: owner,
+                words: counts[h as usize],
+            });
+            counts[h as usize] = 0;
+        }
+        touched.clear();
+    };
     let mut acc = 0usize;
     let mut member_idx = 0usize;
     let mut member_budget = share(members[0]);
     for a in 0..groups as u32 {
         for b in a..groups as u32 {
             for c in b..groups as u32 {
-                let owner_local = member_idx as VertexId;
                 // A degenerate triple (repeated groups) references the
                 // same pair bucket more than once — deliver it once.
                 let mut pairs = [pair_index(a, b), pair_index(b, c), pair_index(a, c)];
@@ -677,13 +747,21 @@ fn route_cluster_slices(
                     if i > 0 && pairs[i - 1] == pair {
                         continue;
                     }
-                    for &holder in &pair_holders[pair] {
-                        let holder_local = sub.to_local(holder).expect("holder is a member");
-                        *slice_words.entry((holder_local, owner_local)).or_insert(0) += 1;
+                    for &holder_local in &pair_holders[pair] {
+                        if counts[holder_local as usize] == 0 {
+                            touched.push(holder_local);
+                        }
+                        counts[holder_local as usize] += 1;
                     }
                 }
                 acc += 1;
                 if acc >= member_budget && member_idx + 1 < members.len() {
+                    flush(
+                        member_idx as VertexId,
+                        &mut counts,
+                        &mut touched,
+                        &mut batches,
+                    );
                     acc = 0;
                     member_idx += 1;
                     member_budget = share(members[member_idx]);
@@ -691,10 +769,12 @@ fn route_cluster_slices(
             }
         }
     }
-    let mut batches: Vec<EdgeBatch> = slice_words
-        .into_iter()
-        .map(|((src, dst), words)| EdgeBatch { src, dst, words })
-        .collect();
+    flush(
+        member_idx as VertexId,
+        &mut counts,
+        &mut touched,
+        &mut batches,
+    );
     batches.sort_unstable_by_key(|b| (b.src, b.dst)); // determinism
     let outcome = hierarchy
         .route_edges(sub.graph(), &batches)
@@ -742,18 +822,31 @@ struct AdjacencyExchange {
     adj: Arc<Vec<Vec<VertexId>>>,
     /// Next item of our own list to stream.
     pos: usize,
-    /// Collected lists, indexed by sender local id (only senders with a
-    /// higher local id are stored — the lower endpoint owns each edge).
+    /// Shared per-vertex sorted higher-local-id cluster neighbor lists:
+    /// `higher[me]` names the only senders this vertex collects from.
+    higher: Arc<Vec<Vec<VertexId>>>,
+    /// Collected lists, parallel to `higher[me]`.
     collected: Vec<Vec<VertexId>>,
 }
 
 impl AdjacencyExchange {
-    fn new(me: VertexId, local_n: usize, adj: Arc<Vec<Vec<VertexId>>>) -> Self {
+    fn new(me: VertexId, adj: Arc<Vec<Vec<VertexId>>>, higher: Arc<Vec<Vec<VertexId>>>) -> Self {
+        let slots = higher[me as usize].len();
         AdjacencyExchange {
             me: me as usize,
             adj,
             pos: 0,
-            collected: vec![Vec::new(); local_n],
+            higher,
+            collected: vec![Vec::new(); slots],
+        }
+    }
+
+    /// The list collected from `sender`, or empty if `sender` is not a
+    /// higher-id cluster neighbor.
+    fn collected_for(&self, sender: VertexId) -> &[VertexId] {
+        match self.higher[self.me].binary_search(&sender) {
+            Ok(i) => &self.collected[i],
+            Err(_) => &[],
         }
     }
 
@@ -776,10 +869,20 @@ impl VertexProgram for AdjacencyExchange {
     }
 
     fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+        // The inbox arrives sorted by sender and `higher[me]` is sorted,
+        // so one monotone merge-walk resolves every sender's slot — no
+        // per-message binary search.
+        let higher = &self.higher[self.me];
+        let mut hi = 0usize;
         for &(sender, item) in inbox {
-            if (sender as usize) > self.me {
-                self.collected[sender as usize].push(item);
+            if (sender as usize) <= self.me {
+                continue;
             }
+            while higher[hi] < sender {
+                hi += 1;
+            }
+            debug_assert_eq!(higher[hi], sender, "senders are cluster neighbors");
+            self.collected[hi].push(item);
         }
         self.stream_next(ctx);
     }

@@ -1,0 +1,163 @@
+//! Property tests for the incremental working-graph overlay and the
+//! sparse/dense `VertexSet` representations (DESIGN.md §9).
+//!
+//! The overlay contract: after ANY sequence of removals, a
+//! `WorkingGraph` must be bit-identical — adjacency, degrees, self-loop
+//! compensation, edge and volume totals — to rebuilding a `Graph` from
+//! scratch with `Graph::remove_edges` over the same sequence. And a
+//! `VertexSet`'s observable behavior (`contains` / `iter` /
+//! `complement` / set algebra) must not depend on whether it carries the
+//! dense mask.
+
+use expander_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random multigraph as (n, edges) — parallel edges and self
+/// loops included, because the overlay must count multiplicities and
+/// loops exactly like the rebuild.
+fn arb_multigraph() -> impl Strategy<Value = Graph> {
+    (3usize..32, any::<u64>()).prop_map(|(n, seed)| {
+        let base = gen::gnp(n, 0.3, seed).unwrap();
+        let mut edges: Vec<(VertexId, VertexId)> = base.edges().collect();
+        // Duplicate a prefix (parallel edges) and add a couple of loops.
+        let dup: Vec<_> = edges.iter().take(edges.len() / 3).copied().collect();
+        edges.extend(dup);
+        edges.push((0, 0));
+        edges.push(((n as VertexId) - 1, (n as VertexId) - 1));
+        Graph::from_edges(n, edges).unwrap()
+    })
+}
+
+/// Deterministically picks a removal sequence from `seed`: a mix of
+/// present edges (possibly repeated — only one copy may go per request)
+/// and absent pairs (must be ignored).
+fn removal_sequence(g: &Graph, seed: u64, rounds: usize) -> Vec<Vec<(VertexId, VertexId)>> {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step — cheap deterministic stream.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..rounds)
+        .map(|_| {
+            let batch = (next() % 4 + 1) as usize;
+            (0..batch)
+                .map(|_| {
+                    if edges.is_empty() || next() % 5 == 0 {
+                        // An arbitrary (often absent) pair.
+                        let u = (next() % g.n() as u64) as VertexId;
+                        let v = (next() % g.n() as u64) as VertexId;
+                        (u, v)
+                    } else {
+                        edges[(next() % edges.len() as u64) as usize]
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Full structural equality between the overlay and a plain graph.
+fn assert_overlay_matches(w: &WorkingGraph, g: &Graph) {
+    assert_eq!(w.n(), g.n());
+    assert_eq!(w.m(), g.m(), "live edge count");
+    assert_eq!(w.total_self_loops(), g.total_self_loops());
+    assert_eq!(w.total_volume(), g.total_volume());
+    for v in 0..g.n() as VertexId {
+        assert_eq!(w.degree(v), g.degree(v), "degree of {v}");
+        assert_eq!(w.self_loops(v), g.self_loops(v), "loops at {v}");
+        assert_eq!(
+            w.live_neighbors(v).collect::<Vec<_>>(),
+            g.neighbors(v).to_vec(),
+            "adjacency of {v}"
+        );
+    }
+    assert_eq!(&w.to_graph(), g, "materialized overlay");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn overlay_matches_rebuild_after_any_removal_sequence(
+        g in arb_multigraph(), seed in any::<u64>(), compensate in any::<bool>()
+    ) {
+        let mut overlay = WorkingGraph::new(&g);
+        let mut rebuilt = g.clone();
+        for batch in removal_sequence(&g, seed, 6) {
+            overlay.remove_edges(batch.iter().copied(), compensate);
+            rebuilt = rebuilt.remove_edges(batch.iter().copied(), compensate);
+            assert_overlay_matches(&overlay, &rebuilt);
+        }
+        if compensate {
+            // Degree preservation: the whole point of loop compensation.
+            for v in 0..g.n() as VertexId {
+                prop_assert_eq!(overlay.degree(v), g.degree(v));
+            }
+        }
+        // Subgraph extraction reads through the overlay identically.
+        let s = VertexSet::from_fn(g.n(), |v| v % 2 == 0);
+        let via_overlay = Subgraph::loop_augmented(&overlay, &s);
+        let via_rebuild = Subgraph::loop_augmented(&rebuilt, &s);
+        prop_assert_eq!(via_overlay.graph(), via_rebuild.graph());
+        prop_assert_eq!(
+            overlay.internal_edges(&s),
+            rebuilt.internal_edges(&s)
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_vertex_sets_agree(
+        n in 1usize..600, picks in proptest::collection::vec(any::<u32>(), 48)
+    ) {
+        // The same membership built sparsely (from members) and densely
+        // (from a predicate); every density regime from empty to full.
+        let members: Vec<VertexId> =
+            picks.iter().map(|&p| (p as usize % n) as VertexId).collect();
+        let sparse = VertexSet::from_iter(n, members.iter().copied());
+        let dense = VertexSet::from_fn(n, |v| members.contains(&v));
+        prop_assert_eq!(&sparse, &dense);
+        for v in 0..n as VertexId {
+            prop_assert_eq!(sparse.contains(v), dense.contains(v), "contains({})", v);
+        }
+        prop_assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            dense.iter().collect::<Vec<_>>()
+        );
+
+        // Complement: exact, involutive, representation-independent.
+        let comp = sparse.complement();
+        prop_assert_eq!(comp.len(), n - sparse.len());
+        for v in 0..n as VertexId {
+            prop_assert_eq!(comp.contains(v), !dense.contains(v));
+        }
+        prop_assert_eq!(comp.complement(), sparse);
+
+        // Set algebra against a dense interval set.
+        let half = VertexSet::from_fn(n, |v| (v as usize) < n / 2);
+        let union = sparse.union(&half);
+        let inter = sparse.intersection(&half);
+        let diff = sparse.difference(&half);
+        for v in 0..n as VertexId {
+            let s = sparse.contains(v);
+            let h = half.contains(v);
+            prop_assert_eq!(union.contains(v), s || h);
+            prop_assert_eq!(inter.contains(v), s && h);
+            prop_assert_eq!(diff.contains(v), s && !h);
+        }
+        // |A| + |B| = |A ∪ B| + |A ∩ B|.
+        prop_assert_eq!(sparse.len() + half.len(), union.len() + inter.len());
+
+        // Incremental inserts converge to the same set regardless of the
+        // density promotions they trigger along the way.
+        let mut grown = VertexSet::empty(n);
+        for &v in &members {
+            grown.insert(v);
+        }
+        prop_assert_eq!(&grown, &sparse);
+    }
+}
