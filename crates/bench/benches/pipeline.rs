@@ -5,7 +5,7 @@
 
 use bench_suite::gnp_family;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use triangle::pipeline::{enumerate_via_decomposition, PipelineParams};
+use triangle::pipeline::{enumerate_via_decomposition, Packing, PipelineParams};
 use triangle::{congest_enumerate, TriangleConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -33,6 +33,20 @@ fn bench_pipeline(c: &mut Criterion) {
                 g,
                 &PipelineParams {
                     exec: congest::ExecMode::Sequential,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    // Wire-format ablation: the one-id-per-round exchange the packed
+    // format replaced (DESIGN.md §10). The gap between this entry and
+    // pipeline/gnp/48 is the packing win the bench gate tracks.
+    group.bench_with_input(BenchmarkId::new("gnp_unpacked_exchange", 48), &g, |b, g| {
+        b.iter(|| {
+            enumerate_via_decomposition(
+                g,
+                &PipelineParams {
+                    packing: Packing::Unpacked,
                     ..Default::default()
                 },
             )

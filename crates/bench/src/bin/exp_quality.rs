@@ -1,0 +1,205 @@
+//! **E8 — the decomposition-quality harness**: the fixed-seed quality
+//! trajectory CI tracks across PRs (ROADMAP open item: "no CI job tracks
+//! the decomposition's quality").
+//!
+//! For every workload family (ring of cliques, gnp, planted partition,
+//! power-law, path) at fixed seeds, run the measured Theorem 1
+//! decomposition and report [`expander::QualityReport`]: cut fraction
+//! total and per removal tag, cluster-count shape (count, singletons,
+//! largest share), and φ-certificate validity. Each run is audited
+//! against [`expander::QualityBounds`]: the Theorem 1 guarantees (ε cut
+//! budget, ε/3 per tag, partition + certificates) always, plus
+//! per-family structural bounds (a ring of cliques decomposing into 40
+//! singletons is legal but a regression). Any violation makes the binary
+//! exit non-zero — the CI `quality-smoke` gate.
+//!
+//! `--json <path>` appends one flat JSON object per run (the artifact CI
+//! uploads so the trajectory is comparable across commits).
+
+use bench_suite::{tiny_or, Table};
+use expander::{ExpanderDecomposition, QualityBounds, QualityReport};
+use graph::{gen, Graph};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// One fixed-seed quality workload: the graph, the ε to decompose with,
+/// and the structural bounds this family must additionally meet.
+struct QualityWorkload {
+    label: String,
+    graph: Graph,
+    epsilon: f64,
+    bounds: QualityBounds,
+}
+
+/// The fixed-seed workload set. Structural bounds are calibrated from
+/// the current measured values with ≥ 2× slack, so they fail on real
+/// regressions (shredding, certificate loss), not on noise — the seeds
+/// are fixed, so runs are bit-reproducible anyway.
+fn workloads(seed: u64) -> Vec<QualityWorkload> {
+    let mut out = Vec::new();
+    let (ring, cliques) = gen::ring_of_cliques(6, 8).expect("valid ring");
+    out.push(QualityWorkload {
+        label: format!("ring_of_cliques/seed{seed}"),
+        graph: ring,
+        epsilon: 0.3,
+        // The ring must keep clique-shaped clusters: nowhere near one
+        // cluster per vertex, and no cluster should span the ring.
+        bounds: QualityBounds::for_epsilon(0.3)
+            .with_max_clusters(4 * cliques.len())
+            .with_min_largest_fraction(0.05),
+    });
+    let gnp = gen::gnp(tiny_or(48, 64), 0.3, seed).expect("valid gnp");
+    out.push(QualityWorkload {
+        label: format!("gnp/seed{seed}"),
+        graph: gnp,
+        epsilon: 0.3,
+        // A dense G(n, 0.3) is an expander: it must survive near-whole.
+        bounds: QualityBounds::for_epsilon(0.3).with_min_largest_fraction(0.5),
+    });
+    let half = tiny_or(24, 32);
+    let pp = gen::planted_partition(&[half, half], 0.5, 0.03, seed).expect("valid sbm");
+    out.push(QualityWorkload {
+        label: format!("planted2/seed{seed}"),
+        graph: pp.graph,
+        epsilon: 0.4,
+        bounds: QualityBounds::for_epsilon(0.4)
+            .with_max_clusters(half)
+            .with_min_largest_fraction(0.25),
+    });
+    let pl = bench_suite::scale_power_law(tiny_or(1_000, 5_000), seed);
+    out.push(QualityWorkload {
+        label: format!("power_law/seed{seed}"),
+        graph: pl,
+        epsilon: 0.3,
+        // Power-law tails shred into singletons; only the theorem bounds
+        // apply structurally.
+        bounds: QualityBounds::for_epsilon(0.3),
+    });
+    out.push(QualityWorkload {
+        label: format!("path/seed{seed}"),
+        graph: gen::path(32).expect("valid path"),
+        epsilon: 0.3,
+        // Paths may shred freely — quality tracking must record the
+        // shape without calling it a violation.
+        bounds: QualityBounds::for_epsilon(0.3),
+    });
+    out
+}
+
+struct Args {
+    seeds: Vec<u64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: vec![7, 42],
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad --seeds: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--tiny" => {} // consumed by bench_suite::tiny_mode
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.seeds.is_empty() {
+        return Err("need at least one seed".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exp_quality: {e}");
+            eprintln!("usage: exp_quality [--seeds 7,42] [--json out.jsonl] [--tiny]");
+            return ExitCode::from(2);
+        }
+    };
+    let mut table = Table::new(
+        "E8: decomposition quality (fixed seeds)",
+        &[
+            "workload",
+            "n",
+            "m",
+            "clusters",
+            "singletons",
+            "largest",
+            "cut_frac",
+            "r1",
+            "r2",
+            "r3",
+            "min_phi_cert",
+            "cert_ok",
+        ],
+    );
+
+    let mut jsonl = String::new();
+    let mut failures = 0usize;
+    for &seed in &args.seeds {
+        for w in workloads(seed) {
+            let result = ExpanderDecomposition::builder()
+                .epsilon(w.epsilon)
+                .seed(seed)
+                .build()
+                .run(&w.graph)
+                .expect("non-empty quality workloads");
+            let q = QualityReport::measure(&w.graph, &result);
+            table.row(vec![
+                w.label.clone(),
+                q.n.to_string(),
+                q.m.to_string(),
+                q.cluster_count.to_string(),
+                q.singleton_clusters.to_string(),
+                format!("{:.2}", q.largest_cluster_fraction),
+                format!("{:.3}", q.cut_fraction),
+                format!("{:.3}", q.cut_fraction_by_tag[0]),
+                format!("{:.3}", q.cut_fraction_by_tag[1]),
+                format!("{:.3}", q.cut_fraction_by_tag[2]),
+                format!("{:.2e}", q.min_certified_conductance),
+                q.certificates_ok.to_string(),
+            ]);
+            jsonl.push_str(&q.to_json(&w.label));
+            jsonl.push('\n');
+            for violation in q.violations(&w.bounds) {
+                eprintln!("exp_quality: BOUND VIOLATED on {}: {violation}", w.label);
+                failures += 1;
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(jsonl.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("exp_quality: cannot append to {path}: {e}");
+        }
+    }
+
+    print!("{}", table.to_text());
+    println!();
+    print!("{}", table.to_csv());
+    if failures > 0 {
+        eprintln!("exp_quality: {failures} quality bounds violated");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("exp_quality: all quality bounds hold");
+    ExitCode::SUCCESS
+}

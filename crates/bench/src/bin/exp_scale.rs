@@ -37,7 +37,9 @@ use expander::{ClusterAssignment, SchedulerPolicy};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
-use triangle::pipeline::{enumerate_via_decomposition, enumerate_with_assignment, PipelineParams};
+use triangle::pipeline::{
+    enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams,
+};
 
 struct Args {
     edges: usize,
@@ -55,6 +57,10 @@ struct Args {
     /// Fail the sweep if any single pipeline run exceeds this wall-clock
     /// budget (seconds) — the CI `decomp-scale-smoke` guard.
     budget_s: Option<f64>,
+    /// Adjacency-exchange wire format (`packed` default; `unpacked` is
+    /// the one-id-per-round ablation — the table's exch_rounds column
+    /// shows the packing factor between the two).
+    packing: Packing,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         decompose_cap: 2_000_000,
         measured: false,
         budget_s: None,
+        packing: Packing::Packed,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -129,6 +136,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --decompose-cap: {e}"))?
             }
+            "--packing" => {
+                args.packing = match value("--packing")?.as_str() {
+                    "packed" => Packing::Packed,
+                    "unpacked" => Packing::Unpacked,
+                    other => {
+                        return Err(format!("unknown packing {other:?} (want packed|unpacked)"))
+                    }
+                }
+            }
             "--verify" => args.verify = true,
             "--measured" => args.measured = true,
             "--budget-s" => {
@@ -181,7 +197,7 @@ fn main() -> ExitCode {
                 "usage: exp_scale [--edges N] [--threads 1,2,4] [--modes seq,par] \
                  [--seed S] [--json out.jsonl] [--families power_law,planted4,ring_expanders] \
                  [--max-depth D] [--decompose-cap M] [--measured] [--budget-s S] \
-                 [--verify] [--tiny]"
+                 [--packing packed|unpacked] [--verify] [--tiny]"
             );
             return ExitCode::from(2);
         }
@@ -198,6 +214,7 @@ fn main() -> ExitCode {
             "wall_s",
             "triangles",
             "levels",
+            "exch_rounds",
             "jobs",
             "steals",
             "imbalance",
@@ -276,6 +293,7 @@ fn main() -> ExitCode {
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
+                    "-".to_string(),
                 ]);
                 emit_json(
                     &args.json,
@@ -303,6 +321,7 @@ fn main() -> ExitCode {
                     recursion_exec: exec,
                     recursion_workers: t,
                     max_depth: args.max_depth,
+                    packing: args.packing,
                     ..Default::default()
                 };
                 let start = Instant::now();
@@ -311,16 +330,23 @@ fn main() -> ExitCode {
                     None => enumerate_via_decomposition(&w.graph, &params),
                 };
                 let wall = start.elapsed();
-                let combo = format!("{mode}/t{t}");
+                let suffix = match args.packing {
+                    Packing::Packed => "",
+                    Packing::Unpacked => "-unpacked",
+                };
+                let combo = format!("{mode}{suffix}/t{t}");
+                let exchange = report.phases.phase("enumerate");
                 eprintln!(
                     "  {}/{combo}: wall {:.2?} (decompose {:.2?}, clusters {:.2?}, \
-                     merge {:.2?}), {} triangles",
+                     merge {:.2?}), {} triangles, exchange {} rounds / {} words",
                     w.name,
                     wall,
                     report.phases.wall("decompose"),
                     report.phases.wall("clusters"),
                     report.phases.wall("merge"),
-                    report.count()
+                    report.count(),
+                    exchange.rounds,
+                    exchange.words,
                 );
                 table.row(vec![
                     w.name.clone(),
@@ -335,6 +361,7 @@ fn main() -> ExitCode {
                     format!("{:.3}", wall.as_secs_f64()),
                     report.count().to_string(),
                     report.levels.len().to_string(),
+                    exchange.rounds.to_string(),
                     report.recursion.total_jobs().to_string(),
                     report.recursion.total_steals().to_string(),
                     format!("{:.2}", report.recursion.max_imbalance()),

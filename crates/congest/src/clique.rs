@@ -100,16 +100,18 @@ impl<M: Payload> CliqueCtx<'_, M> {
 pub struct Clique {
     n: usize,
     bandwidth_bits: usize,
+    word_bits: usize,
 }
 
 impl Clique {
     /// A clique network on `n` vertices with the default
     /// `max(128, 16·⌈log₂ n⌉)`-bit message budget.
     pub fn new(n: usize) -> Self {
-        let log_n = (n.max(2) as f64).log2().ceil() as usize;
+        let log_n = crate::packed::word_bits(n);
         Clique {
             n,
             bandwidth_bits: (16 * log_n).max(128),
+            word_bits: log_n,
         }
     }
 
@@ -236,6 +238,7 @@ impl Clique {
             }
             report.messages += 1;
             report.bits += bits;
+            report.words += bits.div_ceil(self.word_bits);
             report.max_link_bits_per_round = report.max_link_bits_per_round.max(bits);
             inboxes[to as usize].push((from, msg));
         }

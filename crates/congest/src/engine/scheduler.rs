@@ -58,6 +58,8 @@ struct RoundAgg {
     sent: AtomicUsize,
     /// Payload bits queued this round.
     bits: AtomicUsize,
+    /// Model words queued this round (`⌈bits/word_bits⌉` per message).
+    words: AtomicUsize,
     /// Largest single message queued this round.
     max_bits: AtomicUsize,
     /// Stepped vertices that are *not* halted after this round; every
@@ -75,6 +77,7 @@ impl RoundAgg {
         RoundAgg {
             sent: AtomicUsize::new(0),
             bits: AtomicUsize::new(0),
+            words: AtomicUsize::new(0),
             max_bits: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
             err_vertex: AtomicUsize::new(usize::MAX),
@@ -89,6 +92,7 @@ impl RoundAgg {
         if stats.sent > 0 {
             self.sent.fetch_add(stats.sent, Ordering::Relaxed);
             self.bits.fetch_add(stats.bits, Ordering::Relaxed);
+            self.words.fetch_add(stats.words, Ordering::Relaxed);
             self.max_bits.fetch_max(stats.max_bits, Ordering::Relaxed);
         }
         if !halted {
@@ -102,6 +106,7 @@ impl RoundAgg {
 pub(crate) fn run_sequential<P, F>(
     g: &Graph,
     bandwidth_bits: usize,
+    word_bits: usize,
     make: F,
     max_rounds: usize,
 ) -> Result<(RunReport, Vec<P>)>
@@ -124,6 +129,7 @@ where
                 step_vertex(
                     g,
                     bandwidth_bits,
+                    word_bits,
                     round,
                     v as VertexId,
                     slot,
@@ -142,6 +148,7 @@ where
 pub(crate) fn run_parallel<P, F>(
     g: &Graph,
     bandwidth_bits: usize,
+    word_bits: usize,
     make: F,
     max_rounds: usize,
 ) -> Result<(RunReport, Vec<P>)>
@@ -165,6 +172,7 @@ where
                 step_vertex(
                     g,
                     bandwidth_bits,
+                    word_bits,
                     round,
                     v as VertexId,
                     slot,
@@ -218,6 +226,7 @@ where
         let in_flight = agg.sent.load(Ordering::Relaxed);
         report.messages += in_flight;
         report.bits += agg.bits.load(Ordering::Relaxed);
+        report.words += agg.words.load(Ordering::Relaxed);
         report.max_link_bits_per_round = report
             .max_link_bits_per_round
             .max(agg.max_bits.load(Ordering::Relaxed));
@@ -240,6 +249,7 @@ where
 fn step_vertex<P: VertexProgram>(
     g: &Graph,
     bandwidth_bits: usize,
+    word_bits: usize,
     round: usize,
     v: VertexId,
     slot: &mut Slot<P>,
@@ -267,6 +277,7 @@ fn step_vertex<P: VertexProgram>(
         &mut slot.stats,
         round,
         bandwidth_bits,
+        word_bits,
     );
     let mut ctx = Ctx::new(v, g, round, sink);
     if round == 0 {

@@ -26,6 +26,10 @@ pub(crate) struct SendStats {
     pub(crate) sent: usize,
     /// Total payload bits queued this round.
     pub(crate) bits: usize,
+    /// Total `⌈log₂ n⌉`-bit words queued this round: each message is
+    /// charged `⌈bits / word_bits⌉` words, the unit the model's
+    /// bandwidth arguments count in.
+    pub(crate) words: usize,
     /// Largest single message queued this round, in bits.
     pub(crate) max_bits: usize,
     /// First model violation by this vertex this round, if any.
@@ -53,6 +57,9 @@ pub(crate) struct SendSink<'a, M> {
     stats: &'a mut SendStats,
     round: usize,
     bandwidth_bits: usize,
+    /// Size of one model word in bits (`⌈log₂ n⌉`), for the per-message
+    /// word charge.
+    word_bits: usize,
 }
 
 impl<'a, M: Payload> SendSink<'a, M> {
@@ -66,6 +73,7 @@ impl<'a, M: Payload> SendSink<'a, M> {
         stats: &'a mut SendStats,
         round: usize,
         bandwidth_bits: usize,
+        word_bits: usize,
     ) -> Self {
         SendSink {
             me,
@@ -76,6 +84,7 @@ impl<'a, M: Payload> SendSink<'a, M> {
             stats,
             round,
             bandwidth_bits,
+            word_bits: word_bits.max(1),
         }
     }
 
@@ -140,6 +149,7 @@ impl<'a, M: Payload> SendSink<'a, M> {
         }
         self.stats.sent += 1;
         self.stats.bits += bits;
+        self.stats.words += bits.div_ceil(self.word_bits);
         self.stats.max_bits = self.stats.max_bits.max(bits);
     }
 
@@ -187,6 +197,7 @@ impl<'a, M: Payload> SendSink<'a, M> {
             self.mail.mark_sent(self.me);
             self.stats.sent += distinct;
             self.stats.bits += bits * distinct;
+            self.stats.words += bits.div_ceil(self.word_bits) * distinct;
             self.stats.max_bits = self.stats.max_bits.max(bits);
             return;
         }

@@ -63,12 +63,14 @@ mod error;
 mod message;
 mod metrics;
 mod network;
+pub mod packed;
 
 pub use engine::ExecMode;
 pub use error::CongestError;
 pub use message::Payload;
 pub use metrics::{PhaseLedger, RunReport};
 pub use network::{Ctx, Network, VertexProgram};
+pub use packed::{IdStreamDecoder, IdStreamEncoder, PackedError, PackedIds};
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, CongestError>;

@@ -15,6 +15,10 @@ pub struct RunReport {
     pub messages: usize,
     /// Total payload bits delivered across the whole run.
     pub bits: usize,
+    /// Total `⌈log₂ n⌉`-bit **words** delivered across the whole run:
+    /// each message is charged `⌈bits / word_bits⌉` words (the unit the
+    /// paper's bandwidth arguments count in — see DESIGN.md §10).
+    pub words: usize,
     /// Maximum number of bits carried by any single edge-direction in any
     /// single round (≤ the bandwidth budget by construction).
     pub max_link_bits_per_round: usize,
@@ -27,6 +31,7 @@ impl RunReport {
             rounds: self.rounds + later.rounds,
             messages: self.messages + later.messages,
             bits: self.bits + later.bits,
+            words: self.words + later.words,
             max_link_bits_per_round: self
                 .max_link_bits_per_round
                 .max(later.max_link_bits_per_round),
@@ -41,6 +46,7 @@ impl RunReport {
             rounds: self.rounds.max(other.rounds),
             messages: self.messages + other.messages,
             bits: self.bits + other.bits,
+            words: self.words + other.words,
             max_link_bits_per_round: self
                 .max_link_bits_per_round
                 .max(other.max_link_bits_per_round),
@@ -182,8 +188,8 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} rounds, {} messages, {} bits (max link load {} bits/round)",
-            self.rounds, self.messages, self.bits, self.max_link_bits_per_round
+            "{} rounds, {} messages, {} bits / {} words (max link load {} bits/round)",
+            self.rounds, self.messages, self.bits, self.words, self.max_link_bits_per_round
         )
     }
 }
@@ -198,18 +204,21 @@ mod tests {
             rounds: 3,
             messages: 10,
             bits: 320,
+            words: 10,
             max_link_bits_per_round: 32,
         };
         let b = RunReport {
             rounds: 2,
             messages: 4,
             bits: 256,
+            words: 8,
             max_link_bits_per_round: 64,
         };
         let c = a.sequenced_with(&b);
         assert_eq!(c.rounds, 5);
         assert_eq!(c.messages, 14);
         assert_eq!(c.bits, 576);
+        assert_eq!(c.words, 18);
         assert_eq!(c.max_link_bits_per_round, 64);
     }
 
@@ -219,18 +228,21 @@ mod tests {
             rounds: 3,
             messages: 10,
             bits: 320,
+            words: 10,
             max_link_bits_per_round: 32,
         };
         let b = RunReport {
             rounds: 9,
             messages: 4,
             bits: 256,
+            words: 8,
             max_link_bits_per_round: 16,
         };
         let c = a.parallel_with(&b);
         assert_eq!(c.rounds, 9);
         assert_eq!(c.messages, 14);
         assert_eq!(c.bits, 576);
+        assert_eq!(c.words, 18);
         assert_eq!(c.max_link_bits_per_round, 32);
     }
 

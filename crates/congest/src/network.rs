@@ -123,6 +123,7 @@ impl<M> std::fmt::Debug for Ctx<'_, M> {
 pub struct Network<'g> {
     g: &'g Graph,
     bandwidth_bits: usize,
+    word_bits: usize,
     mode: ExecMode,
 }
 
@@ -131,10 +132,11 @@ impl<'g> Network<'g> {
     /// `max(128, 16·⌈log₂ n⌉)` bits per edge per round — a fixed constant
     /// number of `O(log n)`-bit words.
     pub fn new(g: &'g Graph) -> Self {
-        let log_n = (g.n().max(2) as f64).log2().ceil() as usize;
+        let log_n = crate::packed::word_bits(g.n());
         Network {
             g,
             bandwidth_bits: (16 * log_n).max(128),
+            word_bits: log_n,
             mode: ExecMode::Sequential,
         }
     }
@@ -155,6 +157,13 @@ impl<'g> Network<'g> {
     /// The enforced per-edge-per-round budget in bits.
     pub fn bandwidth_bits(&self) -> usize {
         self.bandwidth_bits
+    }
+
+    /// Size of one model word in bits: `⌈log₂ n⌉`. Message word charges
+    /// ([`crate::RunReport::words`]) are `⌈bits / word_bits⌉` per
+    /// message.
+    pub fn word_bits(&self) -> usize {
+        self.word_bits
     }
 
     /// The configured execution mode.
@@ -200,12 +209,20 @@ impl<'g> Network<'g> {
         F: FnMut(VertexId) -> P,
     {
         match self.mode {
-            ExecMode::Sequential => {
-                scheduler::run_sequential(self.g, self.bandwidth_bits, make, max_rounds)
-            }
-            ExecMode::Parallel => {
-                scheduler::run_parallel(self.g, self.bandwidth_bits, make, max_rounds)
-            }
+            ExecMode::Sequential => scheduler::run_sequential(
+                self.g,
+                self.bandwidth_bits,
+                self.word_bits,
+                make,
+                max_rounds,
+            ),
+            ExecMode::Parallel => scheduler::run_parallel(
+                self.g,
+                self.bandwidth_bits,
+                self.word_bits,
+                make,
+                max_rounds,
+            ),
         }
     }
 
@@ -221,7 +238,13 @@ impl<'g> Network<'g> {
         P: VertexProgram,
         F: FnMut(VertexId) -> P,
     {
-        scheduler::run_sequential(self.g, self.bandwidth_bits, make, max_rounds)
+        scheduler::run_sequential(
+            self.g,
+            self.bandwidth_bits,
+            self.word_bits,
+            make,
+            max_rounds,
+        )
     }
 
     /// [`Network::run`] with [`ExecMode::Parallel`], regardless of the
@@ -256,7 +279,13 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
         F: FnMut(VertexId) -> P,
     {
-        scheduler::run_parallel(self.g, self.bandwidth_bits, make, max_rounds)
+        scheduler::run_parallel(
+            self.g,
+            self.bandwidth_bits,
+            self.word_bits,
+            make,
+            max_rounds,
+        )
     }
 }
 

@@ -45,6 +45,7 @@ pub mod parallel_nibble;
 pub mod params;
 pub mod partition;
 pub mod prelude;
+pub mod quality;
 pub mod rounds;
 pub mod scheduler;
 pub mod sparse_cut;
@@ -54,6 +55,7 @@ pub use decomposition::{
     ClusterAssignment, ClusterCertificate, DecompositionResult, ExpanderDecomposition,
 };
 pub use params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
+pub use quality::{QualityBounds, QualityReport};
 pub use scheduler::{
     derive_seed, JobStats, LevelExecution, RecursionReport, SchedulerPolicy, ScratchPool,
 };

@@ -10,6 +10,7 @@ pub use crate::nibble::{approximate_nibble, nibble, NibbleOutcome};
 pub use crate::parallel_nibble::{parallel_nibble, ParallelNibbleOutcome};
 pub use crate::params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
 pub use crate::partition::{partition, PartitionOutcome};
+pub use crate::quality::{QualityBounds, QualityReport};
 pub use crate::rounds::RoundLedger;
 pub use crate::scheduler::{
     derive_seed, JobStats, LevelExecution, RecursionReport, SchedulerPolicy, ScratchPool,

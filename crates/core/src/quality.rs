@@ -1,0 +1,307 @@
+//! Decomposition-**quality** measurement: the scalar trajectory CI
+//! tracks across PRs (ROADMAP: "nothing tracks decomposition quality").
+//!
+//! [`verify_decomposition`] answers
+//! *"is this output legal?"*; this module answers *"how good is it, as a
+//! handful of comparable numbers?"* — cut fraction (total and per
+//! removal tag), cluster-count shape (how shredded the partition is),
+//! and the φ-certificate margins — bundled as a [`QualityReport`] with a
+//! jsonl serialization the `exp_quality` binary emits and the CI
+//! `quality-smoke` job uploads, plus [`QualityBounds`] whose violations
+//! fail the job.
+
+use crate::decomposition::DecompositionResult;
+use crate::verify::verify_decomposition;
+use graph::Graph;
+
+/// Quality metrics of one decomposition run, measured exactly.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Vertices of the decomposed graph.
+    pub n: usize,
+    /// Edges of the decomposed graph.
+    pub m: usize,
+    /// The ε the run was configured with.
+    pub epsilon: f64,
+    /// The φ the schedule promised every cluster.
+    pub phi: f64,
+    /// Number of clusters.
+    pub cluster_count: usize,
+    /// Clusters of exactly one vertex (the decomposition's failure mode
+    /// on sparse graphs: everything shredded).
+    pub singleton_clusters: usize,
+    /// Vertices of the largest cluster over `n` — 1.0 means the graph
+    /// survived whole.
+    pub largest_cluster_fraction: f64,
+    /// Removed edges over `m` (Theorem 1 bounds this by ε).
+    pub cut_fraction: f64,
+    /// Removed-edge fraction per removal rule
+    /// (`[Remove1, Remove2, Remove3]`; each is bounded by ε/3 — the
+    /// decomposition enforces the per-tag budgets at runtime).
+    pub cut_fraction_by_tag: [f64; 3],
+    /// Whether the parts form a partition of `V`.
+    pub is_partition: bool,
+    /// Minimum certified conductance lower bound across non-singleton
+    /// parts (`f64::INFINITY` when all parts are singletons) — from the
+    /// exact/Cheeger certificates of [`crate::verify`].
+    pub min_certified_conductance: f64,
+    /// Whether every part's certificate met the promised φ.
+    pub certificates_ok: bool,
+}
+
+impl QualityReport {
+    /// Measures `result` against the graph it decomposed. Runs the full
+    /// φ-certification of [`crate::verify`] (spectral on large parts),
+    /// so cost grows with part sizes — meant for the fixed-seed
+    /// instances of the quality harness, not the million-edge tier.
+    pub fn measure(g: &Graph, result: &DecompositionResult) -> QualityReport {
+        let verification = verify_decomposition(g, result);
+        let m = result.m.max(1);
+        let by_tag = result.removed_by_tag();
+        let singleton_clusters = result.parts.iter().filter(|p| p.len() == 1).count();
+        let largest = result.parts.iter().map(|p| p.len()).max().unwrap_or(0);
+        QualityReport {
+            n: g.n(),
+            m: result.m,
+            epsilon: result.params.epsilon,
+            phi: result.phi,
+            cluster_count: result.parts.len(),
+            singleton_clusters,
+            largest_cluster_fraction: largest as f64 / g.n().max(1) as f64,
+            cut_fraction: result.inter_cluster_fraction(),
+            cut_fraction_by_tag: [
+                by_tag[0] as f64 / m as f64,
+                by_tag[1] as f64 / m as f64,
+                by_tag[2] as f64 / m as f64,
+            ],
+            is_partition: verification.is_partition,
+            min_certified_conductance: verification.min_certified_conductance(),
+            certificates_ok: verification.conductance_ok(),
+        }
+    }
+
+    /// Serializes the report as one flat JSON object (jsonl-friendly;
+    /// `label` names the workload/seed). Non-finite conductance (the
+    /// all-singleton case, where conductance is vacuous) serializes as
+    /// `null` — JSON has no infinity literal.
+    pub fn to_json(&self, label: &str) -> String {
+        let conductance = if self.min_certified_conductance.is_finite() {
+            format!("{:.6e}", self.min_certified_conductance)
+        } else {
+            "null".to_string()
+        };
+        format!(
+            concat!(
+                "{{\"name\": \"quality/{}\", \"n\": {}, \"m\": {}, ",
+                "\"epsilon\": {:.6}, \"phi\": {:.6e}, ",
+                "\"cluster_count\": {}, \"singleton_clusters\": {}, ",
+                "\"largest_cluster_fraction\": {:.6}, ",
+                "\"cut_fraction\": {:.6}, ",
+                "\"cut_fraction_remove1\": {:.6}, ",
+                "\"cut_fraction_remove2\": {:.6}, ",
+                "\"cut_fraction_remove3\": {:.6}, ",
+                "\"is_partition\": {}, ",
+                "\"min_certified_conductance\": {}, ",
+                "\"certificates_ok\": {}}}"
+            ),
+            label,
+            self.n,
+            self.m,
+            self.epsilon,
+            self.phi,
+            self.cluster_count,
+            self.singleton_clusters,
+            self.largest_cluster_fraction,
+            self.cut_fraction,
+            self.cut_fraction_by_tag[0],
+            self.cut_fraction_by_tag[1],
+            self.cut_fraction_by_tag[2],
+            self.is_partition,
+            conductance,
+            self.certificates_ok,
+        )
+    }
+
+    /// Checks the report against `bounds`; returns one human-readable
+    /// line per violated bound (empty = pass).
+    pub fn violations(&self, bounds: &QualityBounds) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.is_partition {
+            out.push("clusters do not partition V".to_string());
+        }
+        if self.cut_fraction > bounds.max_cut_fraction + 1e-12 {
+            out.push(format!(
+                "cut fraction {:.4} exceeds bound {:.4}",
+                self.cut_fraction, bounds.max_cut_fraction
+            ));
+        }
+        for (i, &frac) in self.cut_fraction_by_tag.iter().enumerate() {
+            if frac > bounds.max_cut_fraction_per_tag + 1e-12 {
+                out.push(format!(
+                    "Remove{} fraction {:.4} exceeds per-tag bound {:.4}",
+                    i + 1,
+                    frac,
+                    bounds.max_cut_fraction_per_tag
+                ));
+            }
+        }
+        if bounds.require_certificates && !self.certificates_ok {
+            out.push(format!(
+                "φ certificates failed: min certified conductance {:.3e} below promised {:.3e}",
+                self.min_certified_conductance, self.phi
+            ));
+        }
+        if let Some(max_clusters) = bounds.max_clusters {
+            if self.cluster_count > max_clusters {
+                out.push(format!(
+                    "{} clusters exceed bound {} (over-shredded)",
+                    self.cluster_count, max_clusters
+                ));
+            }
+        }
+        if let Some(min_largest) = bounds.min_largest_cluster_fraction {
+            if self.largest_cluster_fraction < min_largest - 1e-12 {
+                out.push(format!(
+                    "largest cluster holds {:.3} of V, below bound {:.3}",
+                    self.largest_cluster_fraction, min_largest
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The bounds a [`QualityReport`] is audited against. The defaults from
+/// [`QualityBounds::for_epsilon`] encode exactly Theorem 1's guarantees
+/// (ε total, ε/3 per tag, partition + certificate validity); the
+/// structural knobs (`max_clusters`, `min_largest_cluster_fraction`)
+/// are opt-in per workload, since shredding a path into singletons is
+/// correct behavior while shredding a ring of cliques is a regression.
+#[derive(Debug, Clone)]
+pub struct QualityBounds {
+    /// Removed edges over `m` must stay below this (Theorem 1: ε).
+    pub max_cut_fraction: f64,
+    /// Every tag's removed fraction must stay below this (ε/3, enforced
+    /// by the decomposition's runtime budget guards).
+    pub max_cut_fraction_per_tag: f64,
+    /// Whether the φ certificates must hold.
+    pub require_certificates: bool,
+    /// Optional ceiling on the cluster count.
+    pub max_clusters: Option<usize>,
+    /// Optional floor on the largest cluster's vertex share.
+    pub min_largest_cluster_fraction: Option<f64>,
+}
+
+impl QualityBounds {
+    /// The model-guaranteed bounds for a run configured with `epsilon`.
+    pub fn for_epsilon(epsilon: f64) -> QualityBounds {
+        QualityBounds {
+            max_cut_fraction: epsilon,
+            max_cut_fraction_per_tag: epsilon / 3.0,
+            require_certificates: true,
+            max_clusters: None,
+            min_largest_cluster_fraction: None,
+        }
+    }
+
+    /// Adds a cluster-count ceiling.
+    pub fn with_max_clusters(mut self, max: usize) -> Self {
+        self.max_clusters = Some(max);
+        self
+    }
+
+    /// Adds a largest-cluster share floor.
+    pub fn with_min_largest_fraction(mut self, min: f64) -> Self {
+        self.min_largest_cluster_fraction = Some(min);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::ExpanderDecomposition;
+    use graph::gen;
+
+    fn decompose(g: &Graph, epsilon: f64, seed: u64) -> DecompositionResult {
+        ExpanderDecomposition::builder()
+            .epsilon(epsilon)
+            .seed(seed)
+            .build()
+            .run(g)
+            .unwrap()
+    }
+
+    #[test]
+    fn ring_of_cliques_passes_theorem_bounds() {
+        let (g, cliques) = gen::ring_of_cliques(6, 6).unwrap();
+        let res = decompose(&g, 0.3, 5);
+        let q = QualityReport::measure(&g, &res);
+        assert!(q.is_partition);
+        assert_eq!(q.m, g.m());
+        let bounds = QualityBounds::for_epsilon(0.3).with_max_clusters(g.n());
+        assert_eq!(q.violations(&bounds), Vec::<String>::new());
+        assert!(q.cluster_count >= cliques.len());
+        // Per-tag fractions sum to the total.
+        let sum: f64 = q.cut_fraction_by_tag.iter().sum();
+        assert!((sum - q.cut_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_fire_on_tightened_bounds() {
+        let (g, _) = gen::ring_of_cliques(5, 5).unwrap();
+        let res = decompose(&g, 0.3, 2);
+        let q = QualityReport::measure(&g, &res);
+        assert!(q.cut_fraction > 0.0, "the ring must cut something");
+        let impossible = QualityBounds {
+            max_cut_fraction: 0.0,
+            max_cut_fraction_per_tag: 0.0,
+            require_certificates: true,
+            max_clusters: Some(1),
+            min_largest_cluster_fraction: Some(1.0),
+        };
+        let v = q.violations(&impossible);
+        assert!(v.iter().any(|l| l.contains("cut fraction")));
+        assert!(v.iter().any(|l| l.contains("clusters exceed")));
+        assert!(v.iter().any(|l| l.contains("largest cluster")));
+    }
+
+    #[test]
+    fn json_line_is_flat_and_labeled() {
+        let (g, _) = gen::ring_of_cliques(4, 5).unwrap();
+        let res = decompose(&g, 0.3, 1);
+        let q = QualityReport::measure(&g, &res);
+        let line = q.to_json("ring/seed1");
+        assert!(line.starts_with("{\"name\": \"quality/ring/seed1\""));
+        assert!(line.contains("\"cut_fraction\""));
+        assert!(line.contains("\"certificates_ok\""));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+
+        // All-singleton decompositions certify Φ = ∞ (vacuous); the
+        // jsonl must stay valid JSON — null, never `inf`.
+        let lonely = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let res = decompose(&lonely, 0.3, 1);
+        let q = QualityReport::measure(&lonely, &res);
+        if q.min_certified_conductance.is_infinite() {
+            let line = q.to_json("lonely");
+            assert!(line.contains("\"min_certified_conductance\": null"));
+            assert!(!line.contains("inf"));
+        }
+    }
+
+    #[test]
+    fn singleton_shred_is_measured_not_failed() {
+        // A path decomposes into singletons: legal, and the report says
+        // so rather than erroring.
+        let g = gen::path(10).unwrap();
+        let res = decompose(&g, 0.3, 3);
+        let q = QualityReport::measure(&g, &res);
+        assert!(q.is_partition);
+        assert_eq!(
+            q.violations(&QualityBounds::for_epsilon(0.3)),
+            Vec::<String>::new()
+        );
+        assert!(q.singleton_clusters > 0 || q.largest_cluster_fraction > 0.5);
+    }
+}

@@ -35,5 +35,5 @@ pub use clique_algo::{clique_enumerate, CliqueEnumeration};
 pub use congest_algo::{congest_enumerate, CongestEnumeration, TriangleConfig};
 pub use count::{count_triangles, enumerate_triangles, Triangle};
 pub use pipeline::{
-    enumerate_via_decomposition, enumerate_with_assignment, PipelineParams, TriangleReport,
+    enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, TriangleReport,
 };

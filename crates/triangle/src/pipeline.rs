@@ -32,6 +32,7 @@
 //!    with an honest `O(m + n)` charge.
 
 use crate::count::Triangle;
+use congest::packed::{self, IdStreamDecoder, IdStreamEncoder, PackedIds};
 use congest::{Ctx, ExecMode, Network, PhaseLedger, RunReport, VertexProgram};
 use expander::params::DecompositionParams;
 use expander::scheduler::{
@@ -67,6 +68,12 @@ pub struct PipelineParams {
     pub max_depth: usize,
     /// How the engine steps vertices inside each cluster run.
     pub exec: ExecMode,
+    /// Whether the adjacency exchange packs several neighbor ids into
+    /// each `O(log n)`-bit message ([`Packing::Packed`], the default) or
+    /// streams one id per round ([`Packing::Unpacked`] — the ablation /
+    /// regression baseline). Output is bit-identical either way; only
+    /// engine rounds/messages differ.
+    pub packing: Packing,
     /// How sibling cluster jobs of one recursion level are scheduled
     /// (`Parallel` = work-stealing worker tasks; output is bit-for-bit
     /// the `Sequential` output either way).
@@ -88,9 +95,36 @@ impl Default for PipelineParams {
             seed: 0,
             max_depth: 12,
             exec: ExecMode::Parallel,
+            packing: Packing::Packed,
             recursion_exec: ExecMode::Parallel,
             recursion_workers: 0,
             witness_cap: 16,
+        }
+    }
+}
+
+/// How the intra-cluster adjacency exchange uses its per-round
+/// bandwidth budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Packing {
+    /// Delta-varint runs packed greedily into the `O(log n)`-bit word
+    /// budget of each round (DESIGN.md §10): exchange rounds drop from
+    /// `Δ_cluster` to `⌈Δ / ids-per-message⌉`.
+    #[default]
+    Packed,
+    /// One id per message per round — the pre-packing wire format, kept
+    /// as the measurable baseline so a regression to it fails loudly.
+    Unpacked,
+}
+
+impl Packing {
+    /// Cap on ids per message: unlimited for [`Packing::Packed`] (the
+    /// byte budget is the binding constraint), 1 for
+    /// [`Packing::Unpacked`].
+    fn max_ids_per_message(self) -> usize {
+        match self {
+            Packing::Packed => usize::MAX,
+            Packing::Unpacked => 1,
         }
     }
 }
@@ -127,6 +161,10 @@ pub struct LevelReport {
     pub routing_queries: u64,
     /// Rounds of the batched redistribution (max over clusters).
     pub routing_rounds: u64,
+    /// `O(log n)`-bit words moved by the heaviest cluster's batched
+    /// redistribution — the unit the §3 load argument counts in (each
+    /// query moves `O(deg(v))` words per vertex).
+    pub routing_words: u64,
     /// Measured engine traffic of the intra-cluster enumeration runs
     /// (parallel fold over clusters).
     pub engine: RunReport,
@@ -194,6 +232,32 @@ impl TriangleReport {
             .unwrap_or(0)
     }
 
+    /// The heaviest batched-routing instance across all levels measured
+    /// in `O(log n)`-bit **words** — the unit the §3 load argument
+    /// actually counts (each query moves `O(deg(v))` words per vertex,
+    /// and [`routing::BatchOutcome`] derives its query count from this).
+    pub fn max_routing_words(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.routing_words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Engine-measured words of the adjacency-exchange phase (summed
+    /// over clusters and levels) — what the packed wire format
+    /// optimizes; compare against
+    /// [`TriangleReport::exchange_messages`] × the word size to see the
+    /// packing factor.
+    pub fn exchange_words(&self) -> u64 {
+        self.phases.phase("enumerate").words as u64
+    }
+
+    /// Engine-measured messages of the adjacency-exchange phase.
+    pub fn exchange_messages(&self) -> u64 {
+        self.phases.phase("enumerate").messages as u64
+    }
+
     /// The paper's per-cluster query budget `n^{1/3}·log² n` (the polylog
     /// is the practical stand-in for the Õ(·) factors; EXPERIMENTS
     /// compare measured queries against this curve).
@@ -202,10 +266,27 @@ impl TriangleReport {
         n.powf(1.0 / 3.0) * n.log2() * n.log2()
     }
 
+    /// The query budget converted to the model's word unit: each routing
+    /// query moves `O(deg(v))` words per vertex (§3), so the aggregate
+    /// stand-in charges the average degree `2m/n` words per query. This
+    /// is the budget [`TriangleReport::max_routing_words`] is audited
+    /// against — the charge is in words, not messages, because a packed
+    /// message can carry several words.
+    pub fn paper_word_budget(&self) -> f64 {
+        let avg_deg = 2.0 * self.m as f64 / self.n.max(1) as f64;
+        self.paper_query_budget() * avg_deg.max(1.0)
+    }
+
     /// Whether every level's measured queries stayed within
     /// `slack × paper_query_budget()`.
     pub fn within_paper_budget(&self, slack: f64) -> bool {
         self.max_routing_queries() as f64 <= slack * self.paper_query_budget()
+    }
+
+    /// Whether every level's measured routing **words** stayed within
+    /// `slack × paper_word_budget()`.
+    pub fn within_word_budget(&self, slack: f64) -> bool {
+        self.max_routing_words() as f64 <= slack * self.paper_word_budget()
     }
 }
 
@@ -385,6 +466,7 @@ impl<'p> PipelineRun<'p> {
             routing_build_rounds: 0,
             routing_queries: 0,
             routing_rounds: 0,
+            routing_words: 0,
             engine: RunReport::default(),
         };
         let before = self.triangles.len();
@@ -421,6 +503,7 @@ impl<'p> PipelineRun<'p> {
             level.routing_build_rounds = level.routing_build_rounds.max(cluster.build_rounds);
             level.routing_queries = level.routing_queries.max(cluster.queries);
             level.routing_rounds = level.routing_rounds.max(cluster.routing_rounds);
+            level.routing_words = level.routing_words.max(cluster.routing_words);
             engine_reports.push(cluster.engine);
             self.triangles.append(&mut cluster.triangles);
             self.triangle_buffers.put(cluster.triangles);
@@ -503,6 +586,7 @@ struct ClusterRun {
     triangles: Vec<Triangle>,
     build_rounds: u64,
     queries: u64,
+    routing_words: u64,
     routing_rounds: u64,
     engine: RunReport,
 }
@@ -555,7 +639,7 @@ fn run_cluster(
     let t_route = Instant::now();
     // ── Phase: route — batched redistribution of the cluster-incident
     // edge slices to the DLP triple owners, accounted via route_edges. ──
-    let (build_rounds, queries, routing_rounds) = route_cluster_slices(
+    let (build_rounds, queries, routing_words, routing_rounds) = route_cluster_slices(
         current,
         part,
         &sub,
@@ -569,13 +653,17 @@ fn run_cluster(
     }
     let t_engine = Instant::now();
 
-    // ── Phase: enumerate — the adjacency exchange on the round engine. ──
-    // Each vertex collects streamed lists only from its higher-local-id
-    // cluster neighbors — the only senders it will ever join against. (A
-    // naive per-sender table would be O(|cluster|) Vec headers per vertex,
-    // i.e. O(|cluster|²) memory: invisible on the planted families' small
-    // blocks, gigabytes on the giant expander-core cluster the measured
-    // decomposition keeps whole.)
+    // ── Phase: enumerate — the bandwidth-packed adjacency exchange on
+    // the round engine (DESIGN.md §10). Each vertex consumes streams only
+    // from its higher-local-id cluster neighbors — the only senders it
+    // will ever join against — and merges each decoded stream against its
+    // own adjacency *incrementally*, so per sender it stores just the
+    // intersection (the triangle third-vertices) plus O(1) codec state,
+    // never the sender's whole list. (A naive per-sender table would be
+    // O(|cluster|) Vec headers per vertex, i.e. O(|cluster|²) memory:
+    // invisible on the planted families' small blocks, gigabytes on the
+    // giant expander-core cluster the measured decomposition keeps
+    // whole.)
     let higher: Arc<Vec<Vec<VertexId>>> = Arc::new(
         (0..local_n)
             .map(|u| {
@@ -593,10 +681,21 @@ fn run_cluster(
     );
     let max_items = full_adj.iter().map(Vec::len).max().unwrap_or(0);
     let network = Network::new(sub.graph()).with_exec_mode(params.exec);
+    // The per-round packing budget: the link's whole O(log n)-bit budget,
+    // in bytes. Unpacked mode keeps the same wire format but caps every
+    // message at one id, reproducing the one-id-per-round baseline.
+    let budget_bytes = packed::round_budget_bytes(network.bandwidth_bits());
+    let max_ids = params.packing.max_ids_per_message();
     let adj_for_make = Arc::clone(&full_adj);
     let higher_for_make = Arc::clone(&higher);
     let make = move |v: VertexId| {
-        AdjacencyExchange::new(v, Arc::clone(&adj_for_make), Arc::clone(&higher_for_make))
+        AdjacencyExchange::new(
+            v,
+            Arc::clone(&adj_for_make),
+            Arc::clone(&higher_for_make),
+            budget_bytes,
+            max_ids,
+        )
     };
     let (engine, programs) = network
         .run_collect(make, max_items + 2)
@@ -612,7 +711,8 @@ fn run_cluster(
     let t_join = Instant::now();
 
     // Local joins: for every intra-cluster edge {u, v} (lower local id
-    // owns it), intersect N(u) with the collected N(v).
+    // owns it), the program already merged N(v)'s stream against N(u) —
+    // read off the intersections and name the triangles.
     let mut triangles = triangle_buffers.take();
     triangles.clear();
     for (u_local, prog) in programs.iter().enumerate() {
@@ -624,8 +724,11 @@ fn run_cluster(
             }
             prev = Some(v_local);
             let v_global = members[v_local as usize];
-            let nv = prog.collected_for(v_local);
-            merge_intersect(&full_adj[u_local], nv, u_global, v_global, &mut triangles);
+            for &w in prog.matches_for(v_local) {
+                if w != u_global && w != v_global {
+                    triangles.push(Triangle::new(u_global, v_global, w));
+                }
+            }
         }
     }
     triangles.sort_unstable();
@@ -645,6 +748,7 @@ fn run_cluster(
         triangles,
         build_rounds,
         queries,
+        routing_words,
         routing_rounds,
         engine,
     }
@@ -652,7 +756,7 @@ fn run_cluster(
 
 /// Builds the DLP tripartition batches for one cluster and routes them
 /// through the cluster's GKS hierarchy. Returns
-/// `(build_rounds, queries, routing_rounds)`.
+/// `(build_rounds, queries, words, routing_rounds)`.
 fn route_cluster_slices(
     current: &Graph,
     part: &VertexSet,
@@ -661,7 +765,7 @@ fn route_cluster_slices(
     params: &PipelineParams,
     cluster_seed: u64,
     scratch: &mut ClusterScratch,
-) -> (u64, u64, u64) {
+) -> (u64, u64, u64, u64) {
     let hierarchy = match RoutingHierarchy::build(
         sub.graph(),
         params.routing_depth.max(1),
@@ -669,7 +773,7 @@ fn route_cluster_slices(
     ) {
         Ok(h) => h,
         // Degenerate cluster (cannot happen when internal_edges > 0).
-        Err(_) => return (0, 1, 1),
+        Err(_) => return (0, 1, 0, 1),
     };
 
     // Group the global vertex set into g = ⌈|Vᵢ|^{1/3}⌉ classes.
@@ -782,99 +886,106 @@ fn route_cluster_slices(
     (
         hierarchy.preprocessing_rounds(),
         outcome.queries,
+        outcome.words,
         outcome.rounds,
     )
 }
 
-/// Merge-intersects two sorted neighbor lists, emitting triangles for the
-/// intra edge `{u, v}`.
-fn merge_intersect(
-    nu: &[VertexId],
-    nv: &[VertexId],
-    u: VertexId,
-    v: VertexId,
-    out: &mut Vec<Triangle>,
-) {
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < nu.len() && j < nv.len() {
-        match nu[i].cmp(&nv[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let w = nu[i];
-                if w != u && w != v {
-                    out.push(Triangle::new(u, v, w));
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-}
-
-/// The intra-cluster exchange program: each vertex streams its full-graph
-/// adjacency (global ids, one per round per incident cluster edge) to all
-/// cluster neighbors; receivers with a lower local id collect the lists
-/// they will join against. Rounds = max full-graph degree in the cluster.
+/// The intra-cluster exchange program, **bandwidth-packed** (DESIGN.md
+/// §10): each vertex streams its sorted full-graph adjacency as
+/// delta-varint runs, greedily packed so every round's broadcast fills
+/// the `O(log n)`-bit budget, to all cluster neighbors. Receivers with a
+/// lower local id decode each higher neighbor's stream *incrementally*
+/// and merge it against their own sorted adjacency on the fly, keeping
+/// only the intersection — the triangle third-vertices the join needs —
+/// plus `O(1)` codec state per sender.
+///
+/// Rounds = `⌈max full-graph degree in the cluster / ids-per-message⌉`
+/// (was: `max degree`, one id per round). With [`Packing::Unpacked`] the
+/// encoder caps every message at one id, reproducing the old behavior
+/// for ablations.
 struct AdjacencyExchange {
     me: usize,
     /// Shared per-vertex full-graph adjacency, indexed by local id.
     adj: Arc<Vec<Vec<VertexId>>>,
-    /// Next item of our own list to stream.
-    pos: usize,
+    /// Sender-side stream cursor over `adj[me]`.
+    enc: IdStreamEncoder,
+    /// Per-round packing budget in bytes (the link bandwidth).
+    budget_bytes: usize,
+    /// Ids-per-message cap (1 = unpacked ablation).
+    max_ids: usize,
     /// Shared per-vertex sorted higher-local-id cluster neighbor lists:
-    /// `higher[me]` names the only senders this vertex collects from.
+    /// `higher[me]` names the only senders this vertex consumes.
     higher: Arc<Vec<Vec<VertexId>>>,
-    /// Collected lists, parallel to `higher[me]`.
-    collected: Vec<Vec<VertexId>>,
+    /// Per-sender decode state, parallel to `higher[me]`.
+    decoders: Vec<IdStreamDecoder>,
+    /// Per-sender merge cursor into `adj[me]`, parallel to `higher[me]`.
+    cursors: Vec<u32>,
+    /// Per-sender intersection `N(me) ∩ N(sender)` accumulated so far,
+    /// parallel to `higher[me]`.
+    matches: Vec<Vec<VertexId>>,
 }
 
 impl AdjacencyExchange {
-    fn new(me: VertexId, adj: Arc<Vec<Vec<VertexId>>>, higher: Arc<Vec<Vec<VertexId>>>) -> Self {
+    fn new(
+        me: VertexId,
+        adj: Arc<Vec<Vec<VertexId>>>,
+        higher: Arc<Vec<Vec<VertexId>>>,
+        budget_bytes: usize,
+        max_ids: usize,
+    ) -> Self {
         let slots = higher[me as usize].len();
         AdjacencyExchange {
             me: me as usize,
             adj,
-            pos: 0,
+            enc: IdStreamEncoder::new(),
+            budget_bytes,
+            max_ids,
             higher,
-            collected: vec![Vec::new(); slots],
+            decoders: vec![IdStreamDecoder::new(); slots],
+            cursors: vec![0; slots],
+            matches: vec![Vec::new(); slots],
         }
     }
 
-    /// The list collected from `sender`, or empty if `sender` is not a
-    /// higher-id cluster neighbor.
-    fn collected_for(&self, sender: VertexId) -> &[VertexId] {
+    /// The intersection of this vertex's adjacency with the stream
+    /// collected from `sender`, or empty if `sender` is not a higher-id
+    /// cluster neighbor. Sorted ascending (streams are).
+    fn matches_for(&self, sender: VertexId) -> &[VertexId] {
         match self.higher[self.me].binary_search(&sender) {
-            Ok(i) => &self.collected[i],
+            Ok(i) => &self.matches[i],
             Err(_) => &[],
         }
     }
 
-    fn stream_next<M>(&mut self, ctx: &mut Ctx<'_, M>)
-    where
-        M: congest::Payload + From<VertexId>,
-    {
-        if self.pos < self.adj[self.me].len() {
-            ctx.broadcast(M::from(self.adj[self.me][self.pos]));
-            self.pos += 1;
+    fn stream_next(&mut self, ctx: &mut Ctx<'_, PackedIds>) {
+        if let Some(msg) =
+            self.enc
+                .next_message(&self.adj[self.me], self.budget_bytes, self.max_ids)
+        {
+            ctx.broadcast(msg);
         }
     }
 }
 
 impl VertexProgram for AdjacencyExchange {
-    type Msg = u32;
+    type Msg = PackedIds;
 
-    fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+    fn init(&mut self, ctx: &mut Ctx<'_, PackedIds>) {
         self.stream_next(ctx);
     }
 
-    fn round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[(VertexId, u32)]) {
+    fn round(&mut self, ctx: &mut Ctx<'_, PackedIds>, inbox: &[(VertexId, PackedIds)]) {
         // The inbox arrives sorted by sender and `higher[me]` is sorted,
         // so one monotone merge-walk resolves every sender's slot — no
-        // per-message binary search.
+        // per-message binary search. Each decoded id advances the
+        // per-sender cursor through our own sorted list; equal ids are
+        // the join's third vertices.
+        let own = &self.adj[self.me][..];
         let higher = &self.higher[self.me];
         let mut hi = 0usize;
-        for &(sender, item) in inbox {
+        for (sender, msg) in inbox {
+            let sender = *sender;
             if (sender as usize) <= self.me {
                 continue;
             }
@@ -882,13 +993,25 @@ impl VertexProgram for AdjacencyExchange {
                 hi += 1;
             }
             debug_assert_eq!(higher[hi], sender, "senders are cluster neighbors");
-            self.collected[hi].push(item);
+            let cur = &mut self.cursors[hi];
+            let out = &mut self.matches[hi];
+            self.decoders[hi]
+                .decode_each(msg, |x| {
+                    while (*cur as usize) < own.len() && own[*cur as usize] < x {
+                        *cur += 1;
+                    }
+                    if (*cur as usize) < own.len() && own[*cur as usize] == x {
+                        out.push(x);
+                        *cur += 1; // both streams strictly increase
+                    }
+                })
+                .expect("peers encode well-formed packed streams");
         }
         self.stream_next(ctx);
     }
 
     fn halted(&self) -> bool {
-        self.pos >= self.adj[self.me].len()
+        self.enc.finished(&self.adj[self.me])
     }
 }
 

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use routing::{RoutingHierarchy, RoutingRequest};
     pub use triangle::{
         clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
-        enumerate_via_decomposition, enumerate_with_assignment, PipelineParams, Triangle,
+        enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, Triangle,
         TriangleConfig, TriangleReport,
     };
 }

@@ -1,0 +1,147 @@
+//! Decomposition **quality** bounds on fixed seeds (ROADMAP: the CI
+//! trajectory the `quality-smoke` job guards). Where
+//! `tests/decomposition_certificates.rs` proves outputs are *legal*,
+//! this suite pins how *good* they are: cut fraction per removal tag,
+//! cluster-count shape, and φ-certificate validity must not regress on
+//! reproducible instances — and the whole [`QualityReport`] must be
+//! deterministic per seed, so the uploaded jsonl is comparable across
+//! commits.
+
+use expander::{ExpanderDecomposition, QualityBounds, QualityReport};
+use expander_repro::prelude::*;
+
+fn decompose(g: &Graph, epsilon: f64, seed: u64) -> expander::DecompositionResult {
+    ExpanderDecomposition::builder()
+        .epsilon(epsilon)
+        .seed(seed)
+        .build()
+        .run(g)
+        .expect("non-empty graph")
+}
+
+/// The comparable scalar trajectory, extracted for equality checks.
+fn key_metrics(q: &QualityReport) -> (usize, usize, [u64; 4], bool, bool) {
+    let scaled = |f: f64| (f * 1e9) as u64;
+    (
+        q.cluster_count,
+        q.singleton_clusters,
+        [
+            scaled(q.cut_fraction),
+            scaled(q.cut_fraction_by_tag[0]),
+            scaled(q.cut_fraction_by_tag[1]),
+            scaled(q.cut_fraction_by_tag[2]),
+        ],
+        q.is_partition,
+        q.certificates_ok,
+    )
+}
+
+#[test]
+fn theorem_bounds_hold_per_tag_across_families() {
+    for seed in [7u64, 42] {
+        let (ring, _) = gen::ring_of_cliques(6, 8).unwrap();
+        let pp = gen::planted_partition(&[32, 32], 0.5, 0.03, seed).unwrap();
+        for (label, g, eps) in [
+            ("ring", ring, 0.3),
+            ("gnp", gen::gnp(64, 0.3, seed).unwrap(), 0.3),
+            ("planted", pp.graph, 0.4),
+            ("path", gen::path(32).unwrap(), 0.3),
+        ] {
+            let res = decompose(&g, eps, seed);
+            let q = QualityReport::measure(&g, &res);
+            assert!(q.is_partition, "{label}/seed{seed}: not a partition");
+            // Theorem 1's budgets: ε total, ε/3 per removal rule — the
+            // runtime budget guards enforce these exactly, so equality
+            // with the formula bound is the regression test.
+            assert!(
+                q.cut_fraction <= eps + 1e-12,
+                "{label}/seed{seed}: cut fraction {} > ε = {eps}",
+                q.cut_fraction
+            );
+            for (i, &frac) in q.cut_fraction_by_tag.iter().enumerate() {
+                assert!(
+                    frac <= eps / 3.0 + 1e-12,
+                    "{label}/seed{seed}: Remove{} fraction {} > ε/3",
+                    i + 1,
+                    frac
+                );
+            }
+            assert!(
+                q.certificates_ok,
+                "{label}/seed{seed}: min certified Φ {} below promised {}",
+                q.min_certified_conductance, q.phi
+            );
+            assert_eq!(
+                q.violations(&QualityBounds::for_epsilon(eps)),
+                Vec::<String>::new(),
+                "{label}/seed{seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_shape_does_not_regress_on_structured_inputs() {
+    // A ring of 6 cliques must neither shred (≫ 6 clusters) nor blur
+    // (one giant cluster spanning the ring).
+    let (ring, cliques) = gen::ring_of_cliques(6, 8).unwrap();
+    let q = QualityReport::measure(&ring, &decompose(&ring, 0.3, 7));
+    let bounds = QualityBounds::for_epsilon(0.3)
+        .with_max_clusters(4 * cliques.len())
+        .with_min_largest_fraction(0.05);
+    assert_eq!(q.violations(&bounds), Vec::<String>::new());
+    assert!(
+        q.cluster_count >= cliques.len(),
+        "ring blurred into {} clusters",
+        q.cluster_count
+    );
+    assert!(
+        q.largest_cluster_fraction <= 0.5,
+        "one cluster spans {} of the ring",
+        q.largest_cluster_fraction
+    );
+
+    // A dense gnp is an expander: it must survive (near-)whole.
+    let g = gen::gnp(64, 0.3, 7).unwrap();
+    let q = QualityReport::measure(&g, &decompose(&g, 0.3, 7));
+    let bounds = QualityBounds::for_epsilon(0.3).with_min_largest_fraction(0.5);
+    assert_eq!(q.violations(&bounds), Vec::<String>::new());
+    assert!(q.singleton_clusters <= g.n() / 4);
+}
+
+#[test]
+fn quality_metrics_are_deterministic_per_seed() {
+    let pp = gen::planted_partition(&[24, 24], 0.5, 0.04, 11).unwrap();
+    let a = QualityReport::measure(&pp.graph, &decompose(&pp.graph, 0.4, 11));
+    let b = QualityReport::measure(&pp.graph, &decompose(&pp.graph, 0.4, 11));
+    assert_eq!(key_metrics(&a), key_metrics(&b));
+    assert_eq!(a.to_json("x"), b.to_json("x"), "jsonl must be reproducible");
+}
+
+#[test]
+fn per_tag_fractions_sum_to_the_total() {
+    for seed in [3u64, 9] {
+        let g = gen::gnp(48, 0.15, seed).unwrap();
+        let q = QualityReport::measure(&g, &decompose(&g, 0.3, seed));
+        let sum: f64 = q.cut_fraction_by_tag.iter().sum();
+        assert!(
+            (sum - q.cut_fraction).abs() < 1e-9,
+            "tags {sum} vs total {}",
+            q.cut_fraction
+        );
+    }
+}
+
+#[test]
+fn violations_catch_a_corrupted_partition() {
+    let (g, _) = gen::ring_of_cliques(5, 6).unwrap();
+    let mut res = decompose(&g, 0.3, 2);
+    res.parts.pop(); // lose a cluster: no longer a partition
+    let q = QualityReport::measure(&g, &res);
+    assert!(!q.is_partition);
+    let v = q.violations(&QualityBounds::for_epsilon(0.3));
+    assert!(
+        v.iter().any(|l| l.contains("partition")),
+        "violations: {v:?}"
+    );
+}
