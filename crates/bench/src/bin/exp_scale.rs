@@ -26,10 +26,18 @@
 //!
 //! `--json <path>` appends one `{"name": ..., "median_s": ...}` line per
 //! measurement — the format `bench_gate collect` already consumes, so
-//! CI's `scale-smoke` job uploads the sweep as a bench artifact.
+//! CI's `scale-smoke` job uploads the sweep as a bench artifact. Next to
+//! each run's total wall the sweep emits the **cluster-phase split**
+//! (`.../decompose`, `.../clusters.dlp`, `.../clusters.exchange`,
+//! `.../clusters.join`, `.../merge` entries, mirrored in the table's
+//! `dlp_s`/`exch_s`/`join_s` columns), so a phase-level regression is
+//! attributable from the jsonl alone. The split sums per-job walls
+//! across cluster jobs — worker CPU time, which can exceed the elapsed
+//! `clusters` wall when jobs overlap in parallel mode.
 //!
-//! Defaults target the million-edge tier; pass `--edges 100000` (CI) or
-//! `--tiny` (≈20k) for capped runs.
+//! Defaults target the million-edge tier; pass `--edges 100000` (CI),
+//! `--tiny` (≈20k) for capped runs, or `--edges 10000000` for the
+//! nightly ten-million-edge ceiling tier.
 
 use bench_suite::{scale_tier, Table};
 use congest::ExecMode;
@@ -212,6 +220,9 @@ fn main() -> ExitCode {
             "mode",
             "threads",
             "wall_s",
+            "dlp_s",
+            "exch_s",
+            "join_s",
             "triangles",
             "levels",
             "exch_rounds",
@@ -287,6 +298,9 @@ fn main() -> ExitCode {
                     "central".to_string(),
                     "1".to_string(),
                     format!("{:.3}", wall.as_secs_f64()),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
                     count.to_string(),
                     "-".to_string(),
                     "-".to_string(),
@@ -336,13 +350,23 @@ fn main() -> ExitCode {
                 };
                 let combo = format!("{mode}{suffix}/t{t}");
                 let exchange = report.phases.phase("enumerate");
+                // The cluster-phase split: per-job walls summed across
+                // cluster jobs (worker CPU time — can exceed the elapsed
+                // `clusters` wall when jobs overlap in parallel mode).
+                let wall_dlp = report.phases.wall("clusters.dlp");
+                let wall_exch = report.phases.wall("clusters.exchange");
+                let wall_join = report.phases.wall("clusters.join");
                 eprintln!(
-                    "  {}/{combo}: wall {:.2?} (decompose {:.2?}, clusters {:.2?}, \
-                     merge {:.2?}), {} triangles, exchange {} rounds / {} words",
+                    "  {}/{combo}: wall {:.2?} (decompose {:.2?}, clusters {:.2?} \
+                     [dlp {:.2?}, exchange {:.2?}, join {:.2?}], merge {:.2?}), \
+                     {} triangles, exchange {} rounds / {} words",
                     w.name,
                     wall,
                     report.phases.wall("decompose"),
                     report.phases.wall("clusters"),
+                    wall_dlp,
+                    wall_exch,
+                    wall_join,
                     report.phases.wall("merge"),
                     report.count(),
                     exchange.rounds,
@@ -359,6 +383,9 @@ fn main() -> ExitCode {
                     },
                     t.to_string(),
                     format!("{:.3}", wall.as_secs_f64()),
+                    format!("{:.3}", wall_dlp.as_secs_f64()),
+                    format!("{:.3}", wall_exch.as_secs_f64()),
+                    format!("{:.3}", wall_join.as_secs_f64()),
                     report.count().to_string(),
                     report.levels.len().to_string(),
                     exchange.rounds.to_string(),
@@ -376,6 +403,21 @@ fn main() -> ExitCode {
                     &format!("scale/{label}/{}/{combo}", w.name),
                     wall.as_secs_f64(),
                 );
+                // Per-phase walls as their own bench entries, so the
+                // cluster split is attributable from the jsonl alone.
+                for (phase, dur) in [
+                    ("decompose", report.phases.wall("decompose")),
+                    ("clusters.dlp", wall_dlp),
+                    ("clusters.exchange", wall_exch),
+                    ("clusters.join", wall_join),
+                    ("merge", report.phases.wall("merge")),
+                ] {
+                    emit_json(
+                        &args.json,
+                        &format!("scale/{label}/{}/{combo}/{phase}", w.name),
+                        dur.as_secs_f64(),
+                    );
+                }
                 if let Some(budget) = args.budget_s {
                     if wall.as_secs_f64() > budget {
                         eprintln!(

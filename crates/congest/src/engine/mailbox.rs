@@ -22,7 +22,7 @@
 //! no write conflicts.
 
 use graph::{Graph, VertexId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Stamp value meaning "slot never written".
 const NEVER: usize = usize::MAX;
@@ -33,29 +33,44 @@ const NEVER: usize = usize::MAX;
 /// value means the slot's message (if present) is stale. Initial stamps
 /// are [`NEVER`], which no round index ever equals (the engine errors out
 /// at `usize::MAX` rounds long before).
+///
+/// Slot storage is allocated **lazily** on the first [`OutBuf::put`]:
+/// broadcast-dominated programs (the adjacency exchange's streaming
+/// vertices) never unicast, so at the 10⁷-edge tier the eager
+/// per-adjacency-position arenas would commit gigabytes that are never
+/// written. An unallocated buffer reports every slot as unstamped, which
+/// is exactly what an allocated-but-never-written buffer reports.
 #[derive(Debug)]
 pub(crate) struct OutBuf<M> {
     msgs: Box<[Option<M>]>,
     stamp: Box<[usize]>,
+    /// Number of adjacency slots to materialize on first write.
+    degree: usize,
 }
 
 impl<M> OutBuf<M> {
     fn new(degree: usize) -> Self {
         OutBuf {
-            msgs: (0..degree).map(|_| None).collect(),
-            stamp: vec![NEVER; degree].into_boxed_slice(),
+            msgs: Vec::new().into_boxed_slice(),
+            stamp: Vec::new().into_boxed_slice(),
+            degree,
         }
     }
 
     /// Whether the slot was written in round `round`.
     #[inline]
     pub(crate) fn is_stamped(&self, slot: usize, round: usize) -> bool {
-        self.stamp[slot] == round
+        self.stamp.get(slot) == Some(&round)
     }
 
-    /// Stamps `slot` for `round` and stores `msg` in it.
+    /// Stamps `slot` for `round` and stores `msg` in it, materializing
+    /// the slot storage on first use.
     #[inline]
     pub(crate) fn put(&mut self, slot: usize, round: usize, msg: M) {
+        if self.stamp.is_empty() {
+            self.msgs = (0..self.degree).map(|_| None).collect();
+            self.stamp = vec![NEVER; self.degree].into_boxed_slice();
+        }
         self.stamp[slot] = round;
         self.msgs[slot] = Some(msg);
     }
@@ -101,6 +116,84 @@ impl<M> BcastCell<M> {
     pub(crate) fn put(&mut self, round: usize, msg: M) {
         self.stamp = round;
         self.msg = Some(msg);
+    }
+}
+
+/// Concurrent accumulator for the next round's active worklist.
+///
+/// The scheduler steps only vertices that can possibly act in a round:
+/// last round's mail *receivers* plus last round's *non-halted* steppers
+/// (see `scheduler`'s worklist invariant). Both kinds are pushed here
+/// while a round runs — receivers exactly once each via the atomic swap
+/// in [`MailReader::flag_mail`], self-pushes at most once per stepped
+/// vertex — so the list never exceeds `2n` entries and the fixed buffer
+/// never reallocates. Entries are unordered and may contain duplicates
+/// (a non-halted vertex that also received mail); the drain sorts and
+/// deduplicates.
+///
+/// Relaxed ordering suffices: slots are claimed by `fetch_add`, each
+/// claimed index is written by exactly one thread, and the scheduler
+/// only reads after the round's step pass has joined all threads.
+pub(crate) struct ActiveSet {
+    items: Box<[AtomicU32]>,
+    len: AtomicUsize,
+}
+
+impl ActiveSet {
+    fn new(capacity: usize) -> Self {
+        ActiveSet {
+            items: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends `v` (caller guarantees the per-round push-once discipline
+    /// that bounds total pushes by the buffer capacity).
+    #[inline]
+    pub(crate) fn push(&self, v: VertexId) {
+        let i = self.len.fetch_add(1, Ordering::Relaxed);
+        self.items[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Drains the set into `out`, sorted ascending and deduplicated, and
+    /// resets the set for the next round.
+    ///
+    /// Two regimes keep the drain linear in what the round actually did:
+    /// a short list is sorted directly (`O(k log k)`), while a list that
+    /// is a sizable fraction of the graph is scattered into `bitmap`
+    /// (one bit per vertex, caller-provided scratch) and swept in id
+    /// order (`O(n/64 + k)`) — never worse than the full-slot scan the
+    /// worklist replaces, even on broadcast-heavy rounds where nearly
+    /// every vertex receives mail.
+    pub(crate) fn drain_sorted_into(&self, out: &mut Vec<VertexId>, bitmap: &mut [u64]) {
+        let len = self.len.swap(0, Ordering::Relaxed);
+        out.clear();
+        let items = &self.items[..len];
+        if len * 24 < bitmap.len() * 64 {
+            out.extend(items.iter().map(|a| a.load(Ordering::Relaxed)));
+            out.sort_unstable();
+            out.dedup();
+        } else {
+            for a in items {
+                let v = a.load(Ordering::Relaxed) as usize;
+                bitmap[v / 64] |= 1u64 << (v % 64);
+            }
+            for (w, word) in bitmap.iter_mut().enumerate() {
+                let mut bits = *word;
+                *word = 0;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    out.push((w * 64) as VertexId + b);
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    /// Discards all pushes (the full-scan fallback never reads the list
+    /// but must still keep it from growing past its capacity).
+    pub(crate) fn discard(&self) {
+        self.len.store(0, Ordering::Relaxed);
     }
 }
 
@@ -177,6 +270,8 @@ pub(crate) struct Mailboxes<M> {
     /// Per-sender broadcast cells (two generations like the arenas).
     bcast: [Vec<BcastCell<M>>; 2],
     rev: RevIndex,
+    /// Next-round worklist accumulator (see [`ActiveSet`]).
+    active: ActiveSet,
 }
 
 /// Which arena a round writes: `r % 2`.
@@ -208,7 +303,19 @@ impl<M: Clone> Mailboxes<M> {
                 (0..n).map(|_| BcastCell::new()).collect(),
             ],
             rev: RevIndex::build(g),
+            active: ActiveSet::new(2 * n),
         }
+    }
+
+    /// The worklist accumulated while the current round stepped (see
+    /// [`ActiveSet::drain_sorted_into`]).
+    pub(crate) fn drain_active_into(&self, out: &mut Vec<VertexId>, bitmap: &mut [u64]) {
+        self.active.drain_sorted_into(out, bitmap);
+    }
+
+    /// Discards the accumulated worklist (full-scan fallback).
+    pub(crate) fn discard_active(&self) {
+        self.active.discard();
     }
 
     /// Test-only: pretend `v` sent something in `round`, so gathers are
@@ -256,6 +363,7 @@ impl<M: Clone> Mailboxes<M> {
                 sent_write,
                 sent_read,
                 rev: &self.rev,
+                active: &self.active,
                 round,
             },
         )
@@ -272,6 +380,7 @@ pub(crate) struct MailReader<'e, M> {
     sent_write: &'e [AtomicUsize],
     sent_read: &'e [AtomicUsize],
     rev: &'e RevIndex,
+    active: &'e ActiveSet,
     round: usize,
 }
 
@@ -292,10 +401,28 @@ impl<M: Clone> MailReader<'_, M> {
         self.mail_cur[v as usize].load(Ordering::Relaxed) == self.round
     }
 
-    /// Stamps `to` as having mail in the next round.
+    /// Stamps `to` as having mail in the next round and, exactly once
+    /// per recipient per round, enrolls `to` in the next round's
+    /// worklist.
+    ///
+    /// The atomic swap is the push-once gate: among all senders flagging
+    /// `to` this round, exactly one observes a stamp other than
+    /// `round + 1` (the generation's previous value is at most
+    /// `round - 1`), so concurrent broadcasts cannot enroll a recipient
+    /// twice and the worklist buffer's capacity bound holds.
     #[inline]
     pub(crate) fn flag_mail(&self, to: VertexId) {
-        self.mail_next[to as usize].store(self.round + 1, Ordering::Relaxed);
+        let next = self.round + 1;
+        if self.mail_next[to as usize].swap(next, Ordering::Relaxed) != next {
+            self.active.push(to);
+        }
+    }
+
+    /// Enrolls `v` itself in the next round's worklist (the scheduler
+    /// calls this for every stepped vertex that did not halt).
+    #[inline]
+    pub(crate) fn push_active(&self, v: VertexId) {
+        self.active.push(v);
     }
 
     /// Stamps `from` as having sent something this round.

@@ -12,9 +12,29 @@
 //! ranges, while [`run_sequential`] drives it in a plain loop (and
 //! therefore needs no `Send` bounds on the programs).
 //!
-//! Two scale provisions keep long, mostly-idle runs cheap (the measured
-//! decomposition's giant expander cluster streams for `Θ(max deg)`
-//! rounds during which almost every vertex is halted and silent):
+//! **Active worklist.** Rounds step a worklist instead of scanning all
+//! `n` slots. The invariant: a vertex can act in round `r > 0` only if
+//! it is not halted (it will be stepped regardless of mail) or it
+//! received mail in round `r - 1` (mail un-halts it). Round `r - 1`
+//! therefore seeds round `r`'s list exactly: every `flag_mail` enrolls
+//! its recipient once (atomic swap gate in the mailbox), and every
+//! stepped vertex that ends the round not halted enrolls itself. Round 0
+//! steps all vertices (`init` runs everywhere), establishing the base
+//! case. The list is drained sorted-ascending and deduplicated, so the
+//! sequential path visits vertices in index order and the parallel path
+//! splits the per-vertex state at chunk id boundaries. A vertex outside
+//! the list is halted with no mail — precisely the set the previous
+//! full-scan engine skipped via its idle fast path — so the stepped set,
+//! and with it every per-vertex effect and the [`RoundAgg`] reduction,
+//! is identical to a full scan's. Setting `CONGEST_ENGINE_FULL_SCAN=1`
+//! restores the scan (every round steps `0..n` with the idle fast-path
+//! check); `tests/worklist_equivalence.rs` pins the two modes to
+//! bit-identical results.
+//!
+//! Two further scale provisions keep long, mostly-idle runs cheap (the
+//! measured decomposition's giant expander cluster streams for
+//! `Θ(max deg)` rounds during which almost every vertex is halted and
+//! silent):
 //!
 //! * the halt flags live in a compact side vector, so skipping a halted,
 //!   mail-less vertex reads two warm words and never touches its
@@ -114,33 +134,35 @@ where
     P: VertexProgram,
     F: FnMut(VertexId) -> P,
 {
-    run_impl(g, make, max_rounds, |slots, halted, boxes, round, agg| {
-        let (write, bcast, reader) = boxes.split_for_round(round);
-        slots
-            .iter_mut()
-            .zip(write.iter_mut())
-            .zip(bcast.iter_mut())
-            .zip(halted.iter_mut())
-            .enumerate()
-            .for_each(|(v, (((slot, out), cell), halt))| {
-                if round > 0 && *halt && !reader.has_mail(v as VertexId) {
-                    return; // idle fast path: the Slot is never touched
+    run_impl(
+        g,
+        make,
+        max_rounds,
+        |slots, halted, boxes, round, agg, active| {
+            let (write, bcast, reader) = boxes.split_for_round(round);
+            for &v in active {
+                let vi = v as usize;
+                let halt = &mut halted[vi];
+                if round > 0 && *halt && !reader.has_mail(v) {
+                    continue; // idle fast path: the Slot is never touched
                 }
+                let slot = &mut slots[vi];
                 step_vertex(
                     g,
                     bandwidth_bits,
                     word_bits,
                     round,
-                    v as VertexId,
+                    v,
                     slot,
-                    out,
-                    cell,
+                    &mut write[vi],
+                    &mut bcast[vi],
                     reader,
                     halt,
                 );
-                agg.absorb(v, &slot.stats, *halt);
-            });
-    })
+                agg.absorb(vi, &slot.stats, *halt);
+            }
+        },
+    )
 }
 
 /// Runs the engine stepping vertices in parallel over contiguous
@@ -157,37 +179,92 @@ where
     P::Msg: Send + Sync,
     F: FnMut(VertexId) -> P,
 {
-    run_impl(g, make, max_rounds, |slots, halted, boxes, round, agg| {
-        let (write, bcast, reader) = boxes.split_for_round(round);
-        slots
-            .par_iter_mut()
-            .zip(write.par_iter_mut())
-            .zip(bcast.par_iter_mut())
-            .zip(halted.par_iter_mut())
-            .enumerate()
-            .for_each(|(v, (((slot, out), cell), halt))| {
-                if round > 0 && *halt && !reader.has_mail(v as VertexId) {
-                    return; // idle fast path: the Slot is never touched
+    run_impl(
+        g,
+        make,
+        max_rounds,
+        |slots, halted, boxes, round, agg, active| {
+            let (write, bcast, reader) = boxes.split_for_round(round);
+
+            /// One thread's share of the round: a contiguous run of the
+            /// (sorted, deduplicated) worklist plus the matching id-range
+            /// sub-slices of the per-vertex state. Chunks cover disjoint id
+            /// ranges, so handing each chunk exclusive `&mut` sub-slices is
+            /// plain safe borrow splitting — no interior mutability, no
+            /// unsafe indexing.
+            struct Chunk<'a, P: VertexProgram> {
+                /// First vertex id covered by this chunk's sub-slices.
+                base: usize,
+                ids: &'a [VertexId],
+                slots: &'a mut [Slot<P>],
+                write: &'a mut [OutBuf<P::Msg>],
+                bcast: &'a mut [BcastCell<P::Msg>],
+                halted: &'a mut [bool],
+            }
+
+            let per = active
+                .len()
+                .div_ceil(rayon::current_num_threads().max(1))
+                .max(1);
+            let mut chunks: Vec<Chunk<'_, P>> = Vec::new();
+            let (mut slots, mut write, mut bcast, mut halted) =
+                (slots, &mut write[..], &mut bcast[..], &mut halted[..]);
+            let mut base = 0usize;
+            for ids in active.chunks(per) {
+                let hi = *ids.last().expect("chunks are non-empty") as usize + 1;
+                let (s, s_rest) = slots.split_at_mut(hi - base);
+                let (w, w_rest) = write.split_at_mut(hi - base);
+                let (b, b_rest) = bcast.split_at_mut(hi - base);
+                let (h, h_rest) = halted.split_at_mut(hi - base);
+                (slots, write, bcast, halted) = (s_rest, w_rest, b_rest, h_rest);
+                chunks.push(Chunk {
+                    base,
+                    ids,
+                    slots: s,
+                    write: w,
+                    bcast: b,
+                    halted: h,
+                });
+                base = hi;
+            }
+
+            chunks.par_iter_mut().for_each(|chunk| {
+                for &v in chunk.ids {
+                    let li = v as usize - chunk.base;
+                    let halt = &mut chunk.halted[li];
+                    if round > 0 && *halt && !reader.has_mail(v) {
+                        continue; // idle fast path: the Slot is never touched
+                    }
+                    let slot = &mut chunk.slots[li];
+                    step_vertex(
+                        g,
+                        bandwidth_bits,
+                        word_bits,
+                        round,
+                        v,
+                        slot,
+                        &mut chunk.write[li],
+                        &mut chunk.bcast[li],
+                        reader,
+                        halt,
+                    );
+                    agg.absorb(v as usize, &slot.stats, *halt);
                 }
-                step_vertex(
-                    g,
-                    bandwidth_bits,
-                    word_bits,
-                    round,
-                    v as VertexId,
-                    slot,
-                    out,
-                    cell,
-                    reader,
-                    halt,
-                );
-                agg.absorb(v, &slot.stats, *halt);
             });
-    })
+        },
+    )
 }
 
-/// The shared round loop; `step_all` executes one full round over all
-/// vertices (this is the only thing the two modes do differently).
+/// Whether the full-scan fallback is requested: every round steps all
+/// `n` slots behind the idle fast-path check, as the engine did before
+/// the worklist. Kept as the reference the equivalence suite compares
+/// the worklist against (and as an escape hatch).
+fn full_scan_requested() -> bool {
+    std::env::var_os("CONGEST_ENGINE_FULL_SCAN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The shared round loop; `step_all` executes one round over the given
+/// worklist (this is the only thing the two modes do differently).
 fn run_impl<P, F, S>(
     g: &Graph,
     mut make: F,
@@ -197,7 +274,7 @@ fn run_impl<P, F, S>(
 where
     P: VertexProgram,
     F: FnMut(VertexId) -> P,
-    S: FnMut(&mut [Slot<P>], &mut [bool], &mut Mailboxes<P::Msg>, usize, &RoundAgg),
+    S: FnMut(&mut [Slot<P>], &mut [bool], &mut Mailboxes<P::Msg>, usize, &RoundAgg, &[VertexId]),
 {
     let n = g.n();
     let mut slots: Vec<Slot<P>> = (0..n as VertexId)
@@ -210,11 +287,18 @@ where
     let mut halted = vec![false; n];
     let mut boxes: Mailboxes<P::Msg> = Mailboxes::new(g);
     let mut report = RunReport::default();
+    let full_scan = full_scan_requested();
+
+    // Round 0 steps every vertex (`init` runs everywhere); later rounds
+    // step the worklist seeded by the previous round (see module docs).
+    let mut active: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut next: Vec<VertexId> = Vec::new();
+    let mut bitmap = vec![0u64; n.div_ceil(64)];
 
     let mut round = 0usize;
     loop {
         let agg = RoundAgg::new();
-        step_all(&mut slots, &mut halted, &mut boxes, round, &agg);
+        step_all(&mut slots, &mut halted, &mut boxes, round, &agg, &active);
         let err = agg.err_vertex.load(Ordering::Relaxed);
         if err != usize::MAX {
             return Err(slots[err]
@@ -236,6 +320,12 @@ where
         }
         if round >= max_rounds {
             return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+        }
+        if full_scan {
+            boxes.discard_active(); // `active` stays 0..n
+        } else {
+            boxes.drain_active_into(&mut next, &mut bitmap);
+            std::mem::swap(&mut active, &mut next);
         }
         round += 1;
     }
@@ -286,4 +376,10 @@ fn step_vertex<P: VertexProgram>(
         slot.program.round(&mut ctx, &slot.inbox);
     }
     *halt = slot.program.halted();
+    if !*halt {
+        // Not halted: the vertex must step next round even without mail,
+        // so it enrolls itself in the worklist (receivers are enrolled
+        // by `flag_mail` at send time).
+        reader.push_active(v);
+    }
 }

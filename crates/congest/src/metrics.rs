@@ -84,10 +84,17 @@ impl RunReport {
 /// real time to pipeline phases next to the round charges. Wall-clock is
 /// machine-dependent and intentionally excluded from the determinism
 /// contracts (reports compare equal on rounds/traffic, never on walls).
+/// The ledger also carries named **host operation counters**
+/// ([`PhaseLedger::record_ops`]): deterministic counts of the simulator's
+/// own work (e.g. the DLP routing-accounting loop iterations), used by
+/// complexity regression guards the same way exchange-round counts guard
+/// the CONGEST side. Unlike wall-clock, ops are machine-independent and
+/// safe to assert on.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseLedger {
     phases: Vec<(String, RunReport)>,
     walls: Vec<(String, Duration)>,
+    ops: Vec<(String, u64)>,
 }
 
 impl PhaseLedger {
@@ -172,14 +179,41 @@ impl PhaseLedger {
         self.walls.iter().map(|(_, d)| *d).sum()
     }
 
+    /// Adds `count` to the named operation counter (created on first
+    /// use). Counters are independent of the traffic and wall entries.
+    pub fn record_ops(&mut self, counter: &str, count: u64) {
+        match self.ops.iter_mut().find(|(name, _)| name == counter) {
+            Some((_, agg)) => *agg += count,
+            None => self.ops.push((counter.to_string(), count)),
+        }
+    }
+
+    /// Accumulated count of one operation counter (zero if never
+    /// recorded).
+    pub fn ops(&self, counter: &str) -> u64 {
+        self.ops
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(counter, count)` in first-use order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.ops.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
     /// Sequences every phase of `other` into this ledger (phase-wise,
-    /// wall-clock included).
+    /// wall-clock and operation counters included).
     pub fn absorb(&mut self, other: &PhaseLedger) {
         for (name, report) in other.iter() {
             self.record(name, report);
         }
         for (name, wall) in other.iter_walls() {
             self.record_wall(name, wall);
+        }
+        for (name, count) in other.iter_ops() {
+            self.record_ops(name, count);
         }
     }
 }
@@ -311,6 +345,25 @@ mod tests {
         // Wall entries are independent of traffic entries.
         assert_eq!(m.iter().count(), 0);
         assert_eq!(m.phase("decompose"), RunReport::default());
+    }
+
+    #[test]
+    fn ops_counters_accumulate_and_absorb() {
+        let mut l = PhaseLedger::new();
+        assert_eq!(l.ops("dlp_accounting"), 0);
+        l.record_ops("dlp_accounting", 41);
+        l.record_ops("dlp_accounting", 1);
+        l.record_ops("other", 5);
+        assert_eq!(l.ops("dlp_accounting"), 42);
+        assert_eq!(l.iter_ops().count(), 2);
+
+        let mut m = PhaseLedger::new();
+        m.absorb(&l);
+        m.absorb(&l);
+        assert_eq!(m.ops("dlp_accounting"), 84);
+        // Ops entries are independent of traffic and wall entries.
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.iter_walls().count(), 0);
     }
 
     #[test]

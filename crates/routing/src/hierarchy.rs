@@ -301,6 +301,87 @@ impl RoutingHierarchy {
             words: total_words,
         })
     }
+
+    /// Routes a batched instance given only its **aggregate per-vertex
+    /// word loads** — `holders[i] = (v, w)` meaning `v` sends `w` words
+    /// in total, `owners[j] = (v, w)` meaning `v` receives `w` words in
+    /// total — without materializing the per-(src, dst) batch list.
+    ///
+    /// This is the output-sized entry point the closed-form DLP triple
+    /// accounting uses: the triangle pipeline knows each holder's and
+    /// each owner's word totals in `O(g² + Σ|bucket|)` arithmetic, and
+    /// the batch list those totals summarize can be quadratic in the
+    /// cluster. Endpoint charges are exactly [`Self::route_edges`]'s
+    /// (`load[src] += w`, `load[dst] += w`). Portal charges are the
+    /// deterministic balanced spread: at every level below the root,
+    /// **each** portal of a receiver's group is charged the receiver's
+    /// expected share `⌈w / |portals|⌉` — the per-batch random portal
+    /// draw of `route_edges` degenerates to exactly this in expectation,
+    /// and making it deterministic keeps the outcome independent of how
+    /// word totals were split into batches (and of any RNG), which the
+    /// sequential-vs-parallel and packed-vs-unpacked equivalence suites
+    /// rely on.
+    ///
+    /// Vertices may appear multiple times in either slice; their words
+    /// accumulate. `words` in the outcome is the owners' total (every
+    /// routed word is received exactly once).
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::BadRequest`] if a load mentions an unknown vertex.
+    pub fn route_edge_loads(
+        &self,
+        g: &Graph,
+        holders: &[(VertexId, u64)],
+        owners: &[(VertexId, u64)],
+    ) -> Result<BatchOutcome> {
+        let n = self.n;
+        for &(v, _) in holders.iter().chain(owners) {
+            if v as usize >= n {
+                return Err(RoutingError::BadRequest { vertex: v as u64 });
+            }
+        }
+        let total_words: u64 = owners.iter().map(|&(_, w)| w).sum();
+        let mut load = vec![0u64; n];
+        let mut delivered = true;
+        for &(v, w) in holders {
+            load[v as usize] += w;
+        }
+        for &(v, w) in owners {
+            if w == 0 {
+                continue;
+            }
+            for level in &self.levels[1..] {
+                let dst_group = level.group_of[v as usize] as usize;
+                let portals = &level.portals[dst_group];
+                if portals.is_empty() {
+                    delivered = false;
+                    continue;
+                }
+                let share = w.div_ceil(portals.len() as u64);
+                for &p in portals {
+                    load[p as usize] += share;
+                }
+            }
+            load[v as usize] += w;
+        }
+        let mut queries = 1u64;
+        let mut max_congestion = 0u64;
+        for (v, &vload) in load.iter().enumerate() {
+            max_congestion = max_congestion.max(vload);
+            if vload > 0 {
+                let deg = g.degree(v as VertexId).max(1) as u64;
+                queries = queries.max(vload.div_ceil(deg));
+            }
+        }
+        Ok(BatchOutcome {
+            delivered,
+            max_congestion: max_congestion as usize,
+            queries,
+            rounds: self.query_rounds() * queries,
+            words: total_words,
+        })
+    }
 }
 
 fn make_level(g: &Graph, group_of: Vec<u32>, groups: usize, rng: &mut StdRng) -> Level {
@@ -567,5 +648,47 @@ mod tests {
         let b = RoutingHierarchy::build(&g, 2, 42).unwrap();
         assert_eq!(a.preprocessing_rounds(), b.preprocessing_rounds());
         assert_eq!(a.query_rounds(), b.query_rounds());
+    }
+
+    #[test]
+    fn edge_loads_accounting_shape() {
+        let g = expander(128, 9);
+        let h = RoutingHierarchy::build(&g, 2, 9).unwrap();
+        let holders = vec![(0u32, 40u64), (5, 24), (17, 8)];
+        let owners = vec![(3u32, 30u64), (9, 42)];
+        let out = h.route_edge_loads(&g, &holders, &owners).unwrap();
+        // Words are the owner total (every routed word has one owner).
+        assert_eq!(out.words, 72);
+        assert!(out.delivered);
+        assert!(out.queries >= 1);
+        assert_eq!(out.rounds, h.query_rounds() * out.queries);
+        // Heavier loads can only cost more queries.
+        let heavier = vec![(3u32, 300u64), (9, 420)];
+        let out2 = h.route_edge_loads(&g, &holders, &heavier).unwrap();
+        assert!(out2.queries >= out.queries);
+    }
+
+    #[test]
+    fn edge_loads_deterministic_and_validated() {
+        let g = expander(64, 4);
+        let h = RoutingHierarchy::build(&g, 3, 4).unwrap();
+        let holders = vec![(1u32, 7u64)];
+        let owners = vec![(2u32, 7u64)];
+        // The charge model is RNG-free: identical outcome on repeat.
+        let a = h.route_edge_loads(&g, &holders, &owners).unwrap();
+        let b = h.route_edge_loads(&g, &holders, &owners).unwrap();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.max_congestion, b.max_congestion);
+        assert_eq!(a.rounds, b.rounds);
+        // Out-of-range vertices are rejected, not clamped.
+        assert!(matches!(
+            h.route_edge_loads(&g, &[(64, 1)], &[]),
+            Err(RoutingError::BadRequest { vertex: 64 })
+        ));
+        // No load at all: the trivial single-query outcome.
+        let empty = h.route_edge_loads(&g, &[], &[]).unwrap();
+        assert_eq!(empty.words, 0);
+        assert_eq!(empty.queries, 1);
+        assert!(empty.delivered);
     }
 }

@@ -247,66 +247,33 @@ impl ClusterListing {
         // Group the *global* vertex set into gᵢ = ⌈|Vᵢ|^{1/3}⌉ classes;
         // bucket the cluster-incident edges by group pair; assign group
         // triples to cluster vertices degree-proportionally; each owner
-        // receives its triples' three pair buckets.
-        let groups = (part.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
+        // receives its triples' three pair buckets. The per-owner loads
+        // are computed in **closed form** ([`crate::dlp`], DESIGN.md §11)
+        // — `O(g² + Σ|bucket| + |Vᵢ|)` instead of walking all `C(g+2, 3)`
+        // triples — with every pair slot counted
+        // ([`PairWeighting::TripleMultiplicity`]), exactly as the
+        // enumerating loop this replaces (pinned bit-for-bit by
+        // `tests/dlp_equivalence.rs` against
+        // [`crate::dlp::DlpInstance::enumerated_owner_loads`]).
         let salt = config.seed ^ level_salt.wrapping_mul(0x9E3779B97F4A7C15);
-        let group_of = |v: VertexId| {
-            ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32
-        };
-        let pair_index = |x: u32, y: u32| {
-            let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-            lo as usize * groups + hi as usize
-        };
-        // Cluster-incident edges (≥ 1 endpoint in the part), bucketed.
-        let mut pair_load = vec![0usize; groups * groups];
-        for u in part.iter() {
-            for &w in g_full.neighbors(u) {
-                if w > u || !part.contains(w) {
-                    pair_load[pair_index(group_of(u), group_of(w))] += 1;
-                }
-            }
-        }
-        // Owner assignment: degree-proportional shares over triples.
-        // With T triples and cluster volume Vol, vertex v owns
-        // ⌈deg(v)·T/Vol⌉ consecutive triples — the DLP counting argument
-        // that bounds per-owner receive load by O(deg·|Vᵢ|^{1/3}) words.
         let members: Vec<VertexId> = part.iter().collect();
-        let total_deg: usize = members
+        let instance = crate::dlp::DlpInstance::new(g_full, part, &members, salt);
+        let (mut pair_raw, mut holder_inc) = (Vec::new(), Vec::new());
+        let loads = instance.aggregate_loads(
+            crate::dlp::PairWeighting::TripleMultiplicity,
+            &mut pair_raw,
+            &mut holder_inc,
+        );
+        // Queries: each routing query moves O(deg(v)) words per vertex —
+        // the DLP counting argument that bounds per-owner receive load by
+        // O(deg·|Vᵢ|^{1/3}) words.
+        let queries = loads
+            .owners
             .iter()
-            .map(|&v| g_full.degree(v))
-            .sum::<usize>()
-            .max(1);
-        let g_u = groups;
-        let triple_total = g_u * (g_u + 1) * (g_u + 2) / 6; // C(g+2, 3)
-        let share = |v: VertexId| (g_full.degree(v) * triple_total).div_ceil(total_deg).max(1);
-        let mut recv_load = std::collections::HashMap::<VertexId, usize>::new();
-        let mut acc = 0usize;
-        let mut member_idx = 0usize;
-        let mut member_budget = share(members[0]);
-        for a in 0..groups as u32 {
-            for b in a..groups as u32 {
-                for c in b..groups as u32 {
-                    let owner = members[member_idx];
-                    let load = pair_load[pair_index(a, b)]
-                        + pair_load[pair_index(b, c)]
-                        + pair_load[pair_index(a, c)];
-                    *recv_load.entry(owner).or_insert(0) += load;
-                    acc += 1;
-                    if acc >= member_budget && member_idx + 1 < members.len() {
-                        acc = 0;
-                        member_idx += 1;
-                        member_budget = share(members[member_idx]);
-                    }
-                }
-            }
-        }
-        // Queries: each routing query moves O(deg(v)) words per vertex.
-        let queries = recv_load
-            .iter()
-            .map(|(&v, &load)| load.div_ceil(g_full.degree(v).max(1)))
+            .map(|&(o, load)| load.div_ceil(g_full.degree(members[o as usize]).max(1) as u64))
             .max()
             .unwrap_or(0)
-            .max(1) as u64;
+            .max(1);
 
         // Routing structure on the cluster's induced subgraph.
         let sub = graph::view::Subgraph::induced(kept, part);

@@ -29,6 +29,7 @@
 pub mod clique_algo;
 pub mod congest_algo;
 pub mod count;
+pub mod dlp;
 pub mod pipeline;
 
 pub use clique_algo::{clique_enumerate, CliqueEnumeration};

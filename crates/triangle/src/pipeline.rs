@@ -4,7 +4,7 @@
 //!
 //! This module wires the repo's pieces — [`expander::decomposition`] (via
 //! its [`expander::ClusterAssignment`] contract), [`routing`]'s batched
-//! [`EdgeBatch`] deliveries, and the [`congest`] engine in
+//! [`routing::EdgeBatch`] deliveries, and the [`congest`] engine in
 //! [`ExecMode::Parallel`] — into the single entry point
 //! [`enumerate_via_decomposition`]. Where [`crate::congest_algo`] charges
 //! the listing rounds analytically, the pipeline *executes* the
@@ -32,6 +32,7 @@
 //!    with an honest `O(m + n)` charge.
 
 use crate::count::Triangle;
+use crate::dlp;
 use congest::packed::{self, IdStreamDecoder, IdStreamEncoder, PackedIds};
 use congest::{Ctx, ExecMode, Network, PhaseLedger, RunReport, VertexProgram};
 use expander::params::DecompositionParams;
@@ -41,9 +42,9 @@ use expander::scheduler::{
 use expander::{ExpanderDecomposition, ParamMode};
 use graph::view::Subgraph;
 use graph::{Graph, VertexId, VertexSet, WorkingGraph};
-use routing::{EdgeBatch, RoutingHierarchy};
+use routing::RoutingHierarchy;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for [`enumerate_via_decomposition`].
 #[derive(Debug, Clone)]
@@ -504,6 +505,16 @@ impl<'p> PipelineRun<'p> {
             level.routing_queries = level.routing_queries.max(cluster.queries);
             level.routing_rounds = level.routing_rounds.max(cluster.routing_rounds);
             level.routing_words = level.routing_words.max(cluster.routing_words);
+            // Split of the opaque `clusters` wall (summed worker time) and
+            // the ledger's closed-form accounting guard counters.
+            self.phases.record_wall("clusters.dlp", cluster.wall_dlp);
+            self.phases
+                .record_wall("clusters.exchange", cluster.wall_exchange);
+            self.phases.record_wall("clusters.join", cluster.wall_join);
+            self.phases
+                .record_ops("dlp_accounting", cluster.accounting_ops);
+            self.phases
+                .record_ops("dlp_accounting_budget", cluster.accounting_budget);
             engine_reports.push(cluster.engine);
             self.triangles.append(&mut cluster.triangles);
             self.triangle_buffers.put(cluster.triangles);
@@ -588,6 +599,15 @@ struct ClusterRun {
     queries: u64,
     routing_words: u64,
     routing_rounds: u64,
+    /// DLP accounting operations performed / budgeted (ledger guard).
+    accounting_ops: u64,
+    accounting_budget: u64,
+    /// Per-phase walls inside the cluster job, so the level can split the
+    /// scheduler's opaque `clusters` wall into DLP accounting vs exchange
+    /// vs join (summed worker time, not elapsed wall in parallel mode).
+    wall_dlp: Duration,
+    wall_exchange: Duration,
+    wall_join: Duration,
     engine: RunReport,
 }
 
@@ -598,8 +618,10 @@ struct ClusterRun {
 struct ClusterScratch {
     /// Spare neighbor-list buffers for the member adjacency snapshot.
     adj: Vec<Vec<VertexId>>,
-    /// The DLP pair-bucket table of the routing phase.
-    holders: Vec<Vec<VertexId>>,
+    /// Closed-form DLP accounting scratch: raw pair-bucket sizes and
+    /// per-holder incident-entry counts ([`dlp::DlpInstance`]).
+    pair_raw: Vec<u64>,
+    holder_inc: Vec<u64>,
 }
 
 /// Runs one cluster: routing redistribution accounting + the engine-driven
@@ -637,9 +659,10 @@ fn run_cluster(
 
     let dbg_scale = std::env::var_os("PIPELINE_PHASE_DEBUG").is_some() && local_n > 10_000;
     let t_route = Instant::now();
-    // ── Phase: route — batched redistribution of the cluster-incident
-    // edge slices to the DLP triple owners, accounted via route_edges. ──
-    let (build_rounds, queries, routing_words, routing_rounds) = route_cluster_slices(
+    // ── Phase: route — closed-form redistribution accounting of the
+    // cluster-incident edge slices to the DLP triple owners, charged via
+    // route_edge_loads. ──
+    let charges = route_cluster_slices(
         current,
         part,
         &sub,
@@ -648,8 +671,9 @@ fn run_cluster(
         cluster_seed,
         &mut scratch,
     );
+    let wall_dlp = t_route.elapsed();
     if dbg_scale {
-        eprintln!("    cluster n={local_n}: route {:.2?}", t_route.elapsed());
+        eprintln!("    cluster n={local_n}: route {wall_dlp:.2?}");
     }
     let t_engine = Instant::now();
 
@@ -700,12 +724,11 @@ fn run_cluster(
     let (engine, programs) = network
         .run_collect(make, max_items + 2)
         .expect("adjacency exchange is a valid CONGEST program");
+    let wall_exchange = t_engine.elapsed();
     if dbg_scale {
         eprintln!(
-            "    cluster n={local_n}: engine {:.2?} ({} rounds, {} msgs)",
-            t_engine.elapsed(),
-            engine.rounds,
-            engine.messages
+            "    cluster n={local_n}: engine {wall_exchange:.2?} ({} rounds, {} msgs)",
+            engine.rounds, engine.messages
         );
     }
     let t_join = Instant::now();
@@ -733,8 +756,9 @@ fn run_cluster(
     }
     triangles.sort_unstable();
     triangles.dedup();
+    let wall_join = t_join.elapsed();
     if dbg_scale {
-        eprintln!("    cluster n={local_n}: join {:.2?}", t_join.elapsed());
+        eprintln!("    cluster n={local_n}: join {wall_join:.2?}");
     }
 
     // The programs held the only other Arc clones; reclaim the adjacency
@@ -746,17 +770,44 @@ fn run_cluster(
 
     ClusterRun {
         triangles,
-        build_rounds,
-        queries,
-        routing_words,
-        routing_rounds,
+        build_rounds: charges.build_rounds,
+        queries: charges.queries,
+        routing_words: charges.words,
+        routing_rounds: charges.rounds,
+        accounting_ops: charges.ops,
+        accounting_budget: charges.ops_budget,
+        wall_dlp,
+        wall_exchange,
+        wall_join,
         engine,
     }
 }
 
-/// Builds the DLP tripartition batches for one cluster and routes them
-/// through the cluster's GKS hierarchy. Returns
-/// `(build_rounds, queries, words, routing_rounds)`.
+/// What the DLP redistribution phase charged for one cluster.
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteCharges {
+    build_rounds: u64,
+    queries: u64,
+    words: u64,
+    rounds: u64,
+    /// Closed-form accounting operations actually performed, plus the
+    /// `O(g² + Σ|bucket| + |Vᵢ|)` budget they must stay under — both land
+    /// in the [`PhaseLedger`] so a regression back to triple enumeration
+    /// trips the ledger guard.
+    ops: u64,
+    ops_budget: u64,
+}
+
+/// Charges the DLP redistribution for one cluster in **closed form**
+/// ([`dlp::DlpInstance`], DESIGN.md §11) and routes the resulting
+/// aggregate per-vertex loads through the cluster's GKS hierarchy.
+///
+/// The aggregate loads summarize exactly the per-(holder, owner)
+/// [`routing::EdgeBatch`] list the seed implementation materialized by
+/// enumerating all `C(g+2, 3)` group triples —
+/// `tests/dlp_equivalence.rs` pins the two bit-for-bit — but are
+/// computed in `O(g² + Σ|bucket| + |Vᵢ|)` instead of
+/// `O(C(g+2, 3) · avg bucket)`.
 fn route_cluster_slices(
     current: &Graph,
     part: &VertexSet,
@@ -765,130 +816,38 @@ fn route_cluster_slices(
     params: &PipelineParams,
     cluster_seed: u64,
     scratch: &mut ClusterScratch,
-) -> (u64, u64, u64, u64) {
+) -> RouteCharges {
     let hierarchy = match RoutingHierarchy::build(
         sub.graph(),
         params.routing_depth.max(1),
         derive_seed(cluster_seed, 1),
     ) {
         Ok(h) => h,
-        // Degenerate cluster (cannot happen when internal_edges > 0).
-        Err(_) => return (0, 1, 0, 1),
+        // Degenerate cluster (cannot happen when internal_edges > 0):
+        // nothing is redistributed, so nothing is charged.
+        Err(_) => return RouteCharges::default(),
     };
 
-    // Group the global vertex set into g = ⌈|Vᵢ|^{1/3}⌉ classes.
-    let groups = (members.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
-    let salt = derive_seed(cluster_seed, 2);
-    let group_of = |v: VertexId| {
-        ((v as u64).wrapping_mul(0x9E3779B1).wrapping_add(salt) % groups as u64) as u32
-    };
-    let pair_index = |x: u32, y: u32| {
-        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-        lo as usize * groups + hi as usize
-    };
-
-    // Bucket the cluster-incident edges by group pair; the cluster-side
-    // endpoint (lower one for intra edges) holds the slice, recorded by
-    // its local id (`part.iter()` is sorted, so the enumeration index IS
-    // the local id — no per-edge inverse lookup). The bucket table is an
-    // arena reused across jobs and levels.
-    scratch.holders.iter_mut().for_each(Vec::clear);
-    scratch.holders.resize_with(groups * groups, Vec::new);
-    let pair_holders = &mut scratch.holders;
-    for (lu, &u) in members.iter().enumerate() {
-        for &w in current.neighbors(u) {
-            if w > u || !part.contains(w) {
-                pair_holders[pair_index(group_of(u), group_of(w))].push(lu as VertexId);
-            }
-        }
-    }
-
-    // Degree-proportional triple ownership (the DLP counting argument):
-    // vertex v owns ⌈deg(v)·T/Vol⌉ consecutive triples.
-    let total_deg: usize = members
-        .iter()
-        .map(|&v| current.degree(v))
-        .sum::<usize>()
-        .max(1);
-    let triple_total = groups * (groups + 1) * (groups + 2) / 6; // C(g+2, 3)
-    let share = |v: VertexId| {
-        (current.degree(v) * triple_total)
-            .div_ceil(total_deg)
-            .max(1)
-    };
-    // Triple ownership advances monotonically through the member list, so
-    // per-(holder, owner) word counts accumulate in a dense per-owner
-    // counter array flushed on owner change — a hash map keyed by the
-    // (holder, owner) pair was the routing phase's scale bottleneck.
-    let mut counts: Vec<usize> = vec![0; members.len()];
-    let mut touched: Vec<VertexId> = Vec::new();
-    let mut batches: Vec<EdgeBatch> = Vec::new();
-    let flush = |owner: VertexId,
-                 counts: &mut Vec<usize>,
-                 touched: &mut Vec<VertexId>,
-                 batches: &mut Vec<EdgeBatch>| {
-        for &h in touched.iter() {
-            batches.push(EdgeBatch {
-                src: h,
-                dst: owner,
-                words: counts[h as usize],
-            });
-            counts[h as usize] = 0;
-        }
-        touched.clear();
-    };
-    let mut acc = 0usize;
-    let mut member_idx = 0usize;
-    let mut member_budget = share(members[0]);
-    for a in 0..groups as u32 {
-        for b in a..groups as u32 {
-            for c in b..groups as u32 {
-                // A degenerate triple (repeated groups) references the
-                // same pair bucket more than once — deliver it once.
-                let mut pairs = [pair_index(a, b), pair_index(b, c), pair_index(a, c)];
-                pairs.sort_unstable();
-                for (i, &pair) in pairs.iter().enumerate() {
-                    if i > 0 && pairs[i - 1] == pair {
-                        continue;
-                    }
-                    for &holder_local in &pair_holders[pair] {
-                        if counts[holder_local as usize] == 0 {
-                            touched.push(holder_local);
-                        }
-                        counts[holder_local as usize] += 1;
-                    }
-                }
-                acc += 1;
-                if acc >= member_budget && member_idx + 1 < members.len() {
-                    flush(
-                        member_idx as VertexId,
-                        &mut counts,
-                        &mut touched,
-                        &mut batches,
-                    );
-                    acc = 0;
-                    member_idx += 1;
-                    member_budget = share(members[member_idx]);
-                }
-            }
-        }
-    }
-    flush(
-        member_idx as VertexId,
-        &mut counts,
-        &mut touched,
-        &mut batches,
+    // The cluster-side endpoint (lower one for intra edges) holds each
+    // incident edge slice, recorded by its local id (`part.iter()` is
+    // sorted, so the member-list index IS the local id).
+    let instance = dlp::DlpInstance::new(current, part, members, derive_seed(cluster_seed, 2));
+    let loads = instance.aggregate_loads(
+        dlp::PairWeighting::DedupPairs,
+        &mut scratch.pair_raw,
+        &mut scratch.holder_inc,
     );
-    batches.sort_unstable_by_key(|b| (b.src, b.dst)); // determinism
     let outcome = hierarchy
-        .route_edges(sub.graph(), &batches)
-        .expect("batch endpoints are cluster-local");
-    (
-        hierarchy.preprocessing_rounds(),
-        outcome.queries,
-        outcome.words,
-        outcome.rounds,
-    )
+        .route_edge_loads(sub.graph(), &loads.holders, &loads.owners)
+        .expect("load endpoints are cluster-local");
+    RouteCharges {
+        build_rounds: hierarchy.preprocessing_rounds(),
+        queries: outcome.queries,
+        words: outcome.words,
+        rounds: outcome.rounds,
+        ops: loads.ops,
+        ops_budget: loads.ops_budget,
+    }
 }
 
 /// The intra-cluster exchange program, **bandwidth-packed** (DESIGN.md

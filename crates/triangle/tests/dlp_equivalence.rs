@@ -1,0 +1,196 @@
+//! Equivalence suite for the closed-form DLP accounting (DESIGN.md §11).
+//!
+//! The production paths ([`triangle::pipeline`]'s cluster routing and
+//! [`triangle::congest_algo`]'s analytic charge) compute the DLP
+//! redistribution in closed form via [`triangle::dlp::DlpInstance`].
+//! This suite pins that closed form **bit-for-bit** to the retained
+//! enumerating references (the seed implementations that walked all
+//! `C(g+2, 3)` group triples):
+//!
+//! * the materialized [`EdgeBatch`] list (pipeline semantics, pair-dedup
+//!   per triple) — identical batches, identical canonical order;
+//! * the aggregate per-holder / per-owner word loads — identical to the
+//!   batch list's row and column sums;
+//! * the per-owner receive loads under triple multiplicity
+//!   (`congest_algo` semantics) — identical to the enumerating loop;
+//! * the operation counts — the closed form stays within its
+//!   `O(g² + Σ|bucket| + |Vᵢ|)` budget and strictly undercuts the
+//!   enumeration it replaced (the ledger regression guard).
+
+use graph::{gen, Graph, VertexId, VertexSet};
+use proptest::prelude::*;
+use routing::EdgeBatch;
+use std::collections::BTreeMap;
+use triangle::dlp::{DlpInstance, PairWeighting};
+
+/// Full cross-check of one cluster: closed form vs both enumerating
+/// references, plus internal consistency of the aggregate loads.
+fn check_cluster(g: &Graph, part: &VertexSet, salt: u64) {
+    let members: Vec<VertexId> = part.iter().collect();
+    if members.is_empty() {
+        return;
+    }
+    let instance = DlpInstance::new(g, part, &members, salt);
+
+    // 1. Batch list: closed form == enumerating reference, bit for bit.
+    let closed: Vec<EdgeBatch> = instance.closed_form_batches();
+    let (enumerated, enum_ops) = instance.enumerated_batches();
+    assert_eq!(closed, enumerated, "batch lists diverge (salt {salt})");
+
+    // 2. Aggregate loads == the batch list's row/column sums.
+    let (mut pair_raw, mut holder_inc) = (Vec::new(), Vec::new());
+    let agg = instance.aggregate_loads(PairWeighting::DedupPairs, &mut pair_raw, &mut holder_inc);
+    let mut by_holder: BTreeMap<VertexId, u64> = BTreeMap::new();
+    let mut by_owner: BTreeMap<VertexId, u64> = BTreeMap::new();
+    for b in &closed {
+        *by_holder.entry(b.src).or_insert(0) += b.words as u64;
+        *by_owner.entry(b.dst).or_insert(0) += b.words as u64;
+    }
+    assert_eq!(agg.holders, by_holder.into_iter().collect::<Vec<_>>());
+    assert_eq!(agg.owners, by_owner.into_iter().collect::<Vec<_>>());
+
+    // 3. The complexity contract: the closed form stays within its own
+    // budget. (On toy clusters its constant overhead can exceed the tiny
+    // enumeration — the strict undercut is asserted at scale below.)
+    assert!(
+        agg.ops <= agg.ops_budget,
+        "{} > {}",
+        agg.ops,
+        agg.ops_budget
+    );
+    let _ = enum_ops;
+
+    // 4. The congest_algo mirror: triple-multiplicity owner loads.
+    let mult = instance.aggregate_loads(
+        PairWeighting::TripleMultiplicity,
+        &mut pair_raw,
+        &mut holder_inc,
+    );
+    assert_eq!(mult.owners, instance.enumerated_owner_loads());
+}
+
+/// A deterministic pseudo-random subset of `{0, …, n-1}` (never empty).
+fn subset_from_seed(n: usize, seed: u64) -> VertexSet {
+    let members: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| {
+            (v as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                .rotate_left(17)
+                % 3
+                != 0
+        })
+        .collect();
+    if members.is_empty() {
+        VertexSet::full(n)
+    } else {
+        VertexSet::from_iter(n, members)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnp_clusters_match(
+        n in 6usize..48,
+        p_mil in 30u32..350,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::gnp(n, p_mil as f64 / 1000.0, seed % 1024).unwrap();
+        let part = subset_from_seed(n, seed);
+        check_cluster(&g, &part, seed ^ 0xD1CE);
+    }
+
+    #[test]
+    fn planted_blocks_match(
+        blocks in 2usize..5,
+        size in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let planted =
+            gen::planted_partition(&vec![size; blocks], 0.6, 0.05, seed % 4096).unwrap();
+        for block in &planted.blocks {
+            check_cluster(&planted.graph, block, seed ^ 0xB10C);
+        }
+    }
+
+    #[test]
+    fn ring_of_expander_blocks_match(
+        count in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // The pairing-model generator can fail to produce a simple
+        // regular graph for unlucky seeds — step to the next seed.
+        let (g, blocks) = (0..16u64)
+            .find_map(|d| gen::ring_of_expanders(count, 8, 3, seed % 4096 + d).ok())
+            .expect("a simple 3-regular block within 16 seeds");
+        for block in &blocks {
+            check_cluster(&g, block, seed ^ 0x41A6);
+        }
+    }
+}
+
+#[test]
+fn degenerate_clusters_match() {
+    // Singleton clusters: the star's center (all edges outgoing from the
+    // cluster's view) and a leaf (one outgoing edge).
+    let star = gen::star(9).unwrap();
+    check_cluster(&star, &VertexSet::from_iter(9, [0]), 7);
+    check_cluster(&star, &VertexSet::from_iter(9, [3]), 7);
+
+    // Two-vertex cluster holding one intra edge plus out-edges.
+    let path = gen::path(6).unwrap();
+    check_cluster(&path, &VertexSet::from_iter(6, [2, 3]), 11);
+
+    // A cluster with no incident edges at all (isolated vertices).
+    let sparse = Graph::from_edges(6, [(0u32, 1u32)]).unwrap();
+    check_cluster(&sparse, &VertexSet::from_iter(6, [3, 4, 5]), 13);
+
+    // The whole graph as one cluster, including a complete graph (every
+    // group pair non-empty) and a triangle-free ring.
+    let complete = gen::complete(11).unwrap();
+    check_cluster(&complete, &VertexSet::full(11), 17);
+    let cycle = gen::cycle(12).unwrap();
+    check_cluster(&cycle, &VertexSet::full(12), 19);
+}
+
+/// The whole point of the closed form: on a cluster big enough for the
+/// triple enumeration to hurt, the closed form does a small fraction of
+/// its work (and stays within the `O(g² + Σ|bucket| + |Vᵢ|)` budget the
+/// ledger guard enforces in production).
+#[test]
+fn closed_form_undercuts_enumeration_at_scale() {
+    let g = gen::gnp(3000, 0.02, 7).unwrap();
+    let part = VertexSet::full(3000);
+    let members: Vec<VertexId> = part.iter().collect();
+    let instance = DlpInstance::new(&g, &part, &members, 23);
+
+    let (mut pair_raw, mut holder_inc) = (Vec::new(), Vec::new());
+    let agg = instance.aggregate_loads(PairWeighting::DedupPairs, &mut pair_raw, &mut holder_inc);
+    let (_, enum_ops) = instance.enumerated_batches();
+
+    assert!(agg.ops <= agg.ops_budget);
+    assert!(
+        agg.ops * 3 <= enum_ops,
+        "closed form ({}) should be far below enumeration ({})",
+        agg.ops,
+        enum_ops
+    );
+}
+
+/// End-to-end ledger guard: a pipeline run records the closed-form op
+/// count and its budget, and the count stays under the budget — a
+/// regression back to triple enumeration trips this immediately.
+#[test]
+fn pipeline_ledger_guard_holds() {
+    let g = gen::gnp(600, 0.05, 3).unwrap();
+    let report = triangle::pipeline::enumerate_via_decomposition(
+        &g,
+        &triangle::pipeline::PipelineParams::default(),
+    );
+    let ops = report.phases.ops("dlp_accounting");
+    let budget = report.phases.ops("dlp_accounting_budget");
+    assert!(ops > 0, "pipeline must record its accounting work");
+    assert!(ops <= budget, "accounting ops {ops} exceed budget {budget}");
+}
