@@ -1,0 +1,40 @@
+//! Criterion bench for the serve tier: artifact build cost and batched
+//! point-query throughput at 1 and 4 workers, on a small power-law
+//! instance. Joined to the CI bench-regression gate
+//! (`BENCH_baseline.json`) so a serve-path slowdown fails loudly.
+
+use bench_suite::{scale_power_law, serve_query_stream};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::SchedulerPolicy;
+use triangle::pipeline::PipelineParams;
+use triangle::service::QueryEngine;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let g = scale_power_law(20_000, 42);
+    let params = PipelineParams::default();
+    group.bench_with_input(BenchmarkId::new("build", "20k"), &g, |b, g| {
+        b.iter(|| QueryEngine::build(g, &params))
+    });
+    // Query throughput against a pre-built engine: build once outside the
+    // measured loop — the whole point of the serve split.
+    let engine = QueryEngine::build(&g, &params);
+    let stream = serve_query_stream(&g, 1_000, 7);
+    for workers in [1usize, 4] {
+        let policy = if workers == 1 {
+            SchedulerPolicy::sequential()
+        } else {
+            SchedulerPolicy::with_workers(workers)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("stream_1k", format!("t{workers}")),
+            &policy,
+            |b, policy| b.iter(|| engine.serve(&stream, policy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

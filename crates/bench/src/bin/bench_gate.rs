@@ -2,9 +2,12 @@
 //!
 //! Three subcommands:
 //!
-//! * `bench_gate collect <raw.jsonl> -o <out.json>` — fold the JSON lines
-//!   the criterion shim appended (`CRITERION_BENCH_JSON`) into one flat
-//!   `{bench: median_seconds}` object (`BENCH_pr.json`).
+//! * `bench_gate collect <raw.jsonl> -o <out.json> [--fold last|max]` —
+//!   fold the JSON lines the criterion shim appended
+//!   (`CRITERION_BENCH_JSON`) into one flat `{bench: median_seconds}`
+//!   object (`BENCH_pr.json`). `--fold max` takes the per-bench maximum
+//!   over duplicate names — the baseline-regeneration fold (append all
+//!   quick runs to one raw file first; see OPERATIONS.md).
 //! * `bench_gate compare <baseline.json> <current.json> [--threshold 0.30]
 //!   [--noise-floor 0.005]` — exit 1 if any baseline bench is missing or
 //!   regressed by more than the threshold; every offender is listed, not
@@ -29,7 +32,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_gate: {e}");
             eprintln!(
-                "usage: bench_gate collect <raw.jsonl> -o <out.json>\n       \
+                "usage: bench_gate collect <raw.jsonl> -o <out.json> [--fold last|max]\n       \
                  bench_gate compare <baseline.json> <current.json> [--threshold 0.30] \
                  [--noise-floor 0.005]\n       \
                  bench_gate summary <baseline.json> <current.json> [--threshold 0.30] \
@@ -43,15 +46,25 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("collect") => {
-            let [input, flag, output] = &args[1..] else {
-                return Err("collect needs: <raw.jsonl> -o <out.json>".to_string());
+            let (input, output, fold) = match &args[1..] {
+                [input, flag, output] if flag == "-o" => (input, output, gate::Fold::Last),
+                [input, flag, output, fold_flag, fold] if flag == "-o" && fold_flag == "--fold" => {
+                    let fold = match fold.as_str() {
+                        "last" => gate::Fold::Last,
+                        "max" => gate::Fold::Max,
+                        other => return Err(format!("bad --fold {other:?} (last|max)")),
+                    };
+                    (input, output, fold)
+                }
+                _ => {
+                    return Err(
+                        "collect needs: <raw.jsonl> -o <out.json> [--fold last|max]".to_string()
+                    )
+                }
             };
-            if flag != "-o" {
-                return Err(format!("expected -o, found {flag:?}"));
-            }
             let text =
                 std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
-            let map = gate::collect_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
+            let map = gate::collect_jsonl_with(&text, fold).map_err(|e| format!("{input}: {e}"))?;
             if map.is_empty() {
                 return Err(format!("{input} holds no benchmark records"));
             }
@@ -89,7 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 eprintln!(
                     "bench gate: {} baseline bench(es) missing from {}: {} — if a bench \
                      was renamed or removed on purpose, regenerate BENCH_baseline.json \
-                     (per-bench max of 3 quick runs; see DESIGN.md §6)",
+                     (per-bench max of 3 quick runs; see OPERATIONS.md)",
                     missing.len(),
                     opts.current,
                     missing.join(", ")

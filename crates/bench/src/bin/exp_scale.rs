@@ -220,6 +220,7 @@ fn main() -> ExitCode {
             "mode",
             "threads",
             "wall_s",
+            "build_s",
             "dlp_s",
             "exch_s",
             "join_s",
@@ -261,6 +262,10 @@ fn main() -> ExitCode {
         // cap, planted clusters otherwise, the centralized counter as the
         // loud last resort (never a silent skip).
         let planted = if args.measured { &None } else { &w.planted };
+        // Build-phase wall of this workload's structure: the assignment
+        // intake for planted families (measured once, shared by every
+        // combo), the per-run decompose phase for measured families.
+        let mut assign_wall = std::time::Duration::ZERO;
         let assignment = match (planted, w.graph.m() <= args.decompose_cap || args.measured) {
             (Some(parts), _) => {
                 let start = Instant::now();
@@ -270,11 +275,11 @@ fn main() -> ExitCode {
                     w.planted_phi,
                     &SchedulerPolicy::parallel(),
                 );
-                let wall = start.elapsed();
+                assign_wall = start.elapsed();
                 emit_json(
                     &args.json,
                     &format!("scale/{label}/{}/assign", w.name),
-                    wall.as_secs_f64(),
+                    assign_wall.as_secs_f64(),
                 );
                 Some(asg)
             }
@@ -298,6 +303,7 @@ fn main() -> ExitCode {
                     "central".to_string(),
                     "1".to_string(),
                     format!("{:.3}", wall.as_secs_f64()),
+                    "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
@@ -356,6 +362,12 @@ fn main() -> ExitCode {
                 let wall_dlp = report.phases.wall("clusters.dlp");
                 let wall_exch = report.phases.wall("clusters.exchange");
                 let wall_join = report.phases.wall("clusters.join");
+                // Build vs query wall split: structure construction
+                // (assignment intake or measured decomposition) against
+                // everything downstream of it — the serve tier's
+                // build-once wall, measured on the pipeline for direct
+                // comparison.
+                let wall_build = assign_wall + report.phases.wall("decompose");
                 eprintln!(
                     "  {}/{combo}: wall {:.2?} (decompose {:.2?}, clusters {:.2?} \
                      [dlp {:.2?}, exchange {:.2?}, join {:.2?}], merge {:.2?}), \
@@ -383,6 +395,7 @@ fn main() -> ExitCode {
                     },
                     t.to_string(),
                     format!("{:.3}", wall.as_secs_f64()),
+                    format!("{:.3}", wall_build.as_secs_f64()),
                     format!("{:.3}", wall_dlp.as_secs_f64()),
                     format!("{:.3}", wall_exch.as_secs_f64()),
                     format!("{:.3}", wall_join.as_secs_f64()),
@@ -406,6 +419,7 @@ fn main() -> ExitCode {
                 // Per-phase walls as their own bench entries, so the
                 // cluster split is attributable from the jsonl alone.
                 for (phase, dur) in [
+                    ("build_s", wall_build),
                     ("decompose", report.phases.wall("decompose")),
                     ("clusters.dlp", wall_dlp),
                     ("clusters.exchange", wall_exch),

@@ -251,13 +251,35 @@ pub fn history_lines(label: &str, map: &BenchMap) -> String {
     out
 }
 
+/// How [`collect_jsonl_with`] resolves duplicate bench names across the
+/// appended runs in one raw jsonl file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fold {
+    /// The last record wins — one run's snapshot (`BENCH_pr.json`).
+    Last,
+    /// The per-bench maximum wins — the conservative baseline fold
+    /// (append 3 quick runs to one file, collect with `--fold max`;
+    /// see OPERATIONS.md).
+    Max,
+}
+
 /// Folds criterion-shim JSON lines (`{"name": ..., "median_s": ...}`)
-/// into a [`BenchMap`]. The last record wins on duplicate names.
+/// into a [`BenchMap`]. The last record wins on duplicate names; use
+/// [`collect_jsonl_with`] to pick a different fold.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed line.
 pub fn collect_jsonl(text: &str) -> Result<BenchMap, String> {
+    collect_jsonl_with(text, Fold::Last)
+}
+
+/// [`collect_jsonl`] with an explicit duplicate-name [`Fold`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn collect_jsonl_with(text: &str, fold: Fold) -> Result<BenchMap, String> {
     let mut map = BenchMap::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -273,7 +295,12 @@ pub fn collect_jsonl(text: &str) -> Result<BenchMap, String> {
             Some(&m) => m,
             None => return Err(format!("line {}: record without \"median_s\"", idx + 1)),
         };
-        map.insert(name, median);
+        match (fold, map.get(&name)) {
+            (Fold::Max, Some(&prev)) if prev >= median => {}
+            _ => {
+                map.insert(name, median);
+            }
+        }
     }
     Ok(map)
 }
@@ -437,6 +464,20 @@ mod tests {
         let json = bench_map_to_json(&map);
         let back = parse_bench_map(&json).unwrap();
         assert_eq!(back, map);
+    }
+
+    #[test]
+    fn max_fold_keeps_the_slowest_duplicate() {
+        let lines = concat!(
+            "{\"name\": \"a\", \"median_s\": 3.0}\n",
+            "{\"name\": \"a\", \"median_s\": 1.0}\n",
+            "{\"name\": \"b\", \"median_s\": 2.0}\n",
+            "{\"name\": \"b\", \"median_s\": 5.0}\n",
+        );
+        let map = collect_jsonl_with(lines, Fold::Max).unwrap();
+        assert_eq!(map.len(), 2);
+        assert!((map["a"] - 3.0).abs() < 1e-12);
+        assert!((map["b"] - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod serve;
 pub mod tables;
 pub mod workloads;
 
+pub use serve::serve_query_stream;
 pub use tables::{fit_exponent, Table};
 pub use workloads::*;
 

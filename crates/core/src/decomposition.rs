@@ -125,6 +125,13 @@ pub struct DecompositionResult {
 /// each cluster carries the conductance promise `φ` plus cheap measured
 /// evidence (volume, internal edge count) that downstream load-balancing
 /// arguments rely on.
+///
+/// The assignment is also the repo's **shared build artifact**
+/// (DESIGN.md §12): the triangle-query service freezes one behind an
+/// `Arc` and reads it concurrently from many client threads for the
+/// lifetime of the server. Nothing here may ever grow interior
+/// mutability — the struct must stay plain owned data (`Send + Sync`,
+/// asserted below), and all methods take `&self`.
 #[derive(Debug, Clone)]
 pub struct ClusterAssignment {
     /// Number of vertices of the underlying graph.
@@ -158,6 +165,15 @@ pub struct ClusterCertificate {
     /// The promised conductance of `G{Vᵢ}` (`φ_k` of the schedule).
     pub phi_target: f64,
 }
+
+// The shared-artifact contract: a frozen assignment is read concurrently
+// for the lifetime of a query server. Compile-time, so a future field
+// with interior mutability fails the build, not the server.
+const _: fn() = || {
+    fn assert_shared<T: Send + Sync>() {}
+    assert_shared::<ClusterAssignment>();
+    assert_shared::<DecompositionResult>();
+};
 
 impl ClusterAssignment {
     /// Builds an assignment from an **explicit partition** — planted

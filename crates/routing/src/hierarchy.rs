@@ -56,6 +56,28 @@ pub struct BatchOutcome {
     pub words: u64,
 }
 
+/// Cost charged to one read-only point query by
+/// [`RoutingHierarchy::route_query`].
+///
+/// The fields mirror [`BatchOutcome`] but the struct is `Copy`, `Eq` and
+/// cheap to aggregate — a long-lived query service produces one per
+/// answered query and compares them bit-for-bit between concurrent and
+/// sequential replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCharge {
+    /// Words of adjacency data the query streamed to its destination.
+    pub words: u64,
+    /// Per-vertex-load-`O(deg(v))` routing queries the delivery decomposes
+    /// into (the `Õ(n^{1/3})`-budgeted quantity of the DLP argument).
+    pub queries: u64,
+    /// Total charged rounds: `queries ×` [`RoutingHierarchy::query_rounds`].
+    pub rounds: u64,
+    /// Maximum per-vertex word load observed at any level.
+    pub max_congestion: u64,
+    /// Whether every level had a portal to carry the delivery.
+    pub delivered: bool,
+}
+
 /// One level of the hierarchy: a partition of `V` into groups.
 #[derive(Debug, Clone)]
 struct Level {
@@ -382,6 +404,102 @@ impl RoutingHierarchy {
             words: total_words,
         })
     }
+
+    /// Charges one **read-only point query**: `words` words of adjacency
+    /// data converge on `dst`, and the charge is computed without
+    /// allocating any per-vertex state proportional to `n`.
+    ///
+    /// This is the query-time counterpart of [`Self::route_edge_loads`]
+    /// and uses the identical deterministic portal-share model — at every
+    /// level below the root, each portal of `dst`'s group is charged the
+    /// expected share `⌈words / |portals|⌉`, and `dst` itself is charged
+    /// `words` — so a batch of point queries replayed through
+    /// `route_edge_loads` and the sum of their individual `route_query`
+    /// congestion profiles agree vertex-by-vertex. The difference is purely
+    /// operational: `route_edge_loads` builds an `O(n)` load vector per
+    /// call (fine once per cluster at build time, ruinous per point query
+    /// at serve time), while this walks only the `O(k·log n)` touched
+    /// vertices.
+    ///
+    /// `degrees[v]` must give the degree of vertex `v` in the routed
+    /// (cluster-local) graph; callers that froze the graph into an
+    /// artifact pass their snapshot instead of a live [`Graph`], which is
+    /// what keeps this path free of any build-time state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use routing::RoutingHierarchy;
+    ///
+    /// let g = graph::gen::random_regular(64, 8, 1).unwrap();
+    /// let h = RoutingHierarchy::build(&g, 2, 7).unwrap();
+    /// let degrees: Vec<u32> = (0..64).map(|v| g.degree(v) as u32).collect();
+    /// let charge = h.route_query(&degrees, 3, 40).unwrap();
+    /// assert!(charge.delivered);
+    /// // Degree 8 at the destination: 40 words need ≥ ⌈40/8⌉ queries.
+    /// assert!(charge.queries >= 5);
+    /// assert_eq!(charge.rounds, h.query_rounds() * charge.queries);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::BadRequest`] if `dst` is outside the graph;
+    /// [`RoutingError::BadDegrees`] if the degree oracle does not cover
+    /// every vertex.
+    pub fn route_query(&self, degrees: &[u32], dst: VertexId, words: u64) -> Result<QueryCharge> {
+        if dst as usize >= self.n {
+            return Err(RoutingError::BadRequest { vertex: dst as u64 });
+        }
+        if degrees.len() != self.n {
+            return Err(RoutingError::BadDegrees {
+                expected: self.n,
+                got: degrees.len(),
+            });
+        }
+        // Touched vertices only: dst plus ≤ (log n + 1) portals per level.
+        let mut touched: Vec<(VertexId, u64)> = Vec::with_capacity(1 + self.k * 8);
+        let mut delivered = true;
+        if words > 0 {
+            for level in &self.levels[1..] {
+                let dst_group = level.group_of[dst as usize] as usize;
+                let portals = &level.portals[dst_group];
+                if portals.is_empty() {
+                    delivered = false;
+                    continue;
+                }
+                let share = words.div_ceil(portals.len() as u64);
+                for &p in portals {
+                    touched.push((p, share));
+                }
+            }
+        }
+        touched.push((dst, words));
+        // Fold duplicate vertices (dst may itself be a portal).
+        touched.sort_unstable_by_key(|&(v, _)| v);
+        let mut queries = 1u64;
+        let mut max_congestion = 0u64;
+        let mut i = 0;
+        while i < touched.len() {
+            let v = touched[i].0;
+            let mut load = 0u64;
+            while i < touched.len() && touched[i].0 == v {
+                load += touched[i].1;
+                i += 1;
+            }
+            max_congestion = max_congestion.max(load);
+            if load > 0 {
+                let deg = (degrees[v as usize] as u64).max(1);
+                queries = queries.max(load.div_ceil(deg));
+            }
+        }
+        Ok(QueryCharge {
+            words,
+            queries,
+            rounds: self.query_rounds() * queries,
+            max_congestion,
+            delivered,
+        })
+    }
 }
 
 fn make_level(g: &Graph, group_of: Vec<u32>, groups: usize, rng: &mut StdRng) -> Level {
@@ -666,6 +784,50 @@ mod tests {
         let heavier = vec![(3u32, 300u64), (9, 420)];
         let out2 = h.route_edge_loads(&g, &holders, &heavier).unwrap();
         assert!(out2.queries >= out.queries);
+    }
+
+    #[test]
+    fn point_query_matches_edge_loads_accounting() {
+        // A single point query and the equivalent one-owner batched
+        // instance must charge the same queries/congestion: route_query is
+        // route_edge_loads with the O(n) load vector elided.
+        let g = expander(128, 12);
+        let h = RoutingHierarchy::build(&g, 2, 31).unwrap();
+        let degrees: Vec<u32> = (0..g.n()).map(|v| g.degree(v as VertexId) as u32).collect();
+        for (dst, words) in [(0u32, 1u64), (7, 40), (63, 997), (127, 0)] {
+            let q = h.route_query(&degrees, dst, words).unwrap();
+            let b = h.route_edge_loads(&g, &[], &[(dst, words)]).unwrap();
+            assert_eq!(q.queries, b.queries, "dst {dst} words {words}");
+            assert_eq!(q.max_congestion, b.max_congestion as u64);
+            assert_eq!(q.rounds, b.rounds);
+            assert_eq!(q.words, words);
+            assert!(q.delivered);
+        }
+    }
+
+    #[test]
+    fn point_query_is_deterministic_and_validated() {
+        let g = expander(64, 13);
+        let h = RoutingHierarchy::build(&g, 3, 5).unwrap();
+        let degrees: Vec<u32> = (0..g.n()).map(|v| g.degree(v as VertexId) as u32).collect();
+        let a = h.route_query(&degrees, 9, 123).unwrap();
+        let b = h.route_query(&degrees, 9, 123).unwrap();
+        assert_eq!(a, b, "charge model must be RNG-free");
+        assert!(matches!(
+            h.route_query(&degrees, 64, 1),
+            Err(RoutingError::BadRequest { vertex: 64 })
+        ));
+        assert!(matches!(
+            h.route_query(&degrees[..10], 1, 1),
+            Err(RoutingError::BadDegrees {
+                expected: 64,
+                got: 10
+            })
+        ));
+        // Zero words: the trivial single-query floor, nothing congested.
+        let idle = h.route_query(&degrees, 0, 0).unwrap();
+        assert_eq!(idle.queries, 1);
+        assert_eq!(idle.max_congestion, 0);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 mod hierarchy;
 mod mixing;
 
-pub use hierarchy::{BatchOutcome, EdgeBatch, RouteOutcome, RoutingHierarchy, RoutingRequest};
+pub use hierarchy::{
+    BatchOutcome, EdgeBatch, QueryCharge, RouteOutcome, RoutingHierarchy, RoutingRequest,
+};
 pub use mixing::estimate_mixing_time;
 
 /// Errors from building or querying the routing structure.
@@ -49,6 +51,14 @@ pub enum RoutingError {
         /// The offending vertex id.
         vertex: u64,
     },
+    /// A degree oracle of the wrong length was supplied to a read-only
+    /// query (it must cover every vertex of the routed graph).
+    BadDegrees {
+        /// Number of vertices the hierarchy was built over.
+        expected: usize,
+        /// Length of the supplied degree slice.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for RoutingError {
@@ -58,6 +68,12 @@ impl std::fmt::Display for RoutingError {
             RoutingError::BadDepth { k } => write!(f, "hierarchy depth k = {k} must be >= 1"),
             RoutingError::BadRequest { vertex } => {
                 write!(f, "request references unknown vertex {vertex}")
+            }
+            RoutingError::BadDegrees { expected, got } => {
+                write!(
+                    f,
+                    "degree oracle covers {got} vertices, hierarchy has {expected}"
+                )
             }
         }
     }

@@ -29,6 +29,20 @@ impl Triangle {
             c: v[2],
         }
     }
+
+    /// Whether the triangle contains vertex `v` — the filter point
+    /// queries ([`crate::service::Query`]) are audited against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = triangle::Triangle::new(5, 2, 9);
+    /// assert!(t.contains(9));
+    /// assert!(!t.contains(3));
+    /// ```
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.a == v || self.b == v || self.c == v
+    }
 }
 
 impl std::fmt::Display for Triangle {

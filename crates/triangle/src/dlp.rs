@@ -103,6 +103,20 @@ impl<'a> DlpInstance<'a> {
     /// `part` the cluster's vertex set and `members` its sorted vertex
     /// list (`part.iter().collect()`), `salt` the level's group-hash
     /// salt. `members` must be non-empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use graph::VertexSet;
+    /// use triangle::dlp::DlpInstance;
+    ///
+    /// let g = graph::gen::gnp(30, 0.3, 7).unwrap();
+    /// let part = VertexSet::from_iter(g.n(), 0..30u32);
+    /// let members: Vec<u32> = part.iter().collect();
+    /// let inst = DlpInstance::new(&g, &part, &members, 42);
+    /// assert_eq!(inst.groups(), 4); // ⌈30^{1/3}⌉
+    /// assert_eq!(inst.triple_total(), 20); // C(4+2, 3)
+    /// ```
     pub fn new(graph: &'a Graph, part: &'a VertexSet, members: &'a [VertexId], salt: u64) -> Self {
         assert!(!members.is_empty(), "DLP instance over an empty cluster");
         let groups = (members.len() as f64).powf(1.0 / 3.0).ceil().max(1.0) as usize;
@@ -266,6 +280,28 @@ impl<'a> DlpInstance<'a> {
     ///
     /// `pair_raw` and `holder_inc` are caller scratch (cleared and
     /// resized here) so per-cluster jobs reuse their allocations.
+    ///
+    /// # Examples
+    ///
+    /// Every routed word has exactly one holder and one owner, and the
+    /// closed form stays inside its own operation budget:
+    ///
+    /// ```
+    /// use graph::VertexSet;
+    /// use triangle::dlp::{DlpInstance, PairWeighting};
+    ///
+    /// let g = graph::gen::gnp(30, 0.3, 7).unwrap();
+    /// let part = VertexSet::from_iter(g.n(), 0..30u32);
+    /// let members: Vec<u32> = part.iter().collect();
+    /// let inst = DlpInstance::new(&g, &part, &members, 42);
+    /// let (mut pair_raw, mut holder_inc) = (Vec::new(), Vec::new());
+    /// let loads = inst.aggregate_loads(
+    ///     PairWeighting::DedupPairs, &mut pair_raw, &mut holder_inc);
+    /// let sent: u64 = loads.holders.iter().map(|&(_, w)| w).sum();
+    /// let recv: u64 = loads.owners.iter().map(|&(_, w)| w).sum();
+    /// assert_eq!(sent, recv);
+    /// assert!(loads.ops <= loads.ops_budget);
+    /// ```
     pub fn aggregate_loads(
         &self,
         weighting: PairWeighting,

@@ -19,6 +19,9 @@
 //!   executed on the parallel CONGEST round engine → recursion on `E*`,
 //!   with per-phase round/message budgets reported against the paper's
 //!   bounds.
+//! * [`service`] — the build-once/query-many split: the pipeline's build
+//!   phase frozen into an immutable [`service::QueryEngine`] that serves
+//!   concurrent triangle point queries with per-query routing charges.
 //!
 //! Every algorithm returns a *sorted, deduplicated* triangle list so
 //! completeness is a one-line assertion against ground truth.
@@ -31,6 +34,7 @@ pub mod congest_algo;
 pub mod count;
 pub mod dlp;
 pub mod pipeline;
+pub mod service;
 
 pub use clique_algo::{clique_enumerate, CliqueEnumeration};
 pub use congest_algo::{congest_enumerate, CongestEnumeration, TriangleConfig};
@@ -38,3 +42,4 @@ pub use count::{count_triangles, enumerate_triangles, Triangle};
 pub use pipeline::{
     enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, TriangleReport,
 };
+pub use service::{Answer, Emit, Query, QueryEngine, QueryOutcome, ServeReport, ServiceError};

@@ -47,6 +47,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`enumerate_via_decomposition`].
+///
+/// # Examples
+///
+/// Defaults are the paper-calibrated practical settings; override only
+/// what the experiment varies:
+///
+/// ```
+/// use triangle::pipeline::PipelineParams;
+///
+/// let params = PipelineParams { seed: 42, max_depth: 4, ..Default::default() };
+/// assert_eq!(params.epsilon, 1.0 / 6.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct PipelineParams {
     /// Decomposition edge budget per level (clamped to the paper's
@@ -106,6 +118,22 @@ impl Default for PipelineParams {
 
 /// How the intra-cluster adjacency exchange uses its per-round
 /// bandwidth budget.
+///
+/// # Examples
+///
+/// Packing changes rounds and messages, never the answer:
+///
+/// ```
+/// use triangle::pipeline::{enumerate_via_decomposition, Packing, PipelineParams};
+///
+/// let g = graph::gen::gnp(24, 0.4, 3).unwrap();
+/// let packed = enumerate_via_decomposition(&g, &PipelineParams::default());
+/// let unpacked = enumerate_via_decomposition(
+///     &g,
+///     &PipelineParams { packing: Packing::Unpacked, ..Default::default() },
+/// );
+/// assert_eq!(packed.triangles, unpacked.triangles);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Packing {
     /// Delta-varint runs packed greedily into the `O(log n)`-bit word
@@ -260,8 +288,21 @@ impl TriangleReport {
     }
 
     /// The paper's per-cluster query budget `n^{1/3}·log² n` (the polylog
-    /// is the practical stand-in for the Õ(·) factors; EXPERIMENTS
-    /// compare measured queries against this curve).
+    /// is the practical stand-in for the Õ(·) factors; the `exp_*`
+    /// experiments compare measured queries against this curve).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use triangle::pipeline::{enumerate_via_decomposition, PipelineParams};
+    ///
+    /// let g = graph::gen::gnp(64, 0.3, 7).unwrap();
+    /// let report = enumerate_via_decomposition(&g, &PipelineParams::default());
+    /// // 64^{1/3}·log²64 = 4·36
+    /// assert!((report.paper_query_budget() - 144.0).abs() < 1e-9);
+    /// // The word form scales the curve by the average degree (≥ 1).
+    /// assert!(report.paper_word_budget() >= report.paper_query_budget());
+    /// ```
     pub fn paper_query_budget(&self) -> f64 {
         let n = self.n.max(2) as f64;
         n.powf(1.0 / 3.0) * n.log2() * n.log2()
@@ -364,6 +405,22 @@ pub fn enumerate_via_decomposition(g: &Graph, params: &PipelineParams) -> Triang
 /// dominates at that size. Output remains exactly the triangle set of `g`
 /// for **any** covering partition; the assignment's quality only shifts
 /// work between the cluster phase and the residual.
+///
+/// # Examples
+///
+/// Planted blocks stand in for a cached decomposition; completeness
+/// holds for any covering partition:
+///
+/// ```
+/// use expander::{ClusterAssignment, SchedulerPolicy};
+/// use triangle::pipeline::{enumerate_with_assignment, PipelineParams};
+///
+/// let pp = graph::gen::planted_partition(&[12, 12], 0.6, 0.1, 5).unwrap();
+/// let assignment = ClusterAssignment::from_parts(
+///     &pp.graph, &pp.blocks, 0.1, &SchedulerPolicy::sequential());
+/// let report = enumerate_with_assignment(&pp.graph, &assignment, &PipelineParams::default());
+/// assert_eq!(report.count(), triangle::count_triangles(&pp.graph));
+/// ```
 ///
 /// # Panics
 ///
@@ -624,6 +681,32 @@ struct ClusterScratch {
     holder_inc: Vec<u64>,
 }
 
+/// Snapshots the full-graph adjacency of every member: one sorted,
+/// deduplicated neighbor row per member, in member order. This is the
+/// "local knowledge" CONGEST grants each vertex, and the **only** graph
+/// state the build phase hands to query-time consumers — both
+/// [`run_cluster`]'s adjacency exchange and the frozen per-cluster
+/// artifacts of [`crate::service::QueryEngine`] are built from these rows,
+/// which is what makes their answers bit-identical. Buffers are reused
+/// from (and should be returned to) `spare`, the [`ScratchPool`] arena
+/// convention.
+pub(crate) fn snapshot_member_adjacency(
+    g: &Graph,
+    members: &[VertexId],
+    spare: &mut Vec<Vec<VertexId>>,
+) -> Vec<Vec<VertexId>> {
+    members
+        .iter()
+        .map(|&v| {
+            let mut a = spare.pop().unwrap_or_default();
+            a.clear();
+            a.extend_from_slice(g.neighbors(v));
+            a.dedup(); // neighbors() is sorted; drop parallel edges
+            a
+        })
+        .collect()
+}
+
 /// Runs one cluster: routing redistribution accounting + the engine-driven
 /// adjacency exchange + the local joins. Pure per
 /// `(inputs, cluster_seed)` — the scheduler's determinism contract.
@@ -644,18 +727,11 @@ fn run_cluster(
     // Full-graph (current level) adjacency of every member, sorted and
     // deduplicated — the per-vertex local knowledge CONGEST grants. The
     // buffers come from (and return to) the scratch arena.
-    let full_adj: Arc<Vec<Vec<VertexId>>> = Arc::new(
-        members
-            .iter()
-            .map(|&v| {
-                let mut a = scratch.adj.pop().unwrap_or_default();
-                a.clear();
-                a.extend_from_slice(current.neighbors(v));
-                a.dedup(); // neighbors() is sorted; drop parallel edges
-                a
-            })
-            .collect(),
-    );
+    let full_adj: Arc<Vec<Vec<VertexId>>> = Arc::new(snapshot_member_adjacency(
+        current,
+        &members,
+        &mut scratch.adj,
+    ));
 
     let dbg_scale = std::env::var_os("PIPELINE_PHASE_DEBUG").is_some() && local_n > 10_000;
     let t_route = Instant::now();

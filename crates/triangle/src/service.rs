@@ -1,0 +1,1012 @@
+//! The triangle-query **service**: decompose once, serve point queries
+//! forever.
+//!
+//! Every other entry point in this crate rebuilds the full Theorem 2
+//! pipeline per call. That is the right shape for a one-shot enumeration
+//! benchmark and the wrong shape for traffic: the expander decomposition
+//! and the per-cluster GKS hierarchies depend only on the graph, not on
+//! the query, and the paper's §3 preprocessing/query trade-off exists
+//! precisely so that the expensive structure is built *once* and then
+//! amortized over `Õ(n^{1/3})` cheap queries. [`QueryEngine`] freezes the
+//! build phase of [`crate::enumerate_via_decomposition`] into an immutable
+//! artifact:
+//!
+//! * the [`expander::ClusterAssignment`] of the **level-0** decomposition
+//!   (cluster id per vertex, certificates, the inter-cluster edge list),
+//! * one [`RoutingHierarchy`] per routable cluster, built on the cluster's
+//!   kept-edge induced subgraph exactly as the pipeline builds it,
+//! * per-cluster **adjacency snapshots** — the same sorted, deduplicated
+//!   full-graph neighbor rows the pipeline's adjacency exchange streams
+//!   ([`crate::pipeline`]'s `snapshot_member_adjacency`), which is what
+//!   makes service answers agree with pipeline enumeration.
+//!
+//! Queries ([`Query`]) are answered from the snapshots alone; the frozen
+//! hierarchies are consulted **read-only** through
+//! [`RoutingHierarchy::route_query`] to charge each answer's word/round
+//! cost ([`QueryCharge`]) against the paper budget. The engine is
+//! `Send + Sync` by construction (asserted below), shares via `Arc`, and
+//! [`QueryEngine::serve`] fans a query batch out on the deterministic
+//! scheduler — answers are **bit-identical** across worker counts because
+//! each query is a pure function of the artifact.
+//!
+//! Why level-0 only: recursion levels exist to *list* triangles whose
+//! edges were cut; a point query instead re-derives its answer from the
+//! owner's full-graph neighbor rows, so cut edges lose nothing — they only
+//! move the charge from cluster routing to the (zero-charged) residual,
+//! exactly like the pipeline's own remainder phase. DESIGN.md §12 spells
+//! out the contract.
+
+use crate::count::Triangle;
+use crate::pipeline::{snapshot_member_adjacency, PipelineParams};
+use expander::scheduler::{derive_seed, run_jobs, JobStats, SchedulerPolicy, ScratchPool};
+use expander::{ClusterAssignment, ExpanderDecomposition};
+use graph::view::Subgraph;
+use graph::{Graph, VertexId, VertexSet, WorkingGraph};
+use routing::{QueryCharge, RoutingHierarchy};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Whether a query returns full witnesses or only their number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emit {
+    /// Return only the triangle count (cheapest wire format).
+    Count,
+    /// Return the sorted, deduplicated witness triangles.
+    Enumerate,
+}
+
+/// One point query against a built [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// All triangles containing vertex `v`.
+    Vertex {
+        /// The vertex the triangles must contain.
+        v: VertexId,
+        /// Count or enumerate.
+        emit: Emit,
+    },
+    /// All triangles containing the edge `{u, v}` (empty if `{u, v}` is
+    /// not an edge — a triangle through both endpoints necessarily
+    /// contains the edge).
+    Edge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// Count or enumerate.
+        emit: Emit,
+    },
+    /// The `k` edges incident to `v` with the most triangle support
+    /// (descending support, ties by ascending endpoint ids).
+    TopKBySupport {
+        /// The anchor vertex.
+        v: VertexId,
+        /// How many edges to return.
+        k: usize,
+    },
+}
+
+/// An edge with its triangle support, as returned by
+/// [`Query::TopKBySupport`]. Canonical form: `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSupport {
+    /// Lower endpoint.
+    pub u: VertexId,
+    /// Higher endpoint.
+    pub v: VertexId,
+    /// Number of triangles containing the edge.
+    pub support: u64,
+}
+
+/// The payload of one answered [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Triangle count ([`Emit::Count`]).
+    Count(u64),
+    /// Sorted, deduplicated witness triangles ([`Emit::Enumerate`]).
+    Triangles(Vec<Triangle>),
+    /// Top-k incident edges by support ([`Query::TopKBySupport`]).
+    TopEdges(Vec<EdgeSupport>),
+}
+
+/// One answered query: the payload plus its routing charge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// What the query asked for.
+    pub answer: Answer,
+    /// Word/query/round cost charged through the owner's frozen
+    /// cluster hierarchy (all-zero for clusters too degenerate to route).
+    pub charge: QueryCharge,
+}
+
+/// Errors a point query can produce. Malformed queries are per-query
+/// errors, never panics — a server cannot crash on client input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query referenced a vertex outside the graph.
+    UnknownVertex {
+        /// The offending vertex id.
+        v: VertexId,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownVertex { v } => write!(f, "query references unknown vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What one build of the artifact cost and produced.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Vertices of the served graph.
+    pub n: usize,
+    /// Edges of the served graph.
+    pub m: usize,
+    /// Clusters in the frozen assignment.
+    pub clusters: usize,
+    /// Clusters that carry a routing hierarchy (non-degenerate).
+    pub routed_clusters: usize,
+    /// Conductance promise of the frozen decomposition.
+    pub phi: f64,
+    /// CONGEST rounds charged to the decomposition (0 when the
+    /// assignment was supplied by the caller).
+    pub decomposition_rounds: u64,
+    /// Heaviest per-cluster hierarchy preprocessing charge (clusters
+    /// build in parallel, so the max is the critical path).
+    pub hierarchy_build_rounds: u64,
+    /// Total words frozen into the adjacency snapshots.
+    pub snapshot_words: u64,
+    /// Wall clock of the decomposition (or assignment intake).
+    pub wall_decompose: Duration,
+    /// Wall clock of freezing snapshots + hierarchies.
+    pub wall_freeze: Duration,
+}
+
+impl BuildReport {
+    /// Total build wall: decompose + freeze. The `build_s` the serve tier
+    /// reports next to the pipeline tier's decompose wall.
+    pub fn wall_total(&self) -> Duration {
+        self.wall_decompose + self.wall_freeze
+    }
+}
+
+/// Per-cluster frozen state: the adjacency snapshot rows (indexed by the
+/// cluster-local id), the induced-subgraph degree snapshot the read-only
+/// routing charge consults, and the cluster's hierarchy (absent for
+/// clusters with no internal edge or fewer than two vertices — the same
+/// degeneracy convention as the pipeline's `route_cluster_slices`, which
+/// charges such clusters zero).
+#[derive(Debug)]
+struct ClusterArtifact {
+    adj: Vec<Vec<VertexId>>,
+    local_deg: Vec<u32>,
+    hierarchy: Option<RoutingHierarchy>,
+}
+
+/// The immutable build-once/query-many artifact.
+///
+/// Build with [`QueryEngine::build`] (runs the measured decomposition) or
+/// [`QueryEngine::from_assignment`] (planted/cached clusters), wrap in an
+/// [`Arc`], hand clones to every client thread, and answer via
+/// [`QueryEngine::answer`] or the batched [`QueryEngine::serve`]. All
+/// methods take `&self`; nothing mutates after construction.
+///
+/// # Examples
+///
+/// ```
+/// use triangle::service::{Emit, Query, QueryEngine};
+/// use triangle::PipelineParams;
+///
+/// let g = graph::gen::gnp(40, 0.3, 7).unwrap();
+/// let engine = QueryEngine::build(&g, &PipelineParams::default());
+/// let out = engine.answer(Query::Vertex { v: 3, emit: Emit::Count }).unwrap();
+/// let full = triangle::enumerate_triangles(&g);
+/// let through_3 = full.iter().filter(|t| t.contains(3)).count() as u64;
+/// assert_eq!(out.answer, triangle::service::Answer::Count(through_3));
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    assignment: Arc<ClusterAssignment>,
+    clusters: Vec<ClusterArtifact>,
+    /// Cluster-local index of every vertex (its row in the cluster's
+    /// snapshot and its id in the cluster's hierarchy).
+    local_of: Vec<u32>,
+    build: BuildReport,
+}
+
+// The immutability contract: the artifact must be shareable across client
+// threads by reference. Compile-time assertion — if a future field breaks
+// `Send + Sync`, this fails to build rather than failing under load.
+const _: fn() = || {
+    fn assert_shared<T: Send + Sync>() {}
+    assert_shared::<QueryEngine>();
+};
+
+impl QueryEngine {
+    /// Runs the build phase once: the measured expander decomposition at
+    /// level 0 (`derive_seed(params.seed, 0)`, exactly the pipeline's
+    /// level-0 seed), then freezes snapshots and hierarchies via
+    /// [`QueryEngine::from_assignment`]'s machinery.
+    ///
+    /// Graphs with no edges or fewer than three vertices cannot contain a
+    /// triangle and cannot be decomposed; they freeze a singleton-cluster
+    /// assignment so every query still answers (with zero routing charge).
+    pub fn build(g: &Graph, params: &PipelineParams) -> QueryEngine {
+        let policy = params.scheduler_policy();
+        let t0 = Instant::now();
+        let (assignment, decomposition_rounds) = if g.m() == 0 || g.n() < 3 {
+            let parts: Vec<VertexSet> = (0..g.n())
+                .map(|v| VertexSet::from_iter(g.n(), [v as VertexId]))
+                .collect();
+            (ClusterAssignment::from_parts(g, &parts, 0.0, &policy), 0)
+        } else {
+            let eps = params.epsilon.clamp(1e-3, 1.0 / 6.0);
+            let decomp = ExpanderDecomposition::builder()
+                .epsilon(eps)
+                .k(params.decomposition_k.max(1))
+                .mode(params.mode)
+                .seed(derive_seed(params.seed, 0))
+                .build()
+                .run(g)
+                .expect("graph has edges");
+            let rounds = decomp.ledger.total();
+            (decomp.cluster_assignment_with(g, &policy), rounds)
+        };
+        let wall_decompose = t0.elapsed();
+        Self::freeze(g, assignment, params, decomposition_rounds, wall_decompose)
+    }
+
+    /// Freezes a caller-supplied assignment — planted blocks, an oracle,
+    /// or a cached decomposition — without running Theorem 1. The serve
+    /// tier's fast path on instances with known ground-truth clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` was built for a different vertex count.
+    pub fn from_assignment(
+        g: &Graph,
+        assignment: ClusterAssignment,
+        params: &PipelineParams,
+    ) -> QueryEngine {
+        assert_eq!(
+            assignment.n,
+            g.n(),
+            "assignment/graph vertex-count mismatch"
+        );
+        Self::freeze(g, assignment, params, 0, Duration::ZERO)
+    }
+
+    /// The shared freeze: per-cluster snapshot + hierarchy jobs on the
+    /// deterministic scheduler, seeded like the pipeline's level-0
+    /// cluster jobs.
+    fn freeze(
+        g: &Graph,
+        assignment: ClusterAssignment,
+        params: &PipelineParams,
+        decomposition_rounds: u64,
+        wall_decompose: Duration,
+    ) -> QueryEngine {
+        let t0 = Instant::now();
+        let policy = params.scheduler_policy();
+        // Kept-edge overlay: hierarchies live on the intra-cluster
+        // structure, the same tombstone view the pipeline routes on.
+        let kept = {
+            let mut overlay = WorkingGraph::new(g);
+            overlay.remove_edges(assignment.inter_cluster_edges(), false);
+            overlay
+        };
+        let level_seed = derive_seed(params.seed, 0);
+        let spare_rows: ScratchPool<Vec<Vec<VertexId>>> = ScratchPool::new();
+        let jobs: Vec<(usize, &VertexSet)> = assignment.clusters.iter().enumerate().collect();
+        let (artifacts, _stats) = run_jobs(jobs, &policy, |_, (id, part)| {
+            let members: Vec<VertexId> = part.iter().collect();
+            let mut spare = spare_rows.take();
+            let adj = snapshot_member_adjacency(g, &members, &mut spare);
+            spare_rows.put(spare);
+            let cert = &assignment.certificates[id];
+            let (hierarchy, local_deg) = if cert.internal_edges > 0 && members.len() >= 2 {
+                let sub = Subgraph::induced(&kept, part);
+                let local_deg: Vec<u32> = (0..members.len())
+                    .map(|u| sub.graph().degree(u as VertexId) as u32)
+                    .collect();
+                let h = RoutingHierarchy::build(
+                    sub.graph(),
+                    params.routing_depth.max(1),
+                    derive_seed(level_seed, id as u64),
+                )
+                .ok();
+                (h, local_deg)
+            } else {
+                (None, Vec::new())
+            };
+            ClusterArtifact {
+                adj,
+                local_deg,
+                hierarchy,
+            }
+        });
+
+        let mut local_of = vec![0u32; g.n()];
+        for part in &assignment.clusters {
+            for (local, v) in part.iter().enumerate() {
+                local_of[v as usize] = local as u32;
+            }
+        }
+        let routed_clusters = artifacts.iter().filter(|a| a.hierarchy.is_some()).count();
+        let hierarchy_build_rounds = artifacts
+            .iter()
+            .filter_map(|a| a.hierarchy.as_ref())
+            .map(RoutingHierarchy::preprocessing_rounds)
+            .max()
+            .unwrap_or(0);
+        let snapshot_words: u64 = artifacts
+            .iter()
+            .flat_map(|a| a.adj.iter())
+            .map(|row| row.len() as u64)
+            .sum();
+        let build = BuildReport {
+            n: g.n(),
+            m: g.m(),
+            clusters: assignment.clusters.len(),
+            routed_clusters,
+            phi: assignment.phi,
+            decomposition_rounds,
+            hierarchy_build_rounds,
+            snapshot_words,
+            wall_decompose,
+            wall_freeze: t0.elapsed(),
+        };
+        QueryEngine {
+            assignment: Arc::new(assignment),
+            clusters: artifacts,
+            local_of,
+            build,
+        }
+    }
+
+    /// The frozen cluster assignment (shared, read-only).
+    pub fn assignment(&self) -> &ClusterAssignment {
+        &self.assignment
+    }
+
+    /// What the build cost and produced.
+    pub fn build_report(&self) -> &BuildReport {
+        &self.build
+    }
+
+    /// The paper's per-cluster query budget `n^{1/3}·log² n` — the same
+    /// curve [`crate::TriangleReport::paper_query_budget`] audits, so the
+    /// serve tier and the pipeline tier compare against one number.
+    pub fn paper_query_budget(&self) -> f64 {
+        let n = self.build.n.max(2) as f64;
+        n.powf(1.0 / 3.0) * n.log2() * n.log2()
+    }
+
+    /// The query budget in the model's word unit (`2m/n` words per
+    /// query), mirroring [`crate::TriangleReport::paper_word_budget`].
+    pub fn paper_word_budget(&self) -> f64 {
+        let avg_deg = 2.0 * self.build.m as f64 / self.build.n.max(1) as f64;
+        self.paper_query_budget() * avg_deg.max(1.0)
+    }
+
+    fn check(&self, v: VertexId) -> Result<(), ServiceError> {
+        if (v as usize) < self.build.n {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownVertex { v })
+        }
+    }
+
+    /// The frozen adjacency row of `v`: sorted, deduplicated, full-graph.
+    fn adj_of(&self, v: VertexId) -> &[VertexId] {
+        let c = self.assignment.cluster_of[v as usize] as usize;
+        &self.clusters[c].adj[self.local_of[v as usize] as usize]
+    }
+
+    /// Charges `words` converging on owner `v` through `v`'s frozen
+    /// cluster hierarchy ([`RoutingHierarchy::route_query`]); clusters
+    /// without a hierarchy charge zero queries/rounds — the same
+    /// convention as the pipeline's degenerate clusters.
+    fn charge(&self, v: VertexId, words: u64) -> QueryCharge {
+        let c = self.assignment.cluster_of[v as usize] as usize;
+        let art = &self.clusters[c];
+        match &art.hierarchy {
+            Some(h) => h
+                .route_query(&art.local_deg, self.local_of[v as usize], words)
+                .expect("cluster-local owner is always in range"),
+            None => QueryCharge {
+                words,
+                delivered: true,
+                ..QueryCharge::default()
+            },
+        }
+    }
+
+    /// Answers one point query. Pure per `(artifact, query)` — the
+    /// determinism contract concurrent serving relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownVertex`] if the query names a vertex
+    /// outside the graph.
+    pub fn answer(&self, query: Query) -> Result<QueryOutcome, ServiceError> {
+        match query {
+            Query::Vertex { v, emit } => {
+                self.check(v)?;
+                let adj = self.adj_of(v);
+                let mut words = adj.len() as u64;
+                let mut count = 0u64;
+                let mut triangles = Vec::new();
+                for &u in adj {
+                    if u == v {
+                        continue;
+                    }
+                    // Both u and the emitted w are neighbors of v; keeping
+                    // w > u names each triangle {v, u, w} exactly once.
+                    words += merge_intersect(adj, self.adj_of(u), |w| {
+                        if w > u && w != v {
+                            count += 1;
+                            if emit == Emit::Enumerate {
+                                triangles.push(Triangle::new(v, u, w));
+                            }
+                        }
+                    });
+                }
+                triangles.sort_unstable();
+                let answer = match emit {
+                    Emit::Count => Answer::Count(count),
+                    Emit::Enumerate => Answer::Triangles(triangles),
+                };
+                Ok(QueryOutcome {
+                    answer,
+                    charge: self.charge(v, words),
+                })
+            }
+            Query::Edge { u, v, emit } => {
+                self.check(u)?;
+                self.check(v)?;
+                let mut count = 0u64;
+                let mut triangles = Vec::new();
+                // One probe word for the edge-presence check; the owner
+                // (lower endpoint, the pipeline's edge-ownership rule) is
+                // charged the streamed words.
+                let mut words = 1u64;
+                if u != v {
+                    let au = self.adj_of(u);
+                    if au.binary_search(&v).is_ok() {
+                        words += merge_intersect(au, self.adj_of(v), |w| {
+                            if w != u && w != v {
+                                count += 1;
+                                if emit == Emit::Enumerate {
+                                    triangles.push(Triangle::new(u, v, w));
+                                }
+                            }
+                        });
+                    }
+                }
+                triangles.sort_unstable();
+                let answer = match emit {
+                    Emit::Count => Answer::Count(count),
+                    Emit::Enumerate => Answer::Triangles(triangles),
+                };
+                Ok(QueryOutcome {
+                    answer,
+                    charge: self.charge(u.min(v), words),
+                })
+            }
+            Query::TopKBySupport { v, k } => {
+                self.check(v)?;
+                let adj = self.adj_of(v);
+                let mut words = adj.len() as u64;
+                let mut edges: Vec<EdgeSupport> = Vec::with_capacity(adj.len());
+                for &u in adj {
+                    if u == v {
+                        continue;
+                    }
+                    let mut support = 0u64;
+                    words += merge_intersect(adj, self.adj_of(u), |w| {
+                        if w != u && w != v {
+                            support += 1;
+                        }
+                    });
+                    edges.push(EdgeSupport {
+                        u: v.min(u),
+                        v: v.max(u),
+                        support,
+                    });
+                }
+                edges.sort_unstable_by(|a, b| {
+                    b.support
+                        .cmp(&a.support)
+                        .then(a.u.cmp(&b.u))
+                        .then(a.v.cmp(&b.v))
+                });
+                edges.truncate(k);
+                Ok(QueryOutcome {
+                    answer: Answer::TopEdges(edges),
+                    charge: self.charge(v, words),
+                })
+            }
+        }
+    }
+
+    /// Serves a query batch on the deterministic scheduler: one pure job
+    /// per query, merged back in submission order — so the answers are
+    /// **bit-identical** for every worker count, and a concurrent serve
+    /// can be audited against a sequential replay with `==`.
+    pub fn serve(&self, queries: &[Query], policy: &SchedulerPolicy) -> ServeReport {
+        let t0 = Instant::now();
+        let (results, stats) = run_jobs(queries.to_vec(), policy, |_, q| {
+            let t = Instant::now();
+            (self.answer(q), t.elapsed())
+        });
+        let mut answers = Vec::with_capacity(results.len());
+        let mut latencies = Vec::with_capacity(results.len());
+        for (a, l) in results {
+            answers.push(a);
+            latencies.push(l);
+        }
+        ServeReport {
+            answers,
+            latencies,
+            wall: t0.elapsed(),
+            stats,
+        }
+    }
+}
+
+/// Streams the sorted intersection of two adjacency rows into `emit`,
+/// returning the number of comparison steps — the **words** both rows
+/// contributed to the merge, which is what the query's routing charge
+/// counts.
+fn merge_intersect(a: &[VertexId], b: &[VertexId], mut emit: impl FnMut(VertexId)) -> u64 {
+    let (mut i, mut j, mut steps) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        steps += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                emit(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    steps
+}
+
+/// Outcome of one [`QueryEngine::serve`] batch.
+///
+/// `answers` is index-aligned with the submitted queries and is the
+/// **deterministic** part (compare across worker counts with
+/// [`ServeReport::answers_match`]); `latencies` and `wall` are measured
+/// and machine-dependent, kept separate so equality checks never touch
+/// them.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-query results, in submission order.
+    pub answers: Vec<Result<QueryOutcome, ServiceError>>,
+    /// Per-query service latency, index-aligned with `answers`.
+    pub latencies: Vec<Duration>,
+    /// Elapsed wall clock of the whole batch.
+    pub wall: Duration,
+    /// Scheduler statistics (workers, steals, per-worker jobs).
+    pub stats: JobStats,
+}
+
+impl ServeReport {
+    /// Whether two serves produced bit-identical answers (charges
+    /// included), ignoring the measured latencies.
+    pub fn answers_match(&self, other: &ServeReport) -> bool {
+        self.answers == other.answers
+    }
+
+    /// Queries served per second of batch wall clock.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.answers.len() as f64 / secs
+    }
+
+    /// Nearest-rank latency percentile, `p` in `[0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// The heaviest per-query routing-query charge in the batch — the
+    /// per-vertex load the paper bounds by `Õ(n^{1/3})`.
+    pub fn max_queries(&self) -> u64 {
+        self.answers
+            .iter()
+            .filter_map(|a| a.as_ref().ok())
+            .map(|o| o.charge.queries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The heaviest per-query word charge in the batch.
+    pub fn max_words(&self) -> u64 {
+        self.answers
+            .iter()
+            .filter_map(|a| a.as_ref().ok())
+            .map(|o| o.charge.words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total words streamed by the batch.
+    pub fn total_words(&self) -> u64 {
+        self.answers
+            .iter()
+            .filter_map(|a| a.as_ref().ok())
+            .map(|o| o.charge.words)
+            .sum()
+    }
+
+    /// Total triangle count across all counting/enumerating answers (a
+    /// cheap batch checksum: identical streams must produce identical
+    /// sums regardless of worker count).
+    pub fn count_checksum(&self) -> u64 {
+        self.answers
+            .iter()
+            .filter_map(|a| a.as_ref().ok())
+            .map(|o| match &o.answer {
+                Answer::Count(c) => *c,
+                Answer::Triangles(ts) => ts.len() as u64,
+                Answer::TopEdges(es) => es.iter().map(|e| e.support).sum(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::enumerate_triangles;
+    use crate::pipeline::enumerate_via_decomposition;
+
+    fn params() -> PipelineParams {
+        PipelineParams::default()
+    }
+
+    /// Reference answer: filter the full centralized triangle list.
+    fn filtered_vertex(g: &Graph, v: VertexId) -> Vec<Triangle> {
+        enumerate_triangles(g)
+            .into_iter()
+            .filter(|t| t.contains(v))
+            .collect()
+    }
+
+    fn filtered_edge(g: &Graph, u: VertexId, v: VertexId) -> Vec<Triangle> {
+        enumerate_triangles(g)
+            .into_iter()
+            .filter(|t| t.contains(u) && t.contains(v))
+            .collect()
+    }
+
+    #[test]
+    fn vertex_queries_match_filtered_ground_truth() {
+        let g = graph::gen::gnp(60, 0.2, 11).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        for v in 0..60u32 {
+            let want = filtered_vertex(&g, v);
+            let out = engine
+                .answer(Query::Vertex {
+                    v,
+                    emit: Emit::Enumerate,
+                })
+                .unwrap();
+            assert_eq!(out.answer, Answer::Triangles(want.clone()), "vertex {v}");
+            let out = engine
+                .answer(Query::Vertex {
+                    v,
+                    emit: Emit::Count,
+                })
+                .unwrap();
+            assert_eq!(out.answer, Answer::Count(want.len() as u64));
+        }
+    }
+
+    #[test]
+    fn edge_queries_match_filtered_ground_truth() {
+        let g = graph::gen::gnp(50, 0.25, 13).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        // Real edges...
+        for (u, v) in g.edges().take(200) {
+            let want = filtered_edge(&g, u, v);
+            let out = engine
+                .answer(Query::Edge {
+                    u,
+                    v,
+                    emit: Emit::Enumerate,
+                })
+                .unwrap();
+            assert_eq!(out.answer, Answer::Triangles(want), "edge {u}-{v}");
+        }
+        // ...and non-edges answer empty even when the endpoints share
+        // neighbors.
+        let mut non_edges = 0;
+        for u in 0..50u32 {
+            for v in (u + 1)..50u32 {
+                if g.neighbors(u).binary_search(&v).is_err() {
+                    let out = engine
+                        .answer(Query::Edge {
+                            u,
+                            v,
+                            emit: Emit::Count,
+                        })
+                        .unwrap();
+                    assert_eq!(out.answer, Answer::Count(0), "non-edge {u}-{v}");
+                    non_edges += 1;
+                }
+            }
+        }
+        assert!(non_edges > 0, "gnp(50, 0.25) should miss some pairs");
+    }
+
+    #[test]
+    fn top_k_ranks_by_support_with_deterministic_ties() {
+        let g = graph::gen::gnp(40, 0.3, 17).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        for v in 0..40u32 {
+            let out = engine.answer(Query::TopKBySupport { v, k: 5 }).unwrap();
+            let Answer::TopEdges(top) = out.answer else {
+                panic!("top-k answers TopEdges");
+            };
+            assert!(top.len() <= 5);
+            // Supports agree with per-edge queries, and the order is
+            // descending with ascending-id ties.
+            for pair in top.windows(2) {
+                assert!(
+                    pair[0].support > pair[1].support
+                        || (pair[0].support == pair[1].support
+                            && (pair[0].u, pair[0].v) < (pair[1].u, pair[1].v))
+                );
+            }
+            for e in &top {
+                assert_eq!(
+                    filtered_edge(&g, e.u, e.v).len() as u64,
+                    e.support,
+                    "support of {}-{}",
+                    e.u,
+                    e.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_serve_is_bit_identical_to_sequential() {
+        let g = graph::gen::gnp(80, 0.15, 19).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let queries: Vec<Query> = (0..200u32)
+            .map(|i| match i % 4 {
+                0 => Query::Vertex {
+                    v: i % 80,
+                    emit: Emit::Enumerate,
+                },
+                1 => Query::Vertex {
+                    v: (i * 7) % 80,
+                    emit: Emit::Count,
+                },
+                2 => Query::Edge {
+                    u: i % 80,
+                    v: (i * 3 + 1) % 80,
+                    emit: Emit::Enumerate,
+                },
+                _ => Query::TopKBySupport { v: i % 80, k: 3 },
+            })
+            .collect();
+        let seq = engine.serve(&queries, &SchedulerPolicy::sequential());
+        let par = engine.serve(&queries, &SchedulerPolicy::with_workers(4));
+        assert!(seq.answers_match(&par), "worker count changed an answer");
+        assert_eq!(seq.count_checksum(), par.count_checksum());
+        assert!(par.stats.workers > 1, "parallel serve used one worker");
+    }
+
+    #[test]
+    fn engine_shares_across_real_threads() {
+        let g = graph::gen::gnp(40, 0.25, 23).unwrap();
+        let engine = Arc::new(QueryEngine::build(&g, &params()));
+        let baseline: Vec<_> = (0..40u32)
+            .map(|v| {
+                engine
+                    .answer(Query::Vertex {
+                        v,
+                        emit: Emit::Count,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let e = Arc::clone(&engine);
+                let want = baseline.clone();
+                std::thread::spawn(move || {
+                    for (v, w) in want.iter().enumerate() {
+                        let got = e
+                            .answer(Query::Vertex {
+                                v: v as VertexId,
+                                emit: Emit::Count,
+                            })
+                            .unwrap();
+                        assert_eq!(&got, w);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn charges_are_deterministic_and_within_reach_of_budget() {
+        let g = graph::gen::gnp(100, 0.1, 29).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let q = Query::Vertex {
+            v: 7,
+            emit: Emit::Count,
+        };
+        let a = engine.answer(q).unwrap();
+        let b = engine.answer(q).unwrap();
+        assert_eq!(a.charge, b.charge, "charge model must be RNG-free");
+        assert!(a.charge.words > 0);
+        // The per-query word stream is what the §3 budget bounds; a point
+        // query must stay well under the whole per-cluster budget.
+        assert!(
+            (a.charge.words as f64) < engine.paper_word_budget() * 100.0,
+            "a single point query charged {} words against budget {}",
+            a.charge.words,
+            engine.paper_word_budget()
+        );
+    }
+
+    #[test]
+    fn unknown_vertices_error_per_query_not_batch() {
+        let g = graph::gen::gnp(20, 0.3, 31).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let report = engine.serve(
+            &[
+                Query::Vertex {
+                    v: 5,
+                    emit: Emit::Count,
+                },
+                Query::Vertex {
+                    v: 99,
+                    emit: Emit::Count,
+                },
+                Query::Edge {
+                    u: 1,
+                    v: 200,
+                    emit: Emit::Count,
+                },
+            ],
+            &SchedulerPolicy::sequential(),
+        );
+        assert!(report.answers[0].is_ok());
+        assert_eq!(
+            report.answers[1],
+            Err(ServiceError::UnknownVertex { v: 99 })
+        );
+        assert_eq!(
+            report.answers[2],
+            Err(ServiceError::UnknownVertex { v: 200 })
+        );
+    }
+
+    #[test]
+    fn degenerate_graphs_serve_empty_answers() {
+        // No edges at all.
+        let g = Graph::from_edges(5, []).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let out = engine
+            .answer(Query::Vertex {
+                v: 2,
+                emit: Emit::Enumerate,
+            })
+            .unwrap();
+        assert_eq!(out.answer, Answer::Triangles(Vec::new()));
+        assert_eq!(out.charge.queries, 0, "degenerate clusters charge zero");
+        // Two vertices, one edge: still no triangle.
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let out = engine
+            .answer(Query::Edge {
+                u: 0,
+                v: 1,
+                emit: Emit::Count,
+            })
+            .unwrap();
+        assert_eq!(out.answer, Answer::Count(0));
+        // Self-loop query: an edge {v, v} is never part of a triangle.
+        let g = graph::gen::gnp(10, 0.5, 37).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let out = engine
+            .answer(Query::Edge {
+                u: 3,
+                v: 3,
+                emit: Emit::Count,
+            })
+            .unwrap();
+        assert_eq!(out.answer, Answer::Count(0));
+    }
+
+    #[test]
+    fn from_assignment_matches_built_engine() {
+        let g = graph::gen::gnp(60, 0.2, 41).unwrap();
+        let built = QueryEngine::build(&g, &params());
+        let planted = QueryEngine::from_assignment(&g, built.assignment().clone(), &params());
+        for v in (0..60u32).step_by(7) {
+            let a = built
+                .answer(Query::Vertex {
+                    v,
+                    emit: Emit::Enumerate,
+                })
+                .unwrap();
+            let b = planted
+                .answer(Query::Vertex {
+                    v,
+                    emit: Emit::Enumerate,
+                })
+                .unwrap();
+            assert_eq!(a, b, "same assignment must freeze the same artifact");
+        }
+        assert_eq!(planted.build_report().decomposition_rounds, 0);
+        assert!(built.build_report().decomposition_rounds > 0);
+    }
+
+    #[test]
+    fn build_report_accounts_the_artifact() {
+        let g = graph::gen::gnp(80, 0.15, 43).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let r = engine.build_report();
+        assert_eq!(r.n, 80);
+        assert_eq!(r.m, g.m());
+        assert!(r.clusters > 0);
+        assert!(r.routed_clusters <= r.clusters);
+        assert!(
+            r.snapshot_words >= 2 * g.m() as u64,
+            "snapshots hold every edge twice minus loops/parallels"
+        );
+        assert!(r.wall_total() >= r.wall_decompose);
+    }
+
+    #[test]
+    fn service_agrees_with_pipeline_enumeration() {
+        // The tentpole contract: the frozen artifact answers exactly what
+        // the full pipeline enumerates.
+        let g = graph::gen::gnp(70, 0.15, 47).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let full = enumerate_via_decomposition(&g, &params());
+        for v in 0..70u32 {
+            let want: Vec<Triangle> = full
+                .triangles
+                .iter()
+                .copied()
+                .filter(|t| t.contains(v))
+                .collect();
+            let out = engine
+                .answer(Query::Vertex {
+                    v,
+                    emit: Emit::Enumerate,
+                })
+                .unwrap();
+            assert_eq!(out.answer, Answer::Triangles(want), "vertex {v}");
+        }
+    }
+}

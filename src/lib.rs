@@ -54,10 +54,11 @@ pub mod prelude {
     pub use congest::{Ctx, ExecMode, Network, RunReport, VertexProgram};
     pub use expander::prelude::*;
     pub use graph::prelude::*;
-    pub use routing::{RoutingHierarchy, RoutingRequest};
+    pub use routing::{QueryCharge, RoutingHierarchy, RoutingRequest};
     pub use triangle::{
         clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
         enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, Triangle,
         TriangleConfig, TriangleReport,
     };
+    pub use triangle::{Answer, Emit, Query, QueryEngine, QueryOutcome, ServeReport, ServiceError};
 }
