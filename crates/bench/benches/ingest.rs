@@ -1,0 +1,51 @@
+//! Criterion bench for the ingestion tier: edge-list → on-disk CSR
+//! conversion (plain and Morton), zero-copy open + validation, and
+//! frozen-artifact restore vs a from-scratch engine build, on a small
+//! power-law instance. Joined to the CI bench-regression gate
+//! (`BENCH_baseline.json`) so a storage-path slowdown fails loudly.
+
+use bench_suite::scale_power_law;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use storage::{artifact, convert_edge_list, write_graph, ConvertOptions, CsrFile};
+use triangle::pipeline::PipelineParams;
+use triangle::service::QueryEngine;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    let g = scale_power_law(20_000, 42);
+    let dir = storage::test_dir("bench-ingest");
+    let edges_txt = dir.join("edges.txt");
+    std::fs::write(&edges_txt, graph::io::to_edge_list(&g)).unwrap();
+
+    for (name, morton) in [("convert", false), ("convert_morton", true)] {
+        let out = dir.join(format!("{name}.csr"));
+        let opts = ConvertOptions {
+            morton,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, "20k"), &opts, |b, opts| {
+            b.iter(|| convert_edge_list(&edges_txt, &out, opts).unwrap())
+        });
+    }
+
+    let csr = dir.join("g.csr");
+    write_graph(&g, &csr).unwrap();
+    group.bench_with_input(BenchmarkId::new("open", "20k"), &csr, |b, path| {
+        b.iter(|| CsrFile::open(path).unwrap())
+    });
+
+    // Restore vs rebuild: the whole point of the artifact section.
+    let params = PipelineParams::default();
+    let engine = QueryEngine::build(&g, &params);
+    artifact::store(&csr, &engine).unwrap();
+    let file = CsrFile::open(&csr).unwrap();
+    group.bench_with_input(BenchmarkId::new("restore", "20k"), &file, |b, file| {
+        b.iter(|| artifact::load(file).unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -37,6 +37,12 @@ pub enum GraphError {
     },
     /// The operation requires a connected graph.
     NotConnected,
+    /// Externally supplied CSR arrays violate a structural invariant
+    /// (non-monotone offsets, unsorted rows, asymmetric adjacency, …).
+    InvalidCsr {
+        /// Which invariant was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -62,6 +68,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {reason}")
             }
             GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::InvalidCsr { reason } => {
+                write!(f, "invalid CSR arrays: {reason}")
+            }
         }
     }
 }

@@ -179,6 +179,143 @@ impl Graph {
         })
     }
 
+    /// Builds a graph directly from pre-assembled CSR arrays, validating
+    /// every invariant the accessors rely on. This is the trust boundary
+    /// for adjacency data that arrives from **outside** the type system —
+    /// e.g. the on-disk CSR files of the `storage` crate — so the checks
+    /// are exhaustive rather than debug-only:
+    ///
+    /// * `offsets` is non-empty, starts at 0, is monotone, and ends at
+    ///   `adj.len()`;
+    /// * `loops.len() == n`;
+    /// * every neighbor id is `< n` and no row contains its own vertex
+    ///   (self loops live in `loops`, never in `adj`);
+    /// * every row is sorted ascending;
+    /// * the adjacency is **symmetric with multiplicity**: `w` appears in
+    ///   row `u` exactly as often as `u` appears in row `w`.
+    ///
+    /// The symmetry pass costs `O(m log Δ)` on top of the `O(n + m)`
+    /// structural sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] naming the violated invariant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use graph::Graph;
+    ///
+    /// // A triangle, in raw CSR form.
+    /// let g = Graph::from_csr_parts(
+    ///     vec![0, 2, 4, 6],
+    ///     vec![1, 2, 0, 2, 0, 1],
+    ///     vec![0, 0, 0],
+    /// )
+    /// .unwrap();
+    /// assert_eq!(g, Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap());
+    ///
+    /// // Asymmetric adjacency is rejected.
+    /// assert!(Graph::from_csr_parts(vec![0, 1, 1], vec![1], vec![0, 0]).is_err());
+    /// ```
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        adj: Vec<VertexId>,
+        loops: Vec<u32>,
+    ) -> Result<Self> {
+        let invalid = |reason: String| Err(GraphError::InvalidCsr { reason });
+        if offsets.is_empty() {
+            return invalid("offsets must contain at least the terminal entry".to_string());
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return invalid(format!("offsets[0] = {} (want 0)", offsets[0]));
+        }
+        if offsets[n] != adj.len() {
+            return invalid(format!(
+                "offsets end at {} but adj holds {} entries",
+                offsets[n],
+                adj.len()
+            ));
+        }
+        if loops.len() != n {
+            return invalid(format!(
+                "loops has {} entries for {n} vertices",
+                loops.len()
+            ));
+        }
+        for v in 0..n {
+            if offsets[v + 1] < offsets[v] {
+                return invalid(format!("offsets decrease at vertex {v}"));
+            }
+            let row = &adj[offsets[v]..offsets[v + 1]];
+            let mut prev: Option<VertexId> = None;
+            for &w in row {
+                if (w as usize) >= n {
+                    return invalid(format!("neighbor {w} of vertex {v} out of range"));
+                }
+                if (w as usize) == v {
+                    return invalid(format!(
+                        "self loop {v} stored in adj (self loops belong in the loops array)"
+                    ));
+                }
+                if prev.is_some_and(|p| w < p) {
+                    return invalid(format!("row of vertex {v} not sorted"));
+                }
+                prev = Some(w);
+            }
+        }
+        // Symmetry with multiplicity: walk each row in runs of equal
+        // neighbors and compare against the run of `v` inside that
+        // neighbor's (sorted) row. Checking only u < w visits each
+        // undirected pair once from both sides' perspective.
+        let run_count = |row: &[VertexId], x: VertexId| -> usize {
+            let start = row.partition_point(|&y| y < x);
+            row[start..].iter().take_while(|&&y| y == x).count()
+        };
+        for u in 0..n {
+            let row = &adj[offsets[u]..offsets[u + 1]];
+            let mut i = 0;
+            while i < row.len() {
+                let w = row[i];
+                let mut j = i + 1;
+                while j < row.len() && row[j] == w {
+                    j += 1;
+                }
+                if (u as VertexId) < w {
+                    let back = &adj[offsets[w as usize]..offsets[w as usize + 1]];
+                    let reverse = run_count(back, u as VertexId);
+                    if reverse != j - i {
+                        return invalid(format!(
+                            "asymmetric adjacency: {w} appears {}× in row {u} but {u} appears {reverse}× in row {w}",
+                            j - i
+                        ));
+                    }
+                }
+                i = j;
+            }
+        }
+        let twice_m = adj.len();
+        if twice_m % 2 != 0 {
+            return invalid(format!("adj holds {twice_m} entries (must be even)"));
+        }
+        let total_loops = loops.iter().map(|&l| l as usize).sum();
+        Ok(Graph {
+            offsets,
+            adj,
+            loops,
+            m: twice_m / 2,
+            total_loops,
+        })
+    }
+
+    /// The raw CSR arrays: `(offsets, adj, loops)`. The inverse of
+    /// [`Graph::from_csr_parts`] — what a serializer needs to write the
+    /// graph without re-deriving the layout edge by edge.
+    pub fn csr_slices(&self) -> (&[usize], &[VertexId], &[u32]) {
+        (&self.offsets, &self.adj, &self.loops)
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -668,6 +805,47 @@ mod tests {
         assert_eq!(a.self_loops(1), 1);
         assert!(Graph::from_edge_chunks(2, &[vec![(0, 9)]]).is_err());
         assert_eq!(Graph::from_edge_chunks(3, &[]).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_and_validates() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4), (1, 2), (2, 2)]).unwrap();
+        let (offsets, adj, loops) = g.csr_slices();
+        let rebuilt =
+            Graph::from_csr_parts(offsets.to_vec(), adj.to_vec(), loops.to_vec()).unwrap();
+        assert_eq!(rebuilt, g);
+
+        let bad = |o: Vec<usize>, a: Vec<VertexId>, l: Vec<u32>, what: &str| {
+            let err = Graph::from_csr_parts(o, a, l).unwrap_err();
+            assert!(
+                matches!(err, GraphError::InvalidCsr { .. }),
+                "{what}: {err}"
+            );
+        };
+        bad(vec![], vec![], vec![], "empty offsets");
+        bad(vec![1, 1], vec![], vec![0], "offsets[0] != 0");
+        bad(vec![0, 2], vec![1], vec![0], "terminal offset mismatch");
+        bad(vec![0, 0], vec![], vec![], "loops length mismatch");
+        bad(
+            vec![0, 1, 2],
+            vec![7, 0],
+            vec![0, 0],
+            "neighbor out of range",
+        );
+        bad(vec![0, 1, 2], vec![0, 0], vec![0, 0], "loop stored in adj");
+        bad(
+            vec![0, 2, 3, 4],
+            vec![2, 1, 0, 0],
+            vec![0, 0, 0],
+            "unsorted row",
+        );
+        bad(vec![0, 1, 1], vec![1], vec![0, 0], "asymmetric simple edge");
+        bad(
+            vec![0, 2, 3],
+            vec![1, 1, 0],
+            vec![0, 0],
+            "asymmetric multiplicity",
+        );
     }
 
     #[test]

@@ -128,7 +128,141 @@ pub struct RouteOutcome {
     pub rounds: u64,
 }
 
+/// One level of a [`HierarchyParts`]: the serializable twin of the
+/// private level representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelParts {
+    /// Group id of every vertex at this level.
+    pub group_of: Vec<u32>,
+    /// Portal vertices per group.
+    pub portals: Vec<Vec<VertexId>>,
+}
+
+/// The complete serializable state of a [`RoutingHierarchy`].
+///
+/// A built hierarchy is plain data — group assignments, portal lists and
+/// a handful of scalars — so persistence layers can extract it with
+/// [`RoutingHierarchy::to_parts`], store it however they like, and
+/// reconstruct a **bit-identical** hierarchy with
+/// [`RoutingHierarchy::from_parts`]. Bit-identical matters: query charges
+/// ([`RoutingHierarchy::route_query`]) are deterministic functions of
+/// this state, and the serve tier's restore path promises byte-equal
+/// answers to a freshly built engine.
+///
+/// # Examples
+///
+/// ```
+/// use routing::RoutingHierarchy;
+///
+/// let g = graph::gen::random_regular(64, 8, 1).unwrap();
+/// let h = RoutingHierarchy::build(&g, 2, 7).unwrap();
+/// let restored = RoutingHierarchy::from_parts(h.to_parts()).unwrap();
+/// let degrees: Vec<u32> = (0..64).map(|v| g.degree(v) as u32).collect();
+/// assert_eq!(
+///     h.route_query(&degrees, 3, 40).unwrap(),
+///     restored.route_query(&degrees, 3, 40).unwrap(),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyParts {
+    /// All `k + 1` levels, root first.
+    pub levels: Vec<LevelParts>,
+    /// Hierarchy depth.
+    pub k: usize,
+    /// Branching factor `β`.
+    pub beta: usize,
+    /// Mixing-time estimate used for cost accounting.
+    pub tau_mix: usize,
+    /// Number of vertices the hierarchy covers.
+    pub n: usize,
+    /// Charged preprocessing rounds.
+    pub preprocessing_rounds: u64,
+}
+
 impl RoutingHierarchy {
+    /// Extracts the full serializable state (see [`HierarchyParts`]).
+    pub fn to_parts(&self) -> HierarchyParts {
+        HierarchyParts {
+            levels: self
+                .levels
+                .iter()
+                .map(|l| LevelParts {
+                    group_of: l.group_of.clone(),
+                    portals: l.portals.clone(),
+                })
+                .collect(),
+            k: self.k,
+            beta: self.beta,
+            tau_mix: self.tau_mix,
+            n: self.n,
+            preprocessing_rounds: self.preprocessing_rounds,
+        }
+    }
+
+    /// Reconstructs a hierarchy from extracted parts, validating the
+    /// structural invariants the query paths index by.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::BadParts`] when the parts are inconsistent: wrong
+    /// level count, a level not covering every vertex, group ids without
+    /// a portal slot, or portal vertices outside `0..n`.
+    pub fn from_parts(parts: HierarchyParts) -> Result<Self> {
+        let bad = |reason: String| Err(RoutingError::BadParts { reason });
+        if parts.k == 0 {
+            return bad("depth k must be >= 1".to_string());
+        }
+        if parts.levels.len() != parts.k + 1 {
+            return bad(format!(
+                "{} levels for depth k = {} (want k + 1)",
+                parts.levels.len(),
+                parts.k
+            ));
+        }
+        for (i, level) in parts.levels.iter().enumerate() {
+            if level.group_of.len() != parts.n {
+                return bad(format!(
+                    "level {i} assigns {} vertices, hierarchy has {}",
+                    level.group_of.len(),
+                    parts.n
+                ));
+            }
+            for (v, &gid) in level.group_of.iter().enumerate() {
+                if gid as usize >= level.portals.len() {
+                    return bad(format!(
+                        "level {i}: vertex {v} in group {gid}, only {} portal slots",
+                        level.portals.len()
+                    ));
+                }
+            }
+            for (gid, portals) in level.portals.iter().enumerate() {
+                for &p in portals {
+                    if p as usize >= parts.n {
+                        return bad(format!(
+                            "level {i}: portal {p} of group {gid} outside 0..{}",
+                            parts.n
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(RoutingHierarchy {
+            levels: parts
+                .levels
+                .into_iter()
+                .map(|l| Level {
+                    group_of: l.group_of,
+                    portals: l.portals,
+                })
+                .collect(),
+            k: parts.k,
+            beta: parts.beta,
+            tau_mix: parts.tau_mix,
+            n: parts.n,
+            preprocessing_rounds: parts.preprocessing_rounds,
+        })
+    }
+
     /// Builds the hierarchy with depth `k` on `g`.
     ///
     /// # Errors
@@ -828,6 +962,67 @@ mod tests {
         let idle = h.route_query(&degrees, 0, 0).unwrap();
         assert_eq!(idle.queries, 1);
         assert_eq!(idle.max_congestion, 0);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_query_identical() {
+        let g = expander(128, 21);
+        let h = RoutingHierarchy::build(&g, 3, 77).unwrap();
+        let restored = RoutingHierarchy::from_parts(h.to_parts()).unwrap();
+        assert_eq!(h.to_parts(), restored.to_parts());
+        assert_eq!(h.preprocessing_rounds(), restored.preprocessing_rounds());
+        assert_eq!(h.query_rounds(), restored.query_rounds());
+        let degrees: Vec<u32> = (0..g.n()).map(|v| g.degree(v as VertexId) as u32).collect();
+        for dst in [0u32, 17, 127] {
+            assert_eq!(
+                h.route_query(&degrees, dst, 99).unwrap(),
+                restored.route_query(&degrees, dst, 99).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_state() {
+        let g = expander(32, 22);
+        let h = RoutingHierarchy::build(&g, 2, 5).unwrap();
+        let ok = h.to_parts();
+
+        let mut p = ok.clone();
+        p.k = 0;
+        assert!(matches!(
+            RoutingHierarchy::from_parts(p),
+            Err(RoutingError::BadParts { .. })
+        ));
+
+        let mut p = ok.clone();
+        p.levels.pop();
+        assert!(matches!(
+            RoutingHierarchy::from_parts(p),
+            Err(RoutingError::BadParts { .. })
+        ));
+
+        let mut p = ok.clone();
+        p.levels[1].group_of.pop();
+        assert!(matches!(
+            RoutingHierarchy::from_parts(p),
+            Err(RoutingError::BadParts { .. })
+        ));
+
+        let mut p = ok.clone();
+        p.levels[1].group_of[0] = u32::MAX;
+        assert!(matches!(
+            RoutingHierarchy::from_parts(p),
+            Err(RoutingError::BadParts { .. })
+        ));
+
+        let mut p = ok.clone();
+        p.levels[1].portals[0].push(99);
+        assert!(matches!(
+            RoutingHierarchy::from_parts(p),
+            Err(RoutingError::BadParts { .. })
+        ));
+
+        assert!(RoutingHierarchy::from_parts(ok).is_ok());
     }
 
     #[test]

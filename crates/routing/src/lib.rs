@@ -31,7 +31,8 @@ mod hierarchy;
 mod mixing;
 
 pub use hierarchy::{
-    BatchOutcome, EdgeBatch, QueryCharge, RouteOutcome, RoutingHierarchy, RoutingRequest,
+    BatchOutcome, EdgeBatch, HierarchyParts, LevelParts, QueryCharge, RouteOutcome,
+    RoutingHierarchy, RoutingRequest,
 };
 pub use mixing::estimate_mixing_time;
 
@@ -59,6 +60,11 @@ pub enum RoutingError {
         /// Length of the supplied degree slice.
         got: usize,
     },
+    /// Deserialized [`HierarchyParts`] violate a structural invariant.
+    BadParts {
+        /// Which invariant was violated.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RoutingError {
@@ -74,6 +80,9 @@ impl std::fmt::Display for RoutingError {
                     f,
                     "degree oracle covers {got} vertices, hierarchy has {expected}"
                 )
+            }
+            RoutingError::BadParts { reason } => {
+                write!(f, "invalid hierarchy parts: {reason}")
             }
         }
     }

@@ -1,0 +1,995 @@
+//! Edge-list → on-disk CSR conversion, out-of-core.
+//!
+//! [`convert_edge_list`] turns a plain-text edge list (SNAP-style `u v`
+//! lines, `#`/`%` comments, optional `n <count>` header) into the binary
+//! CSR format without ever holding the edge set in memory. The pipeline
+//! is a sequence of bounded-memory external sorts:
+//!
+//! 1. **Parse & spill** — normalize each edge to `(min, max)` over the
+//!    raw 64-bit ids and spill sorted chunks of at most
+//!    [`ConvertOptions::chunk_edges`] pairs to scratch files.
+//! 2. **Merge & dedup** — k-way merge the chunks ([`std::collections::BinaryHeap`]);
+//!    consecutive equal pairs are duplicates of the same undirected edge
+//!    and are dropped when [`ConvertOptions::dedup`] is set. Ids are
+//!    mapped to dense `u32`s here (identity when the input declares
+//!    `n <count>`, which preserves isolated vertices; otherwise by rank
+//!    among the distinct raw ids — a monotone map, so the merged order
+//!    survives).
+//! 3. **Morton pass** (optional) — externally sort the edges by the
+//!    bit-interleave of their endpoint ids and renumber vertices in
+//!    first-touch order, improving the locality of neighborhood scans on
+//!    mesh-like graphs. Recorded in the header as [`crate::FLAG_MORTON`].
+//! 4. **Directed expansion** — emit `(u, v)` and `(v, u)` for every kept
+//!    edge and externally sort by `(src, dst)`. The merged stream *is*
+//!    the adjacency section in file order: neighbors of vertex 0, then
+//!    vertex 1, … — each row sorted — so the section streams to disk
+//!    with no random access. Degrees are counted on the way through.
+//! 5. **Assemble** — header placeholder, offsets (prefix sums), the
+//!    adjacency stream, self-loop counts; the checksum accumulates as
+//!    bytes are written and the header is patched in at the end. The
+//!    finished file is built under a temporary name and **renamed** into
+//!    place, keeping the immutability contract (`DESIGN.md` §13).
+//!
+//! Peak memory is `O(chunk_edges + n)`: one sort buffer plus the
+//! per-vertex degree/loop/relabel arrays.
+
+use crate::format::{pad8, Chk64, Header, FLAG_MORTON, FORMAT_VERSION, HEADER_LEN};
+use crate::{io_err, Result, StorageError};
+use graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for [`convert_edge_list`].
+///
+/// # Examples
+///
+/// ```
+/// use storage::ConvertOptions;
+///
+/// let opts = ConvertOptions {
+///     morton: true,
+///     ..ConvertOptions::default()
+/// };
+/// assert!(opts.dedup);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    /// Maximum edges held in memory per sort chunk (each spilled chunk is
+    /// one sorted scratch file). The default, 2²⁰, bounds the sort buffer
+    /// at 16 MiB.
+    pub chunk_edges: usize,
+    /// Drop duplicate copies of the same undirected edge (and duplicate
+    /// self loops). Real edge lists routinely record both directions of
+    /// every edge; with `dedup` the pair collapses to one multigraph
+    /// edge. Disable to preserve multiplicities.
+    pub dedup: bool,
+    /// Relabel vertices in Morton (bit-interleave) first-touch order for
+    /// scan locality. Triangle and decomposition *counts* are invariant
+    /// under relabeling; ids in query answers refer to the new labels.
+    pub morton: bool,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            chunk_edges: 1 << 20,
+            dedup: true,
+            morton: false,
+        }
+    }
+}
+
+/// What [`convert_edge_list`] did, for logs and gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertReport {
+    /// Vertices in the output file.
+    pub n: usize,
+    /// Non-loop undirected edges in the output file (after dedup).
+    pub m: u64,
+    /// Self loops in the output file.
+    pub self_loops: u64,
+    /// Edge records parsed from the input text.
+    pub edge_records: u64,
+    /// Duplicate records dropped (0 when [`ConvertOptions::dedup`] is off).
+    pub duplicates_removed: u64,
+    /// Sorted scratch chunks spilled during the parse pass.
+    pub chunks: usize,
+    /// Whether vertex ids were densely re-numbered (headerless input).
+    pub dense_relabeled: bool,
+    /// Whether Morton relabeling was applied.
+    pub morton: bool,
+}
+
+/// Converts a plain-text edge list at `input` into an on-disk CSR file at
+/// `output`, in bounded memory (see the module docs for the pipeline).
+///
+/// Accepted input: `#`/`%` comment lines and blank lines anywhere; an
+/// optional `n <count>` first record fixing the vertex-id space (ids are
+/// then required to be `< count`, and isolated vertices survive); then
+/// one `u v` edge per line, whitespace-separated decimal ids up to
+/// `u64::MAX`. Without the header, vertices are renumbered densely by
+/// ascending raw id.
+///
+/// # Errors
+///
+/// [`StorageError::Parse`] (with the 1-based line number) on malformed
+/// text, [`StorageError::Io`] on filesystem failures, and
+/// [`StorageError::Corrupt`] if the graph exceeds format limits (more
+/// than `u32::MAX` vertices).
+///
+/// # Examples
+///
+/// ```
+/// use storage::{convert_edge_list, ConvertOptions, CsrFile};
+///
+/// let dir = storage::test_dir("doc-snap");
+/// // SNAP-style: comments, tabs, both directions recorded, sparse ids.
+/// std::fs::write(dir.join("in.txt"), "# FromNodeId\tToNodeId\n10 20\n20 10\n20 30\n").unwrap();
+/// let out = dir.join("out.csr");
+/// let report = convert_edge_list(&dir.join("in.txt"), &out, &ConvertOptions::default()).unwrap();
+/// assert_eq!((report.n, report.m), (3, 2)); // ids 10,20,30 → 0,1,2; dup edge dropped
+/// assert_eq!(report.duplicates_removed, 1);
+/// assert!(report.dense_relabeled);
+///
+/// let g = CsrFile::open(&out).unwrap().to_graph().unwrap();
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub fn convert_edge_list(
+    input: &Path,
+    output: &Path,
+    opts: &ConvertOptions,
+) -> Result<ConvertReport> {
+    let chunk = opts.chunk_edges.max(16);
+    let scratch = Scratch::new()?;
+
+    // Pass 1: parse, normalize, spill sorted raw-pair chunks.
+    let mut spiller: Spiller<(u64, u64)> = Spiller::new(&scratch, "raw", chunk, opts.dedup);
+    let mut ids: Vec<u64> = Vec::new();
+    let mut declared_n: Option<u64> = None;
+    let mut edge_records = 0u64;
+    let reader = BufReader::new(File::open(input).map_err(|e| io_err(input, e))?);
+    let mut seen_record = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| io_err(input, e))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if !seen_record {
+            seen_record = true;
+            if let ["n", count] = fields.as_slice() {
+                let count: u64 = count.parse().map_err(|_| StorageError::Parse {
+                    line: line_no,
+                    reason: format!("bad vertex count {count:?} in header"),
+                })?;
+                if count > u32::MAX as u64 {
+                    return Err(StorageError::Parse {
+                        line: line_no,
+                        reason: format!("{count} vertices exceed the u32 vertex-id space"),
+                    });
+                }
+                declared_n = Some(count);
+                continue;
+            }
+        }
+        let [a, b] = fields.as_slice() else {
+            return Err(StorageError::Parse {
+                line: line_no,
+                reason: format!(
+                    "expected 'u v', found {} field(s) in {line:?}",
+                    fields.len()
+                ),
+            });
+        };
+        let parse_id = |tok: &str| -> Result<u64> {
+            let id: u64 = tok.parse().map_err(|_| StorageError::Parse {
+                line: line_no,
+                reason: format!("bad vertex id {tok:?}"),
+            })?;
+            if let Some(count) = declared_n {
+                if id >= count {
+                    return Err(StorageError::Parse {
+                        line: line_no,
+                        reason: format!("vertex id {tok:?} out of range (n = {count})"),
+                    });
+                }
+            }
+            Ok(id)
+        };
+        let (u, v) = (parse_id(a)?, parse_id(b)?);
+        edge_records += 1;
+        spiller.push((u.min(v), u.max(v)))?;
+        if declared_n.is_none() {
+            ids.push(u);
+            ids.push(v);
+            if ids.len() >= chunk * 2 {
+                ids.sort_unstable();
+                ids.dedup();
+            }
+        }
+    }
+
+    // The id map: identity under a declared header, dense rank otherwise.
+    let id_map = match declared_n {
+        Some(count) => IdMap::Identity(count),
+        None => {
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.len() > u32::MAX as usize {
+                return Err(StorageError::Corrupt {
+                    reason: format!(
+                        "input has {} distinct vertices; the format holds at most {}",
+                        ids.len(),
+                        u32::MAX
+                    ),
+                });
+            }
+            IdMap::Dense(std::mem::take(&mut ids))
+        }
+    };
+    let n = id_map.n();
+
+    // Pass 2: merge + dedup, map to dense ids, split loops from edges.
+    let (mut merge, chunks) = spiller.finish()?;
+    let mut duplicates_removed = merge.removed;
+    let dense_path = scratch.file("dense.run");
+    let mut dense_out = PairWriter::create(&dense_path)?;
+    let mut loops = vec![0u64; n];
+    let mut m = 0u64;
+    let mut prev: Option<(u64, u64)> = None;
+    while let Some(pair) = merge.next_rec()? {
+        if opts.dedup && prev == Some(pair) {
+            duplicates_removed += 1;
+            continue;
+        }
+        prev = Some(pair);
+        let (mu, mv) = (id_map.map(pair.0), id_map.map(pair.1));
+        if mu == mv {
+            loops[mu as usize] += 1;
+        } else {
+            dense_out.put((mu, mv))?;
+            m += 1;
+        }
+    }
+    dense_out.close()?;
+    drop(merge);
+
+    // Pass 3 (optional): Morton first-touch relabeling.
+    let relabel: Option<Vec<u32>> = if opts.morton {
+        Some(morton_relabel(&scratch, &dense_path, n, chunk)?)
+    } else {
+        None
+    };
+    let map_final = |v: u32| -> u32 {
+        match &relabel {
+            Some(r) => r[v as usize],
+            None => v,
+        }
+    };
+
+    // Pass 4: directed expansion, external sort by (src, dst).
+    let mut directed: Spiller<(u32, u32)> = Spiller::new(&scratch, "dir", chunk, false);
+    {
+        let mut run = ChunkReader::open(&dense_path)?;
+        while let Some((u, v)) = run.next::<(u32, u32)>()? {
+            let (a, b) = (map_final(u), map_final(v));
+            directed.push((a, b))?;
+            directed.push((b, a))?;
+        }
+    }
+    let (mut merge, _) = directed.finish()?;
+    let mut degrees = vec![0u64; n];
+    let adj_path = scratch.file("adj.run");
+    let mut adj_out = BufWriter::new(File::create(&adj_path).map_err(|e| io_err(&adj_path, e))?);
+    while let Some((src, dst)) = merge.next_rec()? {
+        degrees[src as usize] += 1;
+        adj_out
+            .write_all(&dst.to_le_bytes())
+            .map_err(|e| io_err(&adj_path, e))?;
+    }
+    adj_out.flush().map_err(|e| io_err(&adj_path, e))?;
+    drop(adj_out);
+    drop(merge);
+
+    // Self loops follow their vertex to its final label.
+    let mut loops_final = vec![0u32; n];
+    let mut self_loops = 0u64;
+    for (v, &count) in loops.iter().enumerate() {
+        let count = u32::try_from(count).map_err(|_| StorageError::Corrupt {
+            reason: format!("self-loop count {count} at vertex {v} exceeds u32"),
+        })?;
+        loops_final[map_final(v as u32) as usize] = count;
+        self_loops += count as u64;
+    }
+
+    // Pass 5: assemble the final file.
+    let flags = if opts.morton { FLAG_MORTON } else { 0 };
+    assemble_csr(
+        output,
+        n,
+        m,
+        flags,
+        &degrees,
+        &loops_final,
+        self_loops,
+        |sink| {
+            let mut src = BufReader::new(File::open(&adj_path).map_err(|e| io_err(&adj_path, e))?);
+            let mut buf = [0u8; 1 << 16];
+            loop {
+                let k = src.read(&mut buf).map_err(|e| io_err(&adj_path, e))?;
+                if k == 0 {
+                    return Ok(());
+                }
+                sink.put(&buf[..k])?;
+            }
+        },
+    )?;
+
+    Ok(ConvertReport {
+        n,
+        m,
+        self_loops,
+        edge_records,
+        duplicates_removed,
+        chunks,
+        dense_relabeled: declared_n.is_none(),
+        morton: opts.morton,
+    })
+}
+
+/// Serializes an in-memory [`Graph`] to the on-disk CSR format.
+///
+/// The file is written under a temporary sibling name and renamed into
+/// place (immutability contract: a concurrently mapped reader keeps its
+/// old-inode view).
+///
+/// # Errors
+///
+/// [`StorageError::Io`] on filesystem failures.
+///
+/// # Examples
+///
+/// ```
+/// use storage::{write_graph, CsrFile};
+///
+/// let g = graph::gen::gnp(25, 0.2, 1).unwrap();
+/// let dir = storage::test_dir("doc-write");
+/// let path = dir.join("g.csr");
+/// write_graph(&g, &path).unwrap();
+/// assert_eq!(CsrFile::open(&path).unwrap().to_graph().unwrap(), g);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub fn write_graph(g: &Graph, output: &Path) -> Result<()> {
+    let (offsets, adj, loops) = g.csr_slices();
+    if g.n() > u32::MAX as usize {
+        return Err(StorageError::Corrupt {
+            reason: format!("{} vertices exceed the u32 vertex-id space", g.n()),
+        });
+    }
+    let degrees: Vec<u64> = offsets.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+    assemble_csr(
+        output,
+        g.n(),
+        g.m() as u64,
+        0,
+        &degrees,
+        loops,
+        g.total_self_loops() as u64,
+        |sink| {
+            for &w in adj {
+                sink.put(&w.to_le_bytes())?;
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Assembles a complete CSR file (no artifact section): header
+/// placeholder, checksummed sections, header patch, atomic rename.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_csr<F>(
+    output: &Path,
+    n: usize,
+    m: u64,
+    flags: u32,
+    degrees: &[u64],
+    loops: &[u32],
+    total_loops: u64,
+    write_adj: F,
+) -> Result<()>
+where
+    F: FnOnce(&mut Sink) -> Result<()>,
+{
+    assemble_csr_with_artifact(
+        output,
+        n,
+        m,
+        flags,
+        degrees,
+        loops,
+        total_loops,
+        write_adj,
+        None,
+    )
+}
+
+/// Full assembly, optionally with a frozen-artifact payload.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_csr_with_artifact<F>(
+    output: &Path,
+    n: usize,
+    m: u64,
+    flags: u32,
+    degrees: &[u64],
+    loops: &[u32],
+    total_loops: u64,
+    write_adj: F,
+    artifact: Option<&[u8]>,
+) -> Result<()>
+where
+    F: FnOnce(&mut Sink) -> Result<()>,
+{
+    debug_assert_eq!(degrees.len(), n);
+    debug_assert_eq!(loops.len(), n);
+    let adj_len = 2 * m;
+    let tmp = tmp_sibling(output);
+    let file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    let mut sink = Sink {
+        w: BufWriter::new(file),
+        hash: Chk64::new(),
+        path: tmp.clone(),
+    };
+    // Header placeholder; patched once the checksum is known. The
+    // placeholder bytes are NOT hashed — the checksum covers everything
+    // after the header.
+    sink.w
+        .write_all(&[0u8; HEADER_LEN])
+        .map_err(|e| io_err(&tmp, e))?;
+    // Offsets: prefix sums of the row lengths.
+    let mut acc = 0u64;
+    sink.put(&acc.to_le_bytes())?;
+    for &d in degrees {
+        acc += d;
+        sink.put(&acc.to_le_bytes())?;
+    }
+    debug_assert_eq!(acc, adj_len);
+    // Adjacency, padded to 8 bytes.
+    write_adj(&mut sink)?;
+    sink.pad_to8(adj_len * 4)?;
+    // Self loops, padded.
+    for &l in loops {
+        sink.put(&l.to_le_bytes())?;
+    }
+    sink.pad_to8(n as u64 * 4)?;
+    // Artifact, padded.
+    let artifact_len = artifact.map_or(0, |a| a.len() as u64);
+    if let Some(bytes) = artifact {
+        sink.put(bytes)?;
+        sink.pad_to8(artifact_len)?;
+    }
+    let header = Header {
+        version: FORMAT_VERSION,
+        flags,
+        n: n as u64,
+        m,
+        adj_len,
+        total_loops,
+        artifact_len,
+        checksum: sink.hash.clone().finalize(),
+    };
+    let mut file = sink
+        .w
+        .into_inner()
+        .map_err(|e| io_err(&tmp, e.into_error()))?;
+    file.seek(SeekFrom::Start(0)).map_err(|e| io_err(&tmp, e))?;
+    file.write_all(&header.encode())
+        .map_err(|e| io_err(&tmp, e))?;
+    file.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, output).map_err(|e| io_err(output, e))
+}
+
+/// A buffered, checksummed section writer handed to adjacency callbacks.
+pub(crate) struct Sink {
+    w: BufWriter<File>,
+    hash: Chk64,
+    path: PathBuf,
+}
+
+impl Sink {
+    /// Writes section bytes, folding them into the running checksum.
+    pub(crate) fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hash.update(bytes);
+        self.w.write_all(bytes).map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Zero-pads a section of unpadded length `len` to the 8-byte grid.
+    fn pad_to8(&mut self, len: u64) -> Result<()> {
+        let pad = (pad8(len) - len) as usize;
+        self.put(&[0u8; 8][..pad])
+    }
+}
+
+enum IdMap {
+    /// `n <count>` header: raw ids are already dense (isolated vertices
+    /// with no incident edges keep their slot).
+    Identity(u64),
+    /// Headerless: rank among the sorted distinct raw ids.
+    Dense(Vec<u64>),
+}
+
+impl IdMap {
+    fn n(&self) -> usize {
+        match self {
+            IdMap::Identity(count) => *count as usize,
+            IdMap::Dense(ids) => ids.len(),
+        }
+    }
+
+    fn map(&self, raw: u64) -> u32 {
+        match self {
+            IdMap::Identity(_) => raw as u32,
+            IdMap::Dense(ids) => ids.binary_search(&raw).expect("id was collected") as u32,
+        }
+    }
+}
+
+/// Interleaves the bits of `x` with zeros: `b31 … b1 b0` → `0b31 … 0b1 0b0`.
+fn spread_bits(x: u32) -> u64 {
+    let mut x = x as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Morton (Z-order) key of an edge: the bit-interleave of its endpoints.
+/// Edges whose endpoints are numerically close get nearby keys, so a
+/// first-touch sweep in key order clusters tightly connected vertices.
+fn morton_key(u: u32, v: u32) -> u64 {
+    (spread_bits(u) << 1) | spread_bits(v)
+}
+
+/// Externally sorts the dense edge run by Morton key and renumbers
+/// vertices in first-touch order. Vertices with no edges (isolated or
+/// loop-only) are appended afterwards in their dense order.
+fn morton_relabel(
+    scratch: &Scratch,
+    dense_path: &Path,
+    n: usize,
+    chunk: usize,
+) -> Result<Vec<u32>> {
+    let mut spiller: Spiller<(u64, u32, u32)> = Spiller::new(scratch, "morton", chunk, false);
+    let mut run = ChunkReader::open(dense_path)?;
+    while let Some((u, v)) = run.next::<(u32, u32)>()? {
+        spiller.push((morton_key(u, v), u, v))?;
+    }
+    let (mut merge, _) = spiller.finish()?;
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut relabel = vec![UNASSIGNED; n];
+    let mut next = 0u32;
+    while let Some((_key, u, v)) = merge.next_rec()? {
+        for x in [u, v] {
+            if relabel[x as usize] == UNASSIGNED {
+                relabel[x as usize] = next;
+                next += 1;
+            }
+        }
+    }
+    for slot in relabel.iter_mut() {
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next as usize, n);
+    Ok(relabel)
+}
+
+/// A fixed-width record that can spill to scratch files.
+trait Rec: Copy + Ord {
+    const SIZE: usize;
+    fn encode(&self, out: &mut [u8]);
+    fn decode(buf: &[u8]) -> Self;
+}
+
+impl Rec for (u64, u64) {
+    const SIZE: usize = 16;
+    fn encode(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..16].copy_from_slice(&self.1.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        (
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        )
+    }
+}
+
+impl Rec for (u32, u32) {
+    const SIZE: usize = 8;
+    fn encode(&self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.0.to_le_bytes());
+        out[4..8].copy_from_slice(&self.1.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        (
+            u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        )
+    }
+}
+
+impl Rec for (u64, u32, u32) {
+    const SIZE: usize = 16;
+    fn encode(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..12].copy_from_slice(&self.1.to_le_bytes());
+        out[12..16].copy_from_slice(&self.2.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        (
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+        )
+    }
+}
+
+/// Accumulates records, spilling each full chunk to a sorted scratch file.
+struct Spiller<'a, R: Rec> {
+    scratch: &'a Scratch,
+    tag: &'static str,
+    cap: usize,
+    dedup: bool,
+    removed: u64,
+    buf: Vec<R>,
+    files: Vec<PathBuf>,
+}
+
+impl<'a, R: Rec> Spiller<'a, R> {
+    fn new(scratch: &'a Scratch, tag: &'static str, cap: usize, dedup: bool) -> Spiller<'a, R> {
+        Spiller {
+            scratch,
+            tag,
+            cap,
+            dedup,
+            removed: 0,
+            buf: Vec::new(),
+            files: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, r: R) -> Result<()> {
+        self.buf.push(r);
+        if self.buf.len() >= self.cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable();
+        if self.dedup {
+            let before = self.buf.len();
+            self.buf.dedup();
+            self.removed += (before - self.buf.len()) as u64;
+        }
+        let path = self
+            .scratch
+            .file(&format!("{}-{}.spill", self.tag, self.files.len()));
+        let mut w = PairWriter::create(&path)?;
+        for r in self.buf.drain(..) {
+            w.put(r)?;
+        }
+        w.close()?;
+        self.files.push(path);
+        Ok(())
+    }
+
+    /// Flushes the tail chunk and opens the k-way merge over all chunks.
+    /// Returns `(merge, chunk_count)`; in-chunk dedup removals carry over
+    /// into [`Merge::removed`] so the caller sees one total.
+    fn finish(mut self) -> Result<(Merge<R>, usize)> {
+        self.flush()?;
+        let chunks = self.files.len();
+        let mut merge = Merge::open(std::mem::take(&mut self.files))?;
+        merge.removed = self.removed;
+        Ok((merge, chunks))
+    }
+}
+
+/// Buffered fixed-width record writer for scratch files.
+struct PairWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl PairWriter {
+    fn create(path: &Path) -> Result<PairWriter> {
+        Ok(PairWriter {
+            w: BufWriter::new(File::create(path).map_err(|e| io_err(path, e))?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn put<R: Rec>(&mut self, r: R) -> Result<()> {
+        let mut buf = [0u8; 16];
+        r.encode(&mut buf[..R::SIZE]);
+        self.w
+            .write_all(&buf[..R::SIZE])
+            .map_err(|e| io_err(&self.path, e))
+    }
+
+    fn close(mut self) -> Result<()> {
+        self.w.flush().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+/// Sequential reader over one fixed-width scratch file.
+struct ChunkReader {
+    r: BufReader<File>,
+    path: PathBuf,
+}
+
+impl ChunkReader {
+    fn open(path: &Path) -> Result<ChunkReader> {
+        Ok(ChunkReader {
+            r: BufReader::new(File::open(path).map_err(|e| io_err(path, e))?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn next<R: Rec>(&mut self) -> Result<Option<R>> {
+        let mut buf = [0u8; 16];
+        match self.r.read_exact(&mut buf[..R::SIZE]) {
+            Ok(()) => Ok(Some(R::decode(&buf[..R::SIZE]))),
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(io_err(&self.path, e)),
+        }
+    }
+}
+
+/// K-way merge over sorted scratch files: a binary heap of per-file heads
+/// yields the globally sorted record stream.
+struct Merge<R: Rec> {
+    readers: Vec<ChunkReader>,
+    heap: BinaryHeap<Reverse<(R, usize)>>,
+    removed: u64,
+}
+
+impl<R: Rec> Merge<R> {
+    fn open(files: Vec<PathBuf>) -> Result<Merge<R>> {
+        let mut readers = Vec::with_capacity(files.len());
+        let mut heap = BinaryHeap::with_capacity(files.len());
+        for (idx, path) in files.iter().enumerate() {
+            let mut reader = ChunkReader::open(path)?;
+            if let Some(rec) = reader.next::<R>()? {
+                heap.push(Reverse((rec, idx)));
+            }
+            readers.push(reader);
+        }
+        Ok(Merge {
+            readers,
+            heap,
+            removed: 0,
+        })
+    }
+
+    fn next_rec(&mut self) -> Result<Option<R>> {
+        let Some(Reverse((rec, idx))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some(next) = self.readers[idx].next::<R>()? {
+            self.heap.push(Reverse((next, idx)));
+        }
+        Ok(Some(rec))
+    }
+}
+
+/// A private scratch directory, removed (best-effort) on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new() -> Result<Scratch> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("storage-convert-{}-{id}", std::process::id()));
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(Scratch { dir })
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    path.with_file_name(format!(".{name}.tmp-{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrFile;
+
+    fn convert_str(text: &str, opts: &ConvertOptions, tag: &str) -> (ConvertReport, Graph) {
+        let dir = crate::test_dir(tag);
+        let input = dir.join("in.txt");
+        fs::write(&input, text).unwrap();
+        let out = dir.join("out.csr");
+        let report = convert_edge_list(&input, &out, opts).unwrap();
+        let g = CsrFile::open(&out).unwrap().to_graph().unwrap();
+        fs::remove_dir_all(&dir).ok();
+        (report, g)
+    }
+
+    #[test]
+    fn header_input_matches_text_loader() {
+        let g = graph::gen::gnp(60, 0.12, 4).unwrap();
+        let text = graph::io::to_edge_list(&g);
+        let (report, loaded) = convert_str(&text, &ConvertOptions::default(), "conv-hdr");
+        assert_eq!(loaded, g);
+        assert_eq!(report.m, g.m() as u64);
+        assert!(!report.dense_relabeled);
+    }
+
+    #[test]
+    fn tiny_chunks_spill_and_agree_with_one_chunk() {
+        let g = graph::gen::gnp(40, 0.3, 7).unwrap();
+        let text = graph::io::to_edge_list(&g);
+        let small = ConvertOptions {
+            chunk_edges: 16,
+            ..ConvertOptions::default()
+        };
+        let (report_small, g_small) = convert_str(&text, &small, "conv-small");
+        let (report_big, g_big) = convert_str(&text, &ConvertOptions::default(), "conv-big");
+        assert!(report_small.chunks > 1, "16-edge chunks must spill");
+        assert_eq!(report_big.chunks, 1);
+        assert_eq!(g_small, g_big);
+        assert_eq!(g_small, g);
+    }
+
+    #[test]
+    fn headerless_input_is_densely_relabeled() {
+        // Sparse 1-indexed ids with both directions recorded (SNAP style).
+        let text = "% comment\n100 200\n200 100\n200 300\n300 100\n7 7\n";
+        let (report, g) = convert_str(text, &ConvertOptions::default(), "conv-dense");
+        assert!(report.dense_relabeled);
+        assert_eq!(report.n, 4); // ids 7, 100, 200, 300
+        assert_eq!(report.m, 3);
+        assert_eq!(report.duplicates_removed, 1);
+        assert_eq!(report.self_loops, 1);
+        assert_eq!(g.self_loops(0), 1); // id 7 → dense 0
+        assert_eq!(g.neighbors(1), &[2, 3]); // 100 ↔ {200, 300}
+    }
+
+    #[test]
+    fn dedup_off_keeps_multiplicities() {
+        let text = "n 3\n0 1\n1 0\n0 1\n2 2\n2 2\n";
+        let opts = ConvertOptions {
+            dedup: false,
+            ..ConvertOptions::default()
+        };
+        let (report, g) = convert_str(text, &opts, "conv-multi");
+        assert_eq!(report.duplicates_removed, 0);
+        assert_eq!(g.m(), 3); // three parallel copies of {0,1}
+        assert_eq!(g.self_loops(2), 2);
+    }
+
+    #[test]
+    fn declared_header_preserves_isolated_vertices() {
+        let text = "n 6\n0 1\n";
+        let (report, g) = convert_str(text, &ConvertOptions::default(), "conv-isolated");
+        assert_eq!(report.n, 6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn morton_is_an_isomorphic_relabeling() {
+        let g = graph::gen::gnp(80, 0.1, 13).unwrap();
+        let text = graph::io::to_edge_list(&g);
+        let opts = ConvertOptions {
+            morton: true,
+            chunk_edges: 32, // force the external path
+            ..ConvertOptions::default()
+        };
+        let dir = crate::test_dir("conv-morton");
+        let input = dir.join("in.txt");
+        fs::write(&input, &text).unwrap();
+        let out = dir.join("out.csr");
+        let report = convert_edge_list(&input, &out, &opts).unwrap();
+        assert!(report.morton);
+        let file = CsrFile::open(&out).unwrap();
+        assert!(file.header().morton());
+        let h = file.to_graph().unwrap();
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        // Relabeling preserves the degree multiset.
+        let mut dg: Vec<usize> = (0..g.n() as u32).map(|v| g.degree(v)).collect();
+        let mut dh: Vec<usize> = (0..h.n() as u32).map(|v| h.degree(v)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let dir = crate::test_dir("conv-err");
+        let input = dir.join("in.txt");
+        let out = dir.join("out.csr");
+        let case = |text: &str| -> StorageError {
+            fs::write(&input, text).unwrap();
+            convert_edge_list(&input, &out, &ConvertOptions::default()).unwrap_err()
+        };
+        match case("# ok\n0 1\n0 x\n") {
+            StorageError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("\"x\""), "{reason}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+        match case("n 2\n0 5\n") {
+            StorageError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("out of range"), "{reason}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+        match case("0 1 2\n") {
+            StorageError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Parse, got {other}"),
+        }
+        assert!(matches!(
+            convert_edge_list(&dir.join("missing.txt"), &out, &ConvertOptions::default()),
+            Err(StorageError::Io { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_inputs_produce_valid_files() {
+        let (report, g) = convert_str("# nothing\n", &ConvertOptions::default(), "conv-empty");
+        assert_eq!((report.n, report.m), (0, 0));
+        assert_eq!(g.n(), 0);
+        let (report, g) = convert_str("n 3\n", &ConvertOptions::default(), "conv-empty-n");
+        assert_eq!((report.n, report.m), (3, 0));
+        assert_eq!(g.n(), 3);
+    }
+
+    #[test]
+    fn morton_key_interleaves() {
+        assert_eq!(spread_bits(0b11), 0b101);
+        assert_eq!(morton_key(0, 0b1), 0b1);
+        assert_eq!(morton_key(0b1, 0), 0b10);
+        // Nearby coordinates → nearby keys (locality sanity).
+        assert!(morton_key(2, 3) < morton_key(200, 300));
+    }
+}

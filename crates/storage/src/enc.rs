@@ -1,0 +1,173 @@
+//! Little-endian byte codec for the frozen-artifact section. Internal:
+//! the graph sections are laid out by `format`/`convert` directly; this
+//! cursor pair is only for the variable-shape artifact payload.
+
+use crate::{Result, StorageError};
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub(crate) fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader. Every overrun is a typed
+/// [`StorageError::Artifact`] — decoding never panics on corrupt input.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(StorageError::Artifact {
+                reason: format!(
+                    "payload overrun: need {len} bytes at offset {} of {}",
+                    self.pos,
+                    self.buf.len()
+                ),
+            }),
+        }
+    }
+
+    pub(crate) fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Length as `usize`, guarded so a corrupt huge count cannot trigger
+    /// an out-of-memory allocation before the overrun is detected.
+    pub(crate) fn get_len(&mut self) -> Result<usize> {
+        let len = self.get_u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        // Every encoded element occupies at least one byte.
+        if len > remaining {
+            return Err(StorageError::Artifact {
+                reason: format!("declared length {len} exceeds {remaining} remaining bytes"),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    pub(crate) fn get_u32_vec(&mut self) -> Result<Vec<u32>> {
+        let len = self.get_len()?;
+        let bytes = self.take(len.checked_mul(4).ok_or_else(|| StorageError::Artifact {
+            reason: "u32 slice length overflow".to_string(),
+        })?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    pub(crate) fn finish(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StorageError::Artifact {
+                reason: format!(
+                    "{} trailing bytes after the payload",
+                    self.buf.len() - self.pos
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(std::f64::consts::PI);
+        w.put_u32_slice(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn overrun_and_trailing_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.get_u32(), Err(StorageError::Artifact { .. })));
+
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd length prefix
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_u32_vec(),
+            Err(StorageError::Artifact { .. })
+        ));
+
+        let mut r = ByteReader::new(&[0u8; 3]);
+        r.get_u8().unwrap();
+        assert!(matches!(r.finish(), Err(StorageError::Artifact { .. })));
+    }
+}

@@ -1,0 +1,432 @@
+//! The on-disk CSR byte layout: header, section arithmetic, checksum.
+//!
+//! All integers are **little-endian**. The file is a 64-byte header
+//! followed by four sections, each padded to an 8-byte boundary:
+//!
+//! | section  | contents                              | bytes (unpadded)  |
+//! |----------|---------------------------------------|-------------------|
+//! | offsets  | `(n + 1) × u64` CSR row offsets       | `8·(n+1)`         |
+//! | adj      | `adj_len × u32` neighbor ids          | `4·adj_len`       |
+//! | loops    | `n × u32` self-loop counts            | `4·n`             |
+//! | artifact | frozen query-engine bytes (optional)  | `artifact_len`    |
+//!
+//! `adj_len = offsets[n] = 2·m` (each non-loop undirected edge occupies
+//! one slot in each endpoint's row; self loops live only in `loops`).
+//! Rows are sorted ascending. The header checksum covers **every byte
+//! after the header**, padding included, so a flipped bit anywhere in any
+//! section is caught before the sections are interpreted. The full
+//! byte-exact specification (with the checksum algorithm) is DATASETS.md.
+
+use crate::{Result, StorageError};
+
+/// First 8 bytes of every on-disk CSR file.
+pub const MAGIC: [u8; 8] = *b"EXPDCSR\0";
+
+/// Format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header flag: the vertex ids were Morton-relabeled by the converter.
+pub const FLAG_MORTON: u32 = 1 << 0;
+
+/// Header flag: the file carries a frozen query-engine artifact section.
+pub const FLAG_HAS_ARTIFACT: u32 = 1 << 1;
+
+/// Byte length of the fixed header.
+pub const HEADER_LEN: usize = 64;
+
+const KNOWN_FLAGS: u32 = FLAG_MORTON | FLAG_HAS_ARTIFACT;
+
+/// Rounds `len` up to the next multiple of 8 (section padding).
+pub(crate) fn pad8(len: u64) -> u64 {
+    len.div_ceil(8) * 8
+}
+
+/// The parsed fixed-size header of an on-disk CSR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (see [`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Flag bits ([`FLAG_MORTON`], [`FLAG_HAS_ARTIFACT`]).
+    pub flags: u32,
+    /// Number of vertices.
+    pub n: u64,
+    /// Number of non-loop undirected edges (with multiplicity).
+    pub m: u64,
+    /// Total adjacency slots: `offsets[n] = 2·m`.
+    pub adj_len: u64,
+    /// Total self loops across all vertices.
+    pub total_loops: u64,
+    /// Unpadded byte length of the artifact section (0 = absent).
+    pub artifact_len: u64,
+    /// Checksum over every byte after the header.
+    pub checksum: u64,
+}
+
+/// Byte ranges of the four sections, resolved against a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Offsets section start (always [`HEADER_LEN`]).
+    pub offsets: u64,
+    /// Adjacency section start.
+    pub adj: u64,
+    /// Self-loop section start.
+    pub loops: u64,
+    /// Artifact section start (== `file_len` when absent).
+    pub artifact: u64,
+    /// Exact total file length the header implies.
+    pub file_len: u64,
+}
+
+impl Header {
+    /// Parses and sanity-checks the first [`HEADER_LEN`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Truncated`] if fewer than [`HEADER_LEN`] bytes are
+    /// given, [`StorageError::BadMagic`] / [`StorageError::BadVersion`] on
+    /// foreign or future files, [`StorageError::Corrupt`] on internally
+    /// inconsistent counts.
+    pub fn parse(bytes: &[u8]) -> Result<Header> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StorageError::Truncated {
+                expected: HEADER_LEN as u64,
+                found: bytes.len() as u64,
+            });
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        if bytes[..8] != MAGIC {
+            return Err(StorageError::BadMagic {
+                found: bytes[..8].try_into().unwrap(),
+            });
+        }
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(StorageError::BadVersion { found: version });
+        }
+        let header = Header {
+            version,
+            flags: u32_at(12),
+            n: u64_at(16),
+            m: u64_at(24),
+            adj_len: u64_at(32),
+            total_loops: u64_at(40),
+            artifact_len: u64_at(48),
+            checksum: u64_at(56),
+        };
+        if header.flags & !KNOWN_FLAGS != 0 {
+            return Err(StorageError::Corrupt {
+                reason: format!("unknown flag bits {:#x}", header.flags & !KNOWN_FLAGS),
+            });
+        }
+        if header.n > u32::MAX as u64 {
+            return Err(StorageError::Corrupt {
+                reason: format!("{} vertices exceed the u32 vertex-id space", header.n),
+            });
+        }
+        if header.adj_len != header.m.wrapping_mul(2) {
+            return Err(StorageError::Corrupt {
+                reason: format!("adj_len {} is not 2·m (m = {})", header.adj_len, header.m),
+            });
+        }
+        if header.artifact_len > 0 && header.flags & FLAG_HAS_ARTIFACT == 0 {
+            return Err(StorageError::Corrupt {
+                reason: "artifact bytes present but HAS_ARTIFACT flag clear".to_string(),
+            });
+        }
+        if header.artifact_len == 0 && header.flags & FLAG_HAS_ARTIFACT != 0 {
+            return Err(StorageError::Corrupt {
+                reason: "HAS_ARTIFACT flag set but artifact_len is 0".to_string(),
+            });
+        }
+        Ok(header)
+    }
+
+    /// Encodes the header into its [`HEADER_LEN`] bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
+        out[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        out[16..24].copy_from_slice(&self.n.to_le_bytes());
+        out[24..32].copy_from_slice(&self.m.to_le_bytes());
+        out[32..40].copy_from_slice(&self.adj_len.to_le_bytes());
+        out[40..48].copy_from_slice(&self.total_loops.to_le_bytes());
+        out[48..56].copy_from_slice(&self.artifact_len.to_le_bytes());
+        out[56..64].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Resolves the section layout, with overflow-checked arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] when the declared counts overflow a
+    /// representable file length.
+    pub fn layout(&self) -> Result<Layout> {
+        let overflow = || StorageError::Corrupt {
+            reason: "declared section sizes overflow".to_string(),
+        };
+        let offsets = HEADER_LEN as u64;
+        let offsets_bytes = self
+            .n
+            .checked_add(1)
+            .and_then(|rows| rows.checked_mul(8))
+            .ok_or_else(overflow)?;
+        let adj = offsets.checked_add(offsets_bytes).ok_or_else(overflow)?;
+        let adj_bytes = pad8(self.adj_len.checked_mul(4).ok_or_else(overflow)?);
+        let loops = adj.checked_add(adj_bytes).ok_or_else(overflow)?;
+        let loops_bytes = pad8(self.n.checked_mul(4).ok_or_else(overflow)?);
+        let artifact = loops.checked_add(loops_bytes).ok_or_else(overflow)?;
+        let file_len = artifact
+            .checked_add(pad8(self.artifact_len))
+            .ok_or_else(overflow)?;
+        Ok(Layout {
+            offsets,
+            adj,
+            loops,
+            artifact,
+            file_len,
+        })
+    }
+
+    /// Whether the converter Morton-relabeled the vertex ids.
+    pub fn morton(&self) -> bool {
+        self.flags & FLAG_MORTON != 0
+    }
+
+    /// Whether the file carries a frozen query-engine artifact.
+    pub fn has_artifact(&self) -> bool {
+        self.flags & FLAG_HAS_ARTIFACT != 0
+    }
+}
+
+/// Streaming 64-bit checksum over section bytes (see DATASETS.md for the
+/// byte-exact definition). Not cryptographic — it guards against
+/// truncation, bit rot and interrupted writes, at memory speed.
+///
+/// # Examples
+///
+/// ```
+/// use storage::Chk64;
+///
+/// let mut h = Chk64::new();
+/// h.update(b"split across");
+/// h.update(b" calls");
+/// assert_eq!(h.finalize(), storage::checksum(b"split across calls"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chk64 {
+    h: u64,
+    carry: [u8; 8],
+    carry_len: usize,
+    len: u64,
+}
+
+const CHK_INIT: u64 = 0x9E37_79B9_7F4A_7C15;
+const CHK_MUL: u64 = 0x517C_C1B7_2722_0A95;
+
+impl Chk64 {
+    /// A fresh hasher.
+    pub fn new() -> Chk64 {
+        Chk64 {
+            h: CHK_INIT,
+            carry: [0u8; 8],
+            carry_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mix(&mut self, chunk: u64) {
+        self.h = (self.h ^ chunk).wrapping_mul(CHK_MUL).rotate_left(27);
+    }
+
+    /// Absorbs `bytes` (any length; calls may split at any boundary).
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        let mut rest = bytes;
+        if self.carry_len > 0 {
+            let take = rest.len().min(8 - self.carry_len);
+            self.carry[self.carry_len..self.carry_len + take].copy_from_slice(&rest[..take]);
+            self.carry_len += take;
+            rest = &rest[take..];
+            if self.carry_len == 8 {
+                self.mix(u64::from_le_bytes(self.carry));
+                self.carry_len = 0;
+            } else {
+                return;
+            }
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        self.carry[..rem.len()].copy_from_slice(rem);
+        self.carry_len = rem.len();
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finalize(mut self) -> u64 {
+        if self.carry_len > 0 {
+            self.carry[self.carry_len..].fill(0);
+            let chunk = u64::from_le_bytes(self.carry);
+            self.mix(chunk);
+        }
+        let mut h = self.h ^ self.len;
+        h ^= h >> 31;
+        h = h.wrapping_mul(CHK_MUL);
+        h ^= h >> 29;
+        h
+    }
+}
+
+impl Default for Chk64 {
+    fn default() -> Self {
+        Chk64::new()
+    }
+}
+
+/// One-shot [`Chk64`] over a byte slice.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = Chk64::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            flags: FLAG_MORTON,
+            n: 10,
+            m: 7,
+            adj_len: 14,
+            total_loops: 3,
+            artifact_len: 0,
+            checksum: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = sample_header();
+        let parsed = Header::parse(&h.encode()).unwrap();
+        assert_eq!(h, parsed);
+    }
+
+    #[test]
+    fn layout_is_aligned_and_exact() {
+        let l = sample_header().layout().unwrap();
+        assert_eq!(l.offsets, 64);
+        assert_eq!(l.adj, 64 + 11 * 8);
+        // 14 × 4 = 56 bytes, already a multiple of 8.
+        assert_eq!(l.loops, l.adj + 56);
+        // 10 × 4 = 40 bytes, already aligned.
+        assert_eq!(l.artifact, l.loops + 40);
+        assert_eq!(l.file_len, l.artifact);
+        for s in [l.offsets, l.adj, l.loops, l.artifact, l.file_len] {
+            assert_eq!(s % 8, 0, "section start {s} unaligned");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic_version_flags() {
+        let mut bytes = sample_header().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Header::parse(&bytes),
+            Err(StorageError::BadMagic { .. })
+        ));
+
+        let mut h = sample_header();
+        h.version = 99;
+        assert!(matches!(
+            Header::parse(&h.encode()),
+            Err(StorageError::BadVersion { found: 99 })
+        ));
+
+        let mut h = sample_header();
+        h.flags = 0x80;
+        assert!(matches!(
+            Header::parse(&h.encode()),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        assert!(matches!(
+            Header::parse(&[0u8; 10]),
+            Err(StorageError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_counts() {
+        let mut h = sample_header();
+        h.adj_len = 13; // not 2·m
+        assert!(matches!(
+            Header::parse(&h.encode()),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        let mut h = sample_header();
+        h.artifact_len = 16; // bytes without the flag
+        assert!(matches!(
+            Header::parse(&h.encode()),
+            Err(StorageError::Corrupt { .. })
+        ));
+
+        let mut h = sample_header();
+        h.flags |= FLAG_HAS_ARTIFACT; // flag without bytes
+        assert!(matches!(
+            Header::parse(&h.encode()),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn layout_overflow_is_an_error_not_a_panic() {
+        let mut h = sample_header();
+        h.n = u32::MAX as u64;
+        h.m = u64::MAX / 2;
+        h.adj_len = h.m * 2;
+        assert!(matches!(h.layout(), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn checksum_is_split_invariant_and_length_sensitive() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let whole = checksum(&data);
+        for split in [0, 1, 7, 8, 9, 63, 999, data.len()] {
+            let mut h = Chk64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+        assert_ne!(checksum(b""), checksum(&[0u8]));
+        assert_ne!(checksum(&[0u8; 8]), checksum(&[0u8; 16]));
+        let mut flipped = data.clone();
+        flipped[500] ^= 1;
+        assert_ne!(checksum(&flipped), whole);
+    }
+
+    #[test]
+    fn checksum_matches_the_pinned_datasets_md_vectors() {
+        // These constants are published in DATASETS.md §1.3; changing the
+        // algorithm without a version bump breaks every existing file.
+        assert_eq!(checksum(b""), 0x19E1_B133_F182_F56A);
+        assert_eq!(checksum(b"expander"), 0xDE9C_4201_37FE_D557);
+        assert_eq!(checksum(b"DATASETS.md"), 0x9532_FC32_5E7B_AB0E);
+    }
+
+    #[test]
+    fn pad8_rounds_up() {
+        assert_eq!(pad8(0), 0);
+        assert_eq!(pad8(1), 8);
+        assert_eq!(pad8(8), 8);
+        assert_eq!(pad8(9), 16);
+    }
+}

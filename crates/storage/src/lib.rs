@@ -1,0 +1,184 @@
+//! The real-graph ingestion tier: a versioned binary **on-disk CSR**
+//! format, a memory-mapped zero-copy loader, and an out-of-core edge-list
+//! converter.
+//!
+//! Every workload the pipeline ran before this crate existed was
+//! synthetic. This crate closes the loop to real sparse graphs (road
+//! networks, social graphs, anything SNAP-shaped):
+//!
+//! * [`convert`] — turn a plain-text edge list into the binary CSR file,
+//!   sorting **out-of-core** in bounded-memory chunks with a k-way merge,
+//!   optionally applying Morton-order vertex relabeling for locality.
+//! * [`CsrFile`] — open a CSR file read-only through `mmap` (heap-read
+//!   fallback), validate it (magic, version, bounds, checksum, structure)
+//!   and expose a **zero-copy** [`CsrView`] implementing
+//!   [`graph::view::AdjacencyView`], or materialize a full
+//!   [`graph::Graph`] via [`CsrFile::to_graph`].
+//! * [`artifact`] — persist a built [`triangle::service::QueryEngine`]
+//!   into the file's frozen-artifact section and restore it without
+//!   re-running the decomposition.
+//!
+//! The byte-exact format specification lives in `DATASETS.md`; the mmap
+//! safety and immutability contract in `DESIGN.md` §13. Files are
+//! **immutable once written**: every writer in this crate builds a
+//! temporary file and renames it into place, so a concurrently mapped
+//! reader keeps its (old-inode) view.
+//!
+//! # Examples
+//!
+//! Convert an edge list, load it zero-copy, and materialize the graph:
+//!
+//! ```
+//! use storage::{convert_edge_list, ConvertOptions, CsrFile};
+//!
+//! let dir = storage::test_dir("doc-convert");
+//! let input = dir.join("tiny.txt");
+//! std::fs::write(&input, "# a triangle plus a tail\n0 1\n1 2\n2 0\n2 3\n").unwrap();
+//! let out = dir.join("tiny.csr");
+//! let report = convert_edge_list(&input, &out, &ConvertOptions::default()).unwrap();
+//! assert_eq!((report.n, report.m), (4, 4));
+//!
+//! let file = CsrFile::open(&out).unwrap();
+//! let g = file.to_graph().unwrap();
+//! assert_eq!(g.neighbors(2), &[0, 1, 3]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod convert;
+mod enc;
+pub mod format;
+mod mmap;
+pub mod view;
+
+pub use convert::{convert_edge_list, write_graph, ConvertOptions, ConvertReport};
+pub use format::{checksum, Chk64, Header, FLAG_HAS_ARTIFACT, FLAG_MORTON, FORMAT_VERSION, MAGIC};
+pub use view::{CsrFile, CsrView};
+
+use std::path::PathBuf;
+
+/// Errors produced by the storage tier. Corrupted or truncated files are
+/// always a typed error from [`CsrFile::open`] — never a panic, never UB.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The first 8 bytes found instead.
+        found: [u8; 8],
+    },
+    /// The file's format version is not supported by this build.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file is shorter than its header declares.
+    Truncated {
+        /// Bytes the header-derived layout requires.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The stored checksum does not match the section bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the file's section bytes.
+        computed: u64,
+    },
+    /// A structural invariant of the CSR sections is violated.
+    Corrupt {
+        /// What was violated.
+        reason: String,
+    },
+    /// Failure while parsing a plain-text edge-list input.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The frozen-artifact section is absent, malformed, or inconsistent
+    /// with the graph sections.
+    Artifact {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            StorageError::BadMagic { found } => {
+                write!(f, "not an on-disk CSR file (magic {found:02x?})")
+            }
+            StorageError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads version {FORMAT_VERSION})"
+                )
+            }
+            StorageError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "file truncated: layout needs {expected} bytes, found {found}"
+                )
+            }
+            StorageError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: header says {stored:#018x}, sections hash to {computed:#018x}"
+                )
+            }
+            StorageError::Corrupt { reason } => write!(f, "corrupt CSR sections: {reason}"),
+            StorageError::Parse { line, reason } => {
+                write!(f, "edge-list parse error on line {line}: {reason}")
+            }
+            StorageError::Artifact { reason } => write!(f, "frozen artifact: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> StorageError {
+    StorageError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// A fresh private directory under the system temp dir, for doctests and
+/// unit tests that need to write files. Unique per call (pid + counter),
+/// created eagerly. Callers clean up with `remove_dir_all`.
+pub fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("storage-{tag}-{}-{id}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

@@ -1,0 +1,207 @@
+//! Read-only file access: `mmap` when available, heap read as fallback.
+//!
+//! This is the **only** module in the workspace that contains `unsafe`
+//! code, and all of it is the FFI surface of `mmap(2)`/`munmap(2)` plus
+//! the reconstruction of the mapped bytes as a `&[u8]`. The safety
+//! argument (DESIGN.md §13) rests on the crate-wide immutability
+//! contract:
+//!
+//! * mappings are created `PROT_READ` + `MAP_PRIVATE` — nothing in this
+//!   process can write through them, and writes by other processes to the
+//!   same inode are not guaranteed to be visible (nor relied upon);
+//! * every writer in this crate produces a **new** file and renames it
+//!   into place, so the inode behind a live mapping is never rewritten by
+//!   this codebase. (An external actor truncating a mapped file can still
+//!   deliver `SIGBUS` — a crash, not memory unsafety — which is why the
+//!   contract is documented rather than assumed silently.)
+//!
+//! Set `STORAGE_FORCE_HEAP=1` to bypass `mmap` (tests exercise both
+//! backends; non-Unix targets always take the heap path).
+
+#![allow(unsafe_code)]
+
+use crate::{io_err, Result};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// A file's bytes, either memory-mapped or read onto the heap.
+#[derive(Debug)]
+pub(crate) struct MappedFile {
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Heap(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(Region),
+}
+
+impl MappedFile {
+    /// Opens `path` read-only. Prefers `mmap`; falls back to a heap read
+    /// when mapping is unavailable (empty file, exotic filesystem,
+    /// `STORAGE_FORCE_HEAP=1`, non-Unix target).
+    pub(crate) fn open(path: &Path) -> Result<MappedFile> {
+        let mut file = File::open(path).map_err(|e| io_err(path, e))?;
+        let len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        let force_heap = std::env::var_os("STORAGE_FORCE_HEAP").is_some_and(|v| v == "1");
+        #[cfg(unix)]
+        if !force_heap && len > 0 && len <= usize::MAX as u64 {
+            if let Some(region) = Region::map(&file, len as usize) {
+                return Ok(MappedFile {
+                    backing: Backing::Mapped(region),
+                });
+            }
+        }
+        let _ = force_heap;
+        let mut buf = Vec::with_capacity(len.min(usize::MAX as u64) as usize);
+        file.read_to_end(&mut buf).map_err(|e| io_err(path, e))?;
+        Ok(MappedFile {
+            backing: Backing::Heap(buf),
+        })
+    }
+
+    /// The file's bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Heap(v) => v,
+            #[cfg(unix)]
+            Backing::Mapped(r) => r.bytes(),
+        }
+    }
+
+    /// Whether the bytes come from a live `mmap` (false = heap copy).
+    pub(crate) fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Heap(_) => false,
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+        }
+    }
+}
+
+#[cfg(unix)]
+use sys::Region;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::raw::c_int;
+    use std::os::unix::io::AsRawFd;
+
+    // Minimal hand-written bindings: this environment vendors no `libc`
+    // crate, and std already links the platform libc, so the two symbols
+    // resolve at link time. Constants are the Linux/POSIX values shared
+    // by every Unix this workspace targets.
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned `PROT_READ`/`MAP_PRIVATE` mapping of a whole file.
+    #[derive(Debug)]
+    pub(crate) struct Region {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the region is created PROT_READ and never handed out
+    // mutably; a read-only mapping is freely shareable across threads,
+    // exactly like the `&[u8]` it is exposed as.
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    impl Region {
+        /// Maps `len > 0` bytes of `file`. Returns `None` when the kernel
+        /// refuses (the caller falls back to a heap read).
+        pub(crate) fn map(file: &File, len: usize) -> Option<Region> {
+            // SAFETY: plain syscall; a NULL hint, a non-negative fd and
+            // offset 0 are always valid arguments. The result is checked
+            // against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == usize::MAX as *mut c_void || ptr.is_null() {
+                return None;
+            }
+            Some(Region {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub(crate) fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, held until Drop; the immutability contract (module
+            // docs) guarantees no writer aliases it within this codebase.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Region {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly what `map` mapped; the only
+            // borrows of the region live inside `MappedFile`, which is
+            // being dropped with us.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_back() {
+        let dir = crate::test_dir("mmap");
+        let path = dir.join("blob.bin");
+        let data: Vec<u8> = (0..100_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), &data[..]);
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "unix should take the mmap path");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_takes_heap_path() {
+        let dir = crate::test_dir("mmap-empty");
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.bytes().is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let dir = crate::test_dir("mmap-missing");
+        let err = MappedFile::open(&dir.join("nope.bin")).unwrap_err();
+        assert!(matches!(err, crate::StorageError::Io { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

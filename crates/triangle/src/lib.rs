@@ -42,4 +42,7 @@ pub use count::{count_triangles, enumerate_triangles, Triangle};
 pub use pipeline::{
     enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, TriangleReport,
 };
-pub use service::{Answer, Emit, Query, QueryEngine, QueryOutcome, ServeReport, ServiceError};
+pub use service::{
+    Answer, Emit, FrozenCluster, FrozenEngine, FrozenReport, Query, QueryEngine, QueryOutcome,
+    RestoreError, ServeReport, ServiceError,
+};

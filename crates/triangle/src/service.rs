@@ -38,11 +38,12 @@
 
 use crate::count::Triangle;
 use crate::pipeline::{snapshot_member_adjacency, PipelineParams};
+use expander::decomposition::RemovalTag;
 use expander::scheduler::{derive_seed, run_jobs, JobStats, SchedulerPolicy, ScratchPool};
-use expander::{ClusterAssignment, ExpanderDecomposition};
+use expander::{ClusterAssignment, ClusterCertificate, ExpanderDecomposition};
 use graph::view::Subgraph;
 use graph::{Graph, VertexId, VertexSet, WorkingGraph};
-use routing::{QueryCharge, RoutingHierarchy};
+use routing::{HierarchyParts, QueryCharge, RoutingHierarchy};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -558,6 +559,212 @@ impl QueryEngine {
             stats,
         }
     }
+
+    /// Snapshots the engine into plain owned data ([`FrozenEngine`]) that
+    /// a persistence layer can serialize. Everything a query touches is
+    /// captured — restoring with [`QueryEngine::from_frozen`] yields
+    /// **bit-identical** answers, charges included.
+    pub fn to_frozen(&self) -> FrozenEngine {
+        FrozenEngine {
+            n: self.assignment.n,
+            cluster_of: self.assignment.cluster_of.clone(),
+            members: self
+                .assignment
+                .clusters
+                .iter()
+                .map(|part| part.iter().collect())
+                .collect(),
+            inter_cluster: self.assignment.inter_cluster.clone(),
+            phi: self.assignment.phi,
+            certificates: self.assignment.certificates.clone(),
+            clusters: self
+                .clusters
+                .iter()
+                .map(|a| FrozenCluster {
+                    adj: a.adj.clone(),
+                    local_deg: a.local_deg.clone(),
+                    hierarchy: a.hierarchy.as_ref().map(RoutingHierarchy::to_parts),
+                })
+                .collect(),
+            local_of: self.local_of.clone(),
+            report: FrozenReport {
+                m: self.build.m,
+                decomposition_rounds: self.build.decomposition_rounds,
+                wall_decompose_ns: duration_to_ns(self.build.wall_decompose),
+                wall_freeze_ns: duration_to_ns(self.build.wall_freeze),
+            },
+        }
+    }
+
+    /// Rebuilds an engine from a frozen snapshot without re-running the
+    /// decomposition or the hierarchy builds. Every structural invariant
+    /// a query relies on is re-validated first, so corrupted or
+    /// hand-forged snapshots produce a typed [`RestoreError`], never a
+    /// panic at answer time.
+    ///
+    /// Derived report fields (`routed_clusters`, `hierarchy_build_rounds`,
+    /// `snapshot_words`) are recomputed from the restored state; they are
+    /// deterministic functions of it, so they match the original build.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] naming the violated invariant.
+    pub fn from_frozen(frozen: FrozenEngine) -> Result<QueryEngine, RestoreError> {
+        let bad = |reason: String| RestoreError { reason };
+        let n = frozen.n;
+        let x = frozen.members.len();
+        if frozen.cluster_of.len() != n {
+            return Err(bad(format!(
+                "cluster_of covers {} vertices, n = {n}",
+                frozen.cluster_of.len()
+            )));
+        }
+        if frozen.local_of.len() != n {
+            return Err(bad(format!(
+                "local_of covers {} vertices, n = {n}",
+                frozen.local_of.len()
+            )));
+        }
+        if frozen.certificates.len() != x || frozen.clusters.len() != x {
+            return Err(bad(format!(
+                "{x} member lists vs {} certificates vs {} cluster artifacts",
+                frozen.certificates.len(),
+                frozen.clusters.len()
+            )));
+        }
+        let total_members: usize = frozen.members.iter().map(Vec::len).sum();
+        if total_members != n {
+            return Err(bad(format!(
+                "member lists hold {total_members} vertices, n = {n}"
+            )));
+        }
+        // Membership must agree with the persisted cluster_of/local_of
+        // inverses exactly; together with the count check above, every
+        // vertex appears in exactly one cluster at its recorded slot.
+        for (c, members) in frozen.members.iter().enumerate() {
+            let mut prev: Option<VertexId> = None;
+            for (slot, &v) in members.iter().enumerate() {
+                if (v as usize) >= n {
+                    return Err(bad(format!("cluster {c} lists vertex {v} >= n = {n}")));
+                }
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(bad(format!("cluster {c} member list is not ascending")));
+                }
+                prev = Some(v);
+                if frozen.cluster_of[v as usize] as usize != c {
+                    return Err(bad(format!(
+                        "vertex {v} listed in cluster {c} but cluster_of says {}",
+                        frozen.cluster_of[v as usize]
+                    )));
+                }
+                if frozen.local_of[v as usize] as usize != slot {
+                    return Err(bad(format!(
+                        "vertex {v} at slot {slot} of cluster {c} but local_of says {}",
+                        frozen.local_of[v as usize]
+                    )));
+                }
+            }
+        }
+        for &(u, v, _) in &frozen.inter_cluster {
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(bad(format!("inter-cluster edge ({u}, {v}) out of range")));
+            }
+        }
+        let mut artifacts = Vec::with_capacity(x);
+        for (c, fc) in frozen.clusters.into_iter().enumerate() {
+            let size = frozen.members[c].len();
+            if fc.adj.len() != size {
+                return Err(bad(format!(
+                    "cluster {c} snapshot has {} rows for {size} members",
+                    fc.adj.len()
+                )));
+            }
+            for (slot, row) in fc.adj.iter().enumerate() {
+                let mut prev: Option<VertexId> = None;
+                for &w in row {
+                    if (w as usize) >= n {
+                        return Err(bad(format!(
+                            "cluster {c} row {slot} names vertex {w} >= n = {n}"
+                        )));
+                    }
+                    if prev.is_some_and(|p| p >= w) {
+                        return Err(bad(format!(
+                            "cluster {c} row {slot} is not sorted/deduplicated"
+                        )));
+                    }
+                    prev = Some(w);
+                }
+            }
+            let hierarchy = match fc.hierarchy {
+                None => None,
+                Some(parts) => {
+                    if parts.n != size || fc.local_deg.len() != size {
+                        return Err(bad(format!(
+                            "cluster {c} hierarchy covers {} vertices, degrees {}, \
+                             cluster has {size}",
+                            parts.n,
+                            fc.local_deg.len()
+                        )));
+                    }
+                    Some(
+                        RoutingHierarchy::from_parts(parts)
+                            .map_err(|e| bad(format!("cluster {c} hierarchy: {e}")))?,
+                    )
+                }
+            };
+            artifacts.push(ClusterArtifact {
+                adj: fc.adj,
+                local_deg: fc.local_deg,
+                hierarchy,
+            });
+        }
+        let routed_clusters = artifacts.iter().filter(|a| a.hierarchy.is_some()).count();
+        let hierarchy_build_rounds = artifacts
+            .iter()
+            .filter_map(|a| a.hierarchy.as_ref())
+            .map(RoutingHierarchy::preprocessing_rounds)
+            .max()
+            .unwrap_or(0);
+        let snapshot_words: u64 = artifacts
+            .iter()
+            .flat_map(|a| a.adj.iter())
+            .map(|row| row.len() as u64)
+            .sum();
+        let assignment = ClusterAssignment {
+            n,
+            cluster_of: frozen.cluster_of,
+            clusters: frozen
+                .members
+                .iter()
+                .map(|ms| VertexSet::from_iter(n, ms.iter().copied()))
+                .collect(),
+            inter_cluster: frozen.inter_cluster,
+            phi: frozen.phi,
+            certificates: frozen.certificates,
+        };
+        let build = BuildReport {
+            n,
+            m: frozen.report.m,
+            clusters: x,
+            routed_clusters,
+            phi: frozen.phi,
+            decomposition_rounds: frozen.report.decomposition_rounds,
+            hierarchy_build_rounds,
+            snapshot_words,
+            wall_decompose: Duration::from_nanos(frozen.report.wall_decompose_ns),
+            wall_freeze: Duration::from_nanos(frozen.report.wall_freeze_ns),
+        };
+        Ok(QueryEngine {
+            assignment: Arc::new(assignment),
+            clusters: artifacts,
+            local_of: frozen.local_of,
+            build,
+        })
+    }
+}
+
+fn duration_to_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Streams the sorted intersection of two adjacency rows into `emit`,
@@ -672,6 +879,98 @@ impl ServeReport {
             .sum()
     }
 }
+
+/// A [`QueryEngine`] flattened into plain owned data — no `Arc`, no
+/// private routing state — so a storage layer can serialize it and
+/// rebuild the engine later without re-running the decomposition or the
+/// hierarchy builds. Produced by [`QueryEngine::to_frozen`]; consumed
+/// (with full re-validation) by [`QueryEngine::from_frozen`].
+///
+/// The round trip is **answer-preserving bit for bit**: every quantity a
+/// query reads — snapshots, local ids, hierarchy levels and portals,
+/// degree oracles — is captured, so [`QueryCharge`]s match too.
+///
+/// # Examples
+///
+/// ```
+/// use triangle::service::{Emit, Query, QueryEngine};
+/// use triangle::PipelineParams;
+///
+/// let g = graph::gen::gnp(30, 0.2, 3).unwrap();
+/// let engine = QueryEngine::build(&g, &PipelineParams::default());
+/// let restored = QueryEngine::from_frozen(engine.to_frozen()).unwrap();
+/// let q = Query::Vertex { v: 5, emit: Emit::Count };
+/// assert_eq!(engine.answer(q), restored.answer(q)); // charge included
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenEngine {
+    /// Vertices of the served graph.
+    pub n: usize,
+    /// Cluster id of every vertex (the assignment's `cluster_of`).
+    pub cluster_of: Vec<u32>,
+    /// Per-cluster sorted member lists (the assignment's `clusters`,
+    /// flattened out of their bitset representation).
+    pub members: Vec<Vec<VertexId>>,
+    /// Every inter-cluster edge with its removal tag.
+    pub inter_cluster: Vec<(VertexId, VertexId, RemovalTag)>,
+    /// The decomposition's conductance promise.
+    pub phi: f64,
+    /// Per-cluster certificates, index-aligned with `members`.
+    pub certificates: Vec<ClusterCertificate>,
+    /// Per-cluster frozen artifacts, index-aligned with `members`.
+    pub clusters: Vec<FrozenCluster>,
+    /// Cluster-local index of every vertex.
+    pub local_of: Vec<u32>,
+    /// The non-derivable scalars of the original [`BuildReport`].
+    pub report: FrozenReport,
+}
+
+/// One cluster's frozen artifact: adjacency snapshot rows, the induced
+/// degree oracle, and the hierarchy as plain [`HierarchyParts`] (absent
+/// for degenerate clusters, matching the build-time convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenCluster {
+    /// Sorted, deduplicated full-graph neighbor rows, by local id.
+    pub adj: Vec<Vec<VertexId>>,
+    /// Induced-subgraph degree of each member (empty when degenerate).
+    pub local_deg: Vec<u32>,
+    /// The cluster's routing hierarchy, if it has one.
+    pub hierarchy: Option<HierarchyParts>,
+}
+
+/// The scalars of a [`BuildReport`] that cannot be recomputed from the
+/// frozen structure alone. The derivable ones (`routed_clusters`,
+/// `hierarchy_build_rounds`, `snapshot_words`) are deliberately absent —
+/// [`QueryEngine::from_frozen`] recomputes them, which keeps a tampered
+/// snapshot from telling a flattering story about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrozenReport {
+    /// Edges of the served graph.
+    pub m: usize,
+    /// CONGEST rounds charged to the original decomposition.
+    pub decomposition_rounds: u64,
+    /// Original decomposition wall clock, in nanoseconds.
+    pub wall_decompose_ns: u64,
+    /// Original freeze wall clock, in nanoseconds.
+    pub wall_freeze_ns: u64,
+}
+
+/// A [`FrozenEngine`] violated a structural invariant during
+/// [`QueryEngine::from_frozen`] — the snapshot is corrupt, truncated, or
+/// was built for a different graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    /// Which invariant was violated.
+    pub reason: String,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid frozen engine: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 #[cfg(test)]
 mod tests {
@@ -1007,6 +1306,163 @@ mod tests {
                 })
                 .unwrap();
             assert_eq!(out.answer, Answer::Triangles(want), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn frozen_roundtrip_answers_bit_identically() {
+        let g = graph::gen::gnp(80, 0.15, 53).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let restored = QueryEngine::from_frozen(engine.to_frozen()).unwrap();
+        let queries: Vec<Query> = (0..160u32)
+            .map(|i| match i % 4 {
+                0 => Query::Vertex {
+                    v: i % 80,
+                    emit: Emit::Enumerate,
+                },
+                1 => Query::Vertex {
+                    v: (i * 11) % 80,
+                    emit: Emit::Count,
+                },
+                2 => Query::Edge {
+                    u: i % 80,
+                    v: (i * 5 + 2) % 80,
+                    emit: Emit::Enumerate,
+                },
+                _ => Query::TopKBySupport { v: i % 80, k: 4 },
+            })
+            .collect();
+        let a = engine.serve(&queries, &SchedulerPolicy::sequential());
+        let b = restored.serve(&queries, &SchedulerPolicy::sequential());
+        assert!(a.answers_match(&b), "restore changed an answer or a charge");
+        // The derived report fields are recomputed, not trusted — they
+        // must still land on the original build's numbers.
+        let (orig, rest) = (engine.build_report(), restored.build_report());
+        assert_eq!(orig.n, rest.n);
+        assert_eq!(orig.m, rest.m);
+        assert_eq!(orig.clusters, rest.clusters);
+        assert_eq!(orig.routed_clusters, rest.routed_clusters);
+        assert_eq!(orig.hierarchy_build_rounds, rest.hierarchy_build_rounds);
+        assert_eq!(orig.snapshot_words, rest.snapshot_words);
+        assert_eq!(orig.decomposition_rounds, rest.decomposition_rounds);
+        // And a second freeze of the restored engine is the same bytes.
+        assert_eq!(engine.to_frozen(), restored.to_frozen());
+    }
+
+    #[test]
+    fn frozen_roundtrip_survives_degenerate_graphs() {
+        for g in [
+            Graph::from_edges(5, []).unwrap(),
+            Graph::from_edges(2, [(0, 1)]).unwrap(),
+            Graph::from_edges(1, []).unwrap(),
+        ] {
+            let engine = QueryEngine::build(&g, &params());
+            let restored = QueryEngine::from_frozen(engine.to_frozen()).unwrap();
+            for v in 0..g.n() as VertexId {
+                assert_eq!(
+                    engine.answer(Query::Vertex {
+                        v,
+                        emit: Emit::Count
+                    }),
+                    restored.answer(Query::Vertex {
+                        v,
+                        emit: Emit::Count
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_frozen_rejects_corrupt_snapshots() {
+        let g = graph::gen::gnp(40, 0.25, 59).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let frozen = engine.to_frozen();
+        // The pristine snapshot restores.
+        assert!(QueryEngine::from_frozen(frozen.clone()).is_ok());
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(&str, Box<dyn Fn(&mut FrozenEngine)>)> = vec![
+            (
+                "truncated cluster_of",
+                Box::new(|f| f.cluster_of.pop().map(|_| ()).unwrap()),
+            ),
+            ("truncated local_of", Box::new(|f| f.local_of.truncate(10))),
+            (
+                "dropped certificate",
+                Box::new(|f| f.certificates.pop().map(|_| ()).unwrap()),
+            ),
+            ("member out of range", Box::new(|f| f.members[0][0] = 40)),
+            (
+                "member list reordered",
+                Box::new(|f| f.members[0].reverse()),
+            ),
+            (
+                "cluster_of inconsistent",
+                Box::new(|f| {
+                    let v = f.members[0][0] as usize;
+                    f.cluster_of[v] = f.cluster_of[v].wrapping_add(1);
+                }),
+            ),
+            (
+                "local_of inconsistent",
+                Box::new(|f| {
+                    let v = f.members[0][0] as usize;
+                    f.local_of[v] += 1;
+                }),
+            ),
+            (
+                "snapshot row dropped",
+                Box::new(|f| f.clusters[0].adj.pop().map(|_| ()).unwrap()),
+            ),
+            (
+                "snapshot row unsorted",
+                Box::new(|f| {
+                    let row = f.clusters[0].adj.iter_mut().find(|r| r.len() >= 2).unwrap();
+                    row.reverse();
+                }),
+            ),
+            (
+                "snapshot names ghost vertex",
+                Box::new(|f| {
+                    f.clusters[0].adj[0] = vec![99];
+                }),
+            ),
+            (
+                "inter-cluster edge out of range",
+                Box::new(|f| {
+                    f.inter_cluster.push((0, 99, RemovalTag::Remove1));
+                }),
+            ),
+            (
+                "hierarchy detached from degrees",
+                Box::new(|f| {
+                    let fc = f
+                        .clusters
+                        .iter_mut()
+                        .find(|c| c.hierarchy.is_some())
+                        .expect("gnp(40, .25) routes at least one cluster");
+                    fc.local_deg.pop();
+                }),
+            ),
+            (
+                "hierarchy internally corrupt",
+                Box::new(|f| {
+                    let fc = f
+                        .clusters
+                        .iter_mut()
+                        .find(|c| c.hierarchy.is_some())
+                        .unwrap();
+                    fc.hierarchy.as_mut().unwrap().levels.clear();
+                }),
+            ),
+        ];
+        for (what, tamper) in cases {
+            let mut bad = frozen.clone();
+            tamper(&mut bad);
+            assert!(
+                QueryEngine::from_frozen(bad).is_err(),
+                "tampered snapshot accepted: {what}"
+            );
         }
     }
 }

@@ -12,6 +12,7 @@
 //! | [`expander`] | expander decomposition | Theorems 1, 3, 4 |
 //! | [`routing`] | GKS expander routing | the §3 preprocessing/query trade-off |
 //! | [`triangle`] | triangle enumeration | Theorem 2 + the DLP clique baseline |
+//! | [`storage`] | on-disk CSR ingestion | real-graph datasets, zero-copy loading, frozen artifacts |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use congest;
 pub use expander;
 pub use graph;
 pub use routing;
+pub use storage;
 pub use triangle;
 
 /// One-stop imports for examples and downstream users.
@@ -55,10 +57,12 @@ pub mod prelude {
     pub use expander::prelude::*;
     pub use graph::prelude::*;
     pub use routing::{QueryCharge, RoutingHierarchy, RoutingRequest};
+    pub use storage::{convert_edge_list, write_graph, ConvertOptions, CsrFile, CsrView};
     pub use triangle::{
         clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,
         enumerate_via_decomposition, enumerate_with_assignment, Packing, PipelineParams, Triangle,
         TriangleConfig, TriangleReport,
     };
     pub use triangle::{Answer, Emit, Query, QueryEngine, QueryOutcome, ServeReport, ServiceError};
+    pub use triangle::{FrozenEngine, RestoreError};
 }

@@ -1,0 +1,155 @@
+//! The persistence contract of the frozen-artifact section (ISSUE 8
+//! acceptance): a built [`QueryEngine`] persisted into the on-disk CSR
+//! reloads **without re-decomposing**, answers a fixed query stream
+//! bit-identically (routing charges included), and reloading is a small
+//! fraction of building. Corrupted artifact payloads are typed errors.
+
+use expander_repro::prelude::*;
+use expander_repro::storage::{artifact, StorageError};
+use std::fs;
+use std::time::Instant;
+
+/// Deterministic mixed query stream over `n` vertices.
+fn stream(n: u32, count: usize) -> Vec<Query> {
+    (0..count as u32)
+        .map(|i| match i % 4 {
+            0 => Query::Vertex {
+                v: i % n,
+                emit: Emit::Enumerate,
+            },
+            1 => Query::Vertex {
+                v: (i * 13) % n,
+                emit: Emit::Count,
+            },
+            2 => Query::Edge {
+                u: i % n,
+                v: (i * 7 + 3) % n,
+                emit: Emit::Enumerate,
+            },
+            _ => Query::TopKBySupport { v: i % n, k: 4 },
+        })
+        .collect()
+}
+
+#[test]
+fn persisted_engine_reloads_bit_identical_and_fast() {
+    let dir = storage::test_dir("persist-gate");
+    let path = dir.join("g.csr");
+    // Big enough that the build does real decomposition + hierarchy work
+    // and the restore/build ratio is signal, small enough for CI.
+    let g = gen::gnp(400, 0.05, 4242).unwrap();
+    write_graph(&g, &path).unwrap();
+
+    let t = Instant::now();
+    let engine = QueryEngine::build(&g, &PipelineParams::default());
+    let build_wall = t.elapsed();
+    artifact::store(&path, &engine).unwrap();
+
+    let t = Instant::now();
+    let file = CsrFile::open(&path).unwrap();
+    let restored = artifact::load(&file).unwrap();
+    let restore_wall = t.elapsed();
+
+    // Bit-identity on a fixed query stream, charges included.
+    let qs = stream(g.n() as u32, 400);
+    let policy = SchedulerPolicy::sequential();
+    let a = engine.serve(&qs, &policy);
+    let b = restored.serve(&qs, &policy);
+    assert!(
+        a.answers_match(&b),
+        "restored engine diverged from the built engine"
+    );
+    assert_eq!(a.count_checksum(), b.count_checksum());
+
+    // Restore must cost a small fraction of the build. The ISSUE gate is
+    // <10%; assert a looser 50% here so debug-profile CI timing noise
+    // cannot flake the suite (the 10% gate runs in ingest-smoke, release
+    // profile, via `exp_ingest --restore-budget 0.1`).
+    let ratio = restore_wall.as_secs_f64() / build_wall.as_secs_f64().max(1e-9);
+    assert!(
+        ratio < 0.5,
+        "restore took {ratio:.2}x the build ({restore_wall:?} vs {build_wall:?})"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistence_composes_with_converted_real_input() {
+    // End to end on the committed real dataset: convert → store → reload.
+    let dir = storage::test_dir("persist-karate");
+    let path = dir.join("karate.csr");
+    convert_edge_list(
+        std::path::Path::new("datasets/karate.txt"),
+        &path,
+        &ConvertOptions::default(),
+    )
+    .unwrap();
+    let g = CsrFile::open(&path).unwrap().to_graph().unwrap();
+    let engine = QueryEngine::build(&g, &PipelineParams::default());
+    artifact::store(&path, &engine).unwrap();
+
+    let file = CsrFile::open(&path).unwrap();
+    assert!(file.header().has_artifact());
+    // The graph sections are untouched by the artifact rewrite.
+    assert_eq!(file.to_graph().unwrap(), g);
+    let restored = artifact::load(&file).unwrap();
+    let qs = stream(34, 200);
+    let policy = SchedulerPolicy::sequential();
+    assert!(engine
+        .serve(&qs, &policy)
+        .answers_match(&restored.serve(&qs, &policy)));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupting_the_artifact_section_is_always_a_typed_error() {
+    let dir = storage::test_dir("persist-corrupt");
+    let path = dir.join("g.csr");
+    let g = gen::gnp(60, 0.15, 17).unwrap();
+    write_graph(&g, &path).unwrap();
+    let engine = QueryEngine::build(&g, &PipelineParams::default());
+    artifact::store(&path, &engine).unwrap();
+
+    let pristine = fs::read(&path).unwrap();
+    let artifact_start = {
+        let file = CsrFile::open(&path).unwrap();
+        pristine.len() - file.header().artifact_len as usize
+    };
+    // Any byte flip inside the payload trips the file checksum at open.
+    for at in (artifact_start..pristine.len()).step_by(97) {
+        let mut bent = pristine.clone();
+        bent[at] ^= 0x10;
+        let f = dir.join("bent.csr");
+        fs::write(&f, &bent).unwrap();
+        assert!(
+            matches!(
+                CsrFile::open(&f),
+                Err(StorageError::ChecksumMismatch { .. })
+            ),
+            "flip at {at} not caught by the checksum"
+        );
+    }
+    // A graph-only file (no artifact) refuses to load an engine.
+    let plain = dir.join("plain.csr");
+    write_graph(&g, &plain).unwrap();
+    let file = CsrFile::open(&plain).unwrap();
+    assert!(matches!(
+        artifact::load(&file),
+        Err(StorageError::Artifact { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_refuses_an_engine_for_a_different_graph() {
+    let dir = storage::test_dir("persist-mismatch");
+    let path = dir.join("g.csr");
+    write_graph(&gen::gnp(50, 0.2, 1).unwrap(), &path).unwrap();
+    let other = gen::gnp(51, 0.2, 1).unwrap();
+    let engine = QueryEngine::build(&other, &PipelineParams::default());
+    assert!(matches!(
+        artifact::store(&path, &engine),
+        Err(StorageError::Artifact { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
