@@ -1,0 +1,74 @@
+//! Criterion bench for the wire tier: frame codec round-trips, a real
+//! loopback TCP query stream, and an artifact restore-to-serving cycle.
+//! Joined to the CI bench-regression gate (`BENCH_baseline.json`) so a
+//! protocol or serve-loop slowdown fails loudly.
+
+use bench_suite::{scale_power_law, serve_query_stream};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use server::{Client, ServerConfig};
+use std::sync::Arc;
+use triangle::pipeline::PipelineParams;
+use triangle::service::QueryEngine;
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    let g = scale_power_law(20_000, 42);
+    let params = PipelineParams::default();
+    let engine = Arc::new(QueryEngine::build(&g, &params));
+    let stream = serve_query_stream(&g, 1_000, 7);
+
+    // Pure codec cost: encode + decode 1k query/outcome frames, no I/O.
+    let outcomes: Vec<_> = stream
+        .iter()
+        .filter_map(|q| engine.answer(*q).ok())
+        .collect();
+    group.bench_function(BenchmarkId::new("codec_roundtrip", "1k"), |b| {
+        b.iter(|| {
+            let mut words = 0usize;
+            for q in &stream {
+                let payload = server::protocol::encode_query(q);
+                let back = server::protocol::decode_query(&payload).unwrap();
+                assert_eq!(back, *q);
+                words += payload.len();
+            }
+            for o in &outcomes {
+                let payload = server::protocol::encode_outcome(o);
+                let back = server::protocol::decode_outcome(&payload).unwrap();
+                assert_eq!(&back, o);
+                words += payload.len();
+            }
+            words
+        })
+    });
+
+    // The full wire loop: one pipelined client over loopback TCP against
+    // a live server (batching, scheduler, codec, and kernel round-trips
+    // all inside the measured region).
+    let handle = server::serve_engine(Arc::clone(&engine), &ServerConfig::default()).unwrap();
+    let wire_stream: Vec<_> = stream.iter().take(512).copied().collect();
+    group.bench_function(BenchmarkId::new("loopback_stream", "512"), |b| {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        b.iter(|| client.run_pipelined(&wire_stream, 32, 64).unwrap().len())
+    });
+    handle.shutdown();
+
+    // Restore-to-serving: open the frozen artifact and stand a serving
+    // engine back up — the cold-start path the storage tier bought.
+    let dir = storage::test_dir("bench_server");
+    let path = dir.join("bench_server_20k.csr");
+    storage::write_graph(&g, &path).unwrap();
+    storage::artifact::store(&path, &engine).unwrap();
+    group.bench_function(BenchmarkId::new("restore", "20k"), |b| {
+        b.iter(|| {
+            let (restored, source) = storage::artifact::restore_or_build(&path, &params).unwrap();
+            assert!(matches!(source, storage::artifact::EngineSource::Artifact));
+            restored
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ struct Args {
     seed: u64,
     json: Option<String>,
     p99_budget_ms: Option<f64>,
+    chunk_ablation: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         json: None,
         p99_budget_ms: None,
+        chunk_ablation: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -84,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --p99-budget-ms: {e}"))?,
                 )
             }
+            "--chunk-ablation" => args.chunk_ablation = true,
             "--tiny" => {
                 args.edges = 20_000;
                 args.queries = 2_000;
@@ -131,7 +134,7 @@ fn main() -> ExitCode {
             eprintln!("exp_serve: {e}");
             eprintln!(
                 "usage: exp_serve [--edges N] [--queries Q] [--threads 1,4,8] [--seed S] \
-                 [--json out.jsonl] [--p99-budget-ms B] [--tiny]"
+                 [--json out.jsonl] [--p99-budget-ms B] [--chunk-ablation] [--tiny]"
             );
             return ExitCode::from(2);
         }
@@ -271,6 +274,31 @@ fn main() -> ExitCode {
                 eprintln!("exp_serve: P99 BUDGET BLOWN at t = {t}: {p99_ms:.2}ms > {budget}ms");
                 failures += 1;
             }
+        }
+
+        // ── Batching ablation: the per-query reference path must agree
+        // bit-for-bit with the chunked default, and the chunked default
+        // should not be slower. ──
+        if args.chunk_ablation {
+            let unbatched = engine.serve_unbatched(&stream, &policy);
+            let same = unbatched.answers_match(&report);
+            if !same {
+                eprintln!(
+                    "exp_serve: ABLATION MISMATCH at t = {t}: unbatched answers differ from \
+                     the chunked serve"
+                );
+                failures += 1;
+            }
+            eprintln!(
+                "  t{t} ablation: unbatched wall {:.2?} ({} jobs) vs chunked {:.2?} ({} jobs), \
+                 identical = {}",
+                unbatched.wall, unbatched.stats.jobs, report.wall, report.stats.jobs, same
+            );
+            emit_json(
+                &args.json,
+                &format!("serve/{label}/t{t}/unbatched"),
+                unbatched.wall.as_secs_f64(),
+            );
         }
     }
 

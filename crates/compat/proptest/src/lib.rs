@@ -3,9 +3,10 @@
 //!
 //! The build environment has no access to crates.io, so this in-tree crate
 //! stands in for the real `proptest`. It provides the [`Strategy`] trait
-//! (`prop_map`, ranges, tuples, `any`, `collection::vec`), the
-//! [`proptest!`] macro, the `prop_assert*` / `prop_assume!` macros and a
-//! deterministic case runner. Two honest simplifications versus upstream:
+//! (`prop_map`, ranges, tuples, `any`, `collection::vec` with fixed or
+//! ranged lengths, [`Just`], [`prop_oneof!`] unions), the [`proptest!`]
+//! macro, the `prop_assert*` / `prop_assume!` macros and a deterministic
+//! case runner. Two honest simplifications versus upstream:
 //! failing inputs are **not shrunk** (the failing value and its seed are
 //! printed instead), and there is no persistent failure database.
 //!
@@ -35,6 +36,15 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Erases the strategy's type, for heterogeneous unions
+    /// ([`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -49,6 +59,64 @@ impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn sample(&self, rng: &mut StdRng) -> O {
         (self.f)(self.inner.sample(rng))
     }
+}
+
+/// A type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut StdRng) -> T>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value (upstream
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased arms; built by [`prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union over `arms` (picked uniformly; upstream's per-arm weights
+    /// are not supported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let arm = rand::Rng::random_range(rng, 0..self.0.len());
+        self.0[arm].sample(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type
+/// (upstream `prop_oneof!`, without per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
 }
 
 /// Strategy for "any value of `T`". Created by [`any`].
@@ -73,7 +141,7 @@ macro_rules! impl_any_uniform {
     )*};
 }
 
-impl_any_uniform!(bool, u32, u64, usize, f64);
+impl_any_uniform!(bool, u8, u16, u32, u64, usize, f64);
 
 macro_rules! impl_range_strategy {
     ($($ty:ty),*) => {$(
@@ -86,7 +154,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u32, u64, usize, f64);
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
@@ -110,26 +178,46 @@ impl_tuple_strategy! {
 /// Collection strategies.
 pub mod collection {
     use super::Strategy;
+    use std::ops::Range;
 
-    /// Strategy for fixed-length vectors. Created by [`vec()`].
-    pub struct VecStrategy<S> {
-        element: S,
-        len: usize,
+    /// A vector length specification: a fixed `usize` or a
+    /// `Range<usize>` (upstream's `SizeRange`, reduced to the two forms
+    /// this workspace uses).
+    pub trait VecLen {
+        /// Draws one concrete length.
+        fn draw(&self, rng: &mut rand::rngs::StdRng) -> usize;
     }
 
-    /// A vector of exactly `len` elements drawn from `element`.
-    ///
-    /// (Upstream accepts a size *range*; this workspace only uses fixed
-    /// lengths.)
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    impl VecLen for usize {
+        fn draw(&self, _rng: &mut rand::rngs::StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for Range<usize> {
+        fn draw(&self, rng: &mut rand::rngs::StdRng) -> usize {
+            rand::Rng::random_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for vectors. Created by [`vec()`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A vector drawn from `element`, with `len` elements (`usize`) or a
+    /// length drawn from a `Range<usize>`.
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
-            (0..self.len).map(|_| self.element.sample(rng)).collect()
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
 }
@@ -236,7 +324,7 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    pub use crate::{Any, Strategy};
+    pub use crate::{prop_oneof, Any, BoxedStrategy, Just, Strategy, Union};
 }
 
 /// Fails the current case unless `cond` holds.
@@ -380,5 +468,30 @@ mod tests {
         let strat = crate::collection::vec(any::<bool>(), 7);
         let mut rng = rand::SeedableRng::seed_from_u64(3);
         assert_eq!(strat.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn vec_strategy_draws_ranged_len() {
+        let strat = crate::collection::vec(any::<u8>(), 2usize..5);
+        let mut rng = rand::SeedableRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!((2..5).contains(&strat.sample(&mut rng).len()));
+        }
+    }
+
+    #[test]
+    fn oneof_picks_every_arm_and_just_is_constant() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..20];
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                x if (10..20).contains(&x) => seen[2] = true,
+                other => panic!("impossible draw {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
     }
 }

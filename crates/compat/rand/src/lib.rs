@@ -42,6 +42,18 @@ pub trait UniformPrimitive {
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
+impl UniformPrimitive for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl UniformPrimitive for u16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
 impl UniformPrimitive for u64 {
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64()
@@ -93,7 +105,7 @@ macro_rules! impl_sample_uniform_int {
     )*};
 }
 
-impl_sample_uniform_int!(u32, u64, usize);
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
 
 impl SampleUniform for f64 {
     fn draw_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {

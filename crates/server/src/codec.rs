@@ -1,0 +1,184 @@
+//! The stream codec: reading and writing [`Frame`]s over any
+//! `Read`/`Write` pair (in production, a `TcpStream`).
+//!
+//! The reader distinguishes three terminal conditions a byte stream can
+//! reach, because the server must react differently to each:
+//!
+//! * **clean EOF** — the peer closed between frames: [`read_frame`]
+//!   returns `Ok(None)`, the connection winds down quietly;
+//! * **mid-frame truncation** — the peer closed (or the read timed out)
+//!   with a frame half-delivered: a typed
+//!   [`ProtocolError::Truncated`] — the stream cannot resync, the
+//!   connection must close;
+//! * **malformed header/payload** — typed [`ProtocolError`], surfaced to
+//!   the peer as an [`Opcode::Error`](crate::protocol::Opcode) frame
+//!   before the connection closes.
+//!
+//! Nothing in this module panics on wire input; `tests/server_protocol.rs`
+//! drives arbitrary and bit-flipped byte streams through it.
+
+use crate::protocol::{Frame, FrameHeader, ProtocolError, HEADER_LEN};
+use std::io::{self, Read, Write};
+
+/// A frame-layer failure: either the transport failed ([`CodecError::Io`])
+/// or the bytes were malformed ([`CodecError::Protocol`]).
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying transport errored (includes read timeouts, which
+    /// surface as `WouldBlock`/`TimedOut`).
+    Io(io::Error),
+    /// The bytes violated the frame grammar.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "transport error: {e}"),
+            CodecError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> CodecError {
+        CodecError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for CodecError {
+    fn from(e: ProtocolError) -> CodecError {
+        CodecError::Protocol(e)
+    }
+}
+
+impl CodecError {
+    /// Whether this is a read timeout (the socket's `read_timeout`
+    /// fired) rather than a dead peer or malformed bytes.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            CodecError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. Returns `Ok(0)` on immediate clean
+/// EOF, `Ok(buf.len())` on success, and a truncation error when EOF (or
+/// a timeout) lands mid-buffer.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, CodecError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(0);
+                }
+                return Err(ProtocolError::Truncated {
+                    expected: buf.len(),
+                    got: filled,
+                }
+                .into());
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed cleanly **between**
+/// frames; every other shortfall is a typed error. `max_payload` bounds
+/// the length prefix before any allocation happens.
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Option<Frame>, CodecError> {
+    let mut head = [0u8; HEADER_LEN];
+    if read_exact_or_eof(r, &mut head)? == 0 {
+        return Ok(None);
+    }
+    let header = FrameHeader::decode(&head, max_payload)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    if header.payload_len > 0 && read_exact_or_eof(r, &mut payload)? == 0 {
+        return Err(ProtocolError::Truncated {
+            expected: header.payload_len as usize,
+            got: 0,
+        }
+        .into());
+    }
+    Ok(Some(Frame { header, payload }))
+}
+
+/// Writes one frame and flushes it.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Opcode;
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let frames = [
+            Frame::new(Opcode::Ping, 1, 0, Vec::new()),
+            Frame::new(Opcode::Query, 2, 0, vec![9, 8, 7]),
+            Frame::new(Opcode::Pong, 1, 3, Vec::new()),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor, 1 << 20).unwrap().unwrap(), *f);
+        }
+        assert!(read_frame(&mut cursor, 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload_is_typed() {
+        let f = Frame::new(Opcode::Query, 5, 0, vec![1, 2, 3, 4]);
+        let wire = f.encode();
+        // Every proper prefix fails with Truncated, never panics.
+        for cut in 1..wire.len() {
+            let mut cursor = &wire[..cut];
+            let got = read_frame(&mut cursor, 1 << 20);
+            assert!(
+                matches!(
+                    got,
+                    Err(CodecError::Protocol(ProtocolError::Truncated { .. }))
+                ),
+                "prefix {cut} should be Truncated, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_prefix_rejected_before_allocation() {
+        let mut head = FrameHeader {
+            opcode: Opcode::Query,
+            id: 0,
+            generation: 0,
+            payload_len: u32::MAX,
+        }
+        .encode();
+        // Cap far below the claim: decode must fail on the header alone.
+        let mut cursor = &head[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(CodecError::Protocol(ProtocolError::Oversize { .. }))
+        ));
+        // Bad magic beats everything else.
+        head[0] = 0;
+        let mut cursor = &head[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(CodecError::Protocol(ProtocolError::BadMagic { .. }))
+        ));
+    }
+}

@@ -1,0 +1,787 @@
+//! The serve loop: a multi-threaded TCP frontend over
+//! [`QueryEngine`], built on `std::net` alone.
+//!
+//! # Thread topology
+//!
+//! ```text
+//! acceptor ──► one reader thread per connection ──► shared work queue
+//!                         │ (bounded; try_send — full ⇒ Busy)
+//!                         ▼
+//!                      batcher ──► executor pool (max_inflight_batches)
+//!                 (flush on batch_max │   snapshot (engine, generation),
+//!                  or flush_interval) │   QueryEngine::serve, reply
+//!                                    ▼
+//!                    per-connection writer threads
+//! ```
+//!
+//! Queries from **all** connections funnel into one bounded work queue;
+//! the batcher flushes a batch when it holds
+//! [`ServerConfig::batch_max`] queries or when
+//! [`ServerConfig::flush_interval`] elapses since the batch's first
+//! query — the amortization the in-process tier measured (per-query work
+//! is microseconds, scheduling must be paid per *batch*). Each batch is
+//! answered against a single `(engine, generation)` snapshot, so answers
+//! within a batch are mutually consistent even across a reload.
+//!
+//! # Hot swap
+//!
+//! [`ServerHandle::reload`] (or a wire
+//! [`Opcode::Reload`](crate::protocol::Opcode) frame, or the
+//! [`ServerConfig::reload_poll`] mtime watcher — the poll-loop stand-in
+//! for SIGHUP, which the workspace's `unsafe`-free rule keeps out)
+//! re-opens the artifact via [`storage::artifact::restore_or_build`] and
+//! atomically replaces the shared `Arc<QueryEngine>`. In-flight batches
+//! hold their own `Arc` snapshot and drain against the **old** engine;
+//! new batches see the new one. Every response header carries the
+//! generation, so clients observe the swap from the stream alone. A
+//! failed reload (corrupt or missing file) keeps the old engine serving
+//! and counts `reload_failures` — degradation, never an outage.
+//!
+//! # Backpressure
+//!
+//! Three typed refusals instead of unbounded growth: the accept cap
+//! refuses connections past [`ServerConfig::max_connections`] with a
+//! `Busy` frame; a full work queue answers the overflowing query with
+//! `Busy` (the query is *not* executed — the client owns the retry); and
+//! a batch that finds all [`ServerConfig::max_inflight_batches`] executor
+//! slots taken is Busy-answered wholesale. Readers enforce
+//! [`ServerConfig::read_timeout`] so a stalled peer cannot pin its thread
+//! forever.
+
+use crate::codec::{self, CodecError};
+use crate::protocol::{
+    encode_error, encode_outcome, Frame, Opcode, ProtocolError, WireError, DEFAULT_MAX_PAYLOAD,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant, SystemTime};
+use storage::artifact::{restore_or_build, EngineSource};
+use storage::StorageError;
+use triangle::service::{Query, QueryEngine};
+use triangle::PipelineParams;
+
+use expander::scheduler::SchedulerPolicy;
+
+/// Tuning knobs for [`serve_engine`]/[`serve_path`]. Every field has a
+/// serviceable default; the CI smoke job runs them unchanged.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (port 0 picks a free port).
+    pub addr: SocketAddr,
+    /// Flush a batch once it holds this many queries.
+    pub batch_max: usize,
+    /// Flush a partial batch this long after its first query arrived.
+    pub flush_interval: Duration,
+    /// Scheduler workers *within* one batch (1 = serve sequentially;
+    /// cross-batch parallelism comes from the executor pool).
+    pub workers: usize,
+    /// Executor threads — the max number of batches in flight at once.
+    pub max_inflight_batches: usize,
+    /// Work-queue capacity; `0` derives `batch_max · max_inflight_batches`.
+    pub queue_cap: usize,
+    /// Connections served concurrently; the acceptor refuses the rest
+    /// with a `Busy` frame.
+    pub max_connections: usize,
+    /// Per-connection read timeout; a peer idle past it is disconnected.
+    pub read_timeout: Duration,
+    /// Per-frame payload cap in both directions.
+    pub max_payload: u32,
+    /// Re-check the artifact file's mtime this often and hot-swap on
+    /// change (`None` disables polling; wire `Reload` still works).
+    pub reload_poll: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            batch_max: 64,
+            flush_interval: Duration::from_micros(500),
+            workers: 1,
+            max_inflight_batches: 4,
+            queue_cap: 0,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            reload_poll: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_queue_cap(&self) -> usize {
+        if self.queue_cap > 0 {
+            self.queue_cap
+        } else {
+            (self.batch_max * self.max_inflight_batches).max(1)
+        }
+    }
+
+    fn policy(&self) -> SchedulerPolicy {
+        if self.workers <= 1 {
+            SchedulerPolicy::sequential()
+        } else {
+            SchedulerPolicy::with_workers(self.workers)
+        }
+    }
+}
+
+/// Startup/bind failures (wire-level failures never surface here — they
+/// are per-connection events).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+    /// Opening/restoring the artifact at startup failed.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+            ServeError::Storage(e) => write!(f, "cannot restore engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StorageError> for ServeError {
+    fn from(e: StorageError) -> ServeError {
+        ServeError::Storage(e)
+    }
+}
+
+/// Monotonic counters the server keeps; snapshot via
+/// [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted into service.
+    pub accepted: u64,
+    /// Connections refused at the accept cap.
+    pub refused: u64,
+    /// Queries enqueued for execution.
+    pub queries: u64,
+    /// Answer/Error frames produced by executors.
+    pub answered: u64,
+    /// Queries refused with `Busy` (queue full or no executor slot).
+    pub busy: u64,
+    /// Batches flushed to executors.
+    pub batches: u64,
+    /// Malformed frames/payloads received.
+    pub protocol_errors: u64,
+    /// Successful hot-swap reloads.
+    pub reloads: u64,
+    /// Reload attempts that failed (old engine kept serving).
+    pub reload_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    queries: AtomicU64,
+    answered: AtomicU64,
+    busy: AtomicU64,
+    batches: AtomicU64,
+    protocol_errors: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The engine slot every thread reads through: the `Arc` and its
+/// generation swap together under one lock, so a snapshot is always a
+/// consistent pair.
+#[derive(Debug)]
+struct EngineCell {
+    slot: RwLock<(Arc<QueryEngine>, u64)>,
+    generation: AtomicU64,
+}
+
+impl EngineCell {
+    fn new(engine: Arc<QueryEngine>) -> EngineCell {
+        EngineCell {
+            slot: RwLock::new((engine, 1)),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    fn snapshot(&self) -> (Arc<QueryEngine>, u64) {
+        let guard = self.slot.read().expect("engine slot poisoned");
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn swap(&self, engine: Arc<QueryEngine>) -> u64 {
+        let mut guard = self.slot.write().expect("engine slot poisoned");
+        let next = guard.1 + 1;
+        *guard = (engine, next);
+        self.generation.store(next, Ordering::Release);
+        next
+    }
+}
+
+/// One enqueued query: where to reply, under which correlation id.
+struct WorkItem {
+    reply: mpsc::Sender<Frame>,
+    id: u64,
+    query: Query,
+}
+
+struct Inner {
+    cell: EngineCell,
+    config: ServerConfig,
+    source: Option<(PathBuf, PipelineParams)>,
+    source_mtime: Mutex<Option<SystemTime>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    inflight_batches: AtomicUsize,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Inner {
+    /// Re-opens the artifact and swaps the engine in; `true` on success.
+    /// Without a file source the current engine is re-armed under a new
+    /// generation — a reload drill, observable by clients all the same.
+    fn reload(&self) -> bool {
+        let swapped = match &self.source {
+            Some((path, params)) => match restore_or_build(path, params) {
+                Ok((engine, _)) => {
+                    *self.source_mtime.lock().expect("mtime lock poisoned") = file_mtime(path);
+                    self.cell.swap(Arc::new(engine));
+                    true
+                }
+                Err(_) => false,
+            },
+            None => {
+                let (current, _) = self.cell.snapshot();
+                self.cell.swap(current);
+                true
+            }
+        };
+        if swapped {
+            bump(&self.stats.reloads);
+        } else {
+            bump(&self.stats.reload_failures);
+        }
+        swapped
+    }
+}
+
+fn file_mtime(path: &std::path::Path) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// A running server. Dropping the handle shuts the server down; keep it
+/// alive for as long as the server should accept traffic.
+#[derive(Debug)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    work_tx: Option<mpsc::SyncSender<WorkItem>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("generation", &self.cell.generation())
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (the OS-assigned port when the config asked
+    /// for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current engine generation (starts at 1, +1 per reload).
+    pub fn generation(&self) -> u64 {
+        self.inner.cell.generation()
+    }
+
+    /// A consistent snapshot of the engine currently serving — the
+    /// in-process oracle the smoke tests compare wire answers against.
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        self.inner.cell.snapshot().0
+    }
+
+    /// Triggers a hot-swap reload (same path as a wire `Reload` frame);
+    /// `true` if the engine was swapped.
+    pub fn reload(&self) -> bool {
+        self.inner.reload()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops accepting, disconnects peers, drains worker threads. Called
+    /// by `Drop` too; explicit calls just make shutdown points visible.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection; it re-checks
+        // the flag per accept.
+        let _ = TcpStream::connect(self.addr);
+        // Disconnect every live peer so reader threads fall out of
+        // blocking reads.
+        for (_, s) in self
+            .inner
+            .conns
+            .lock()
+            .expect("conn registry poisoned")
+            .iter()
+        {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Closing the work queue lets the batcher (and then the
+        // executors, whose channel the batcher owns) drain and exit.
+        self.work_tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Starts a server around an already-built engine (no disk involved —
+/// the unit-test and embedded path). Wire `Reload` frames re-arm the same
+/// engine under a fresh generation.
+pub fn serve_engine(
+    engine: Arc<QueryEngine>,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    start(engine, None, config)
+}
+
+/// Starts a server from a `.csr` file: restores the engine from the
+/// frozen-artifact section when present, builds it from the graph
+/// sections otherwise ([`restore_or_build`]), and remembers the path so
+/// reloads (wire frames, [`ServerHandle::reload`], the mtime poller)
+/// re-open it.
+pub fn serve_path(
+    path: impl Into<PathBuf>,
+    params: &PipelineParams,
+    config: &ServerConfig,
+) -> Result<(ServerHandle, EngineSource), ServeError> {
+    let path = path.into();
+    let (engine, source) = restore_or_build(&path, params)?;
+    let handle = start(Arc::new(engine), Some((path, params.clone())), config)?;
+    Ok((handle, source))
+}
+
+fn start(
+    engine: Arc<QueryEngine>,
+    source: Option<(PathBuf, PipelineParams)>,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let initial_mtime = source.as_ref().and_then(|(p, _)| file_mtime(p));
+    let inner = Arc::new(Inner {
+        cell: EngineCell::new(engine),
+        config: config.clone(),
+        source,
+        source_mtime: Mutex::new(initial_mtime),
+        stats: Stats::default(),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        inflight_batches: AtomicUsize::new(0),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(config.effective_queue_cap());
+    let (exec_tx, exec_rx) = mpsc::sync_channel::<Vec<WorkItem>>(config.max_inflight_batches);
+    let exec_rx = Arc::new(Mutex::new(exec_rx));
+
+    let mut threads = Vec::new();
+    for _ in 0..config.max_inflight_batches.max(1) {
+        let inner = Arc::clone(&inner);
+        let exec_rx = Arc::clone(&exec_rx);
+        threads.push(thread::spawn(move || executor_loop(&inner, &exec_rx)));
+    }
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(thread::spawn(move || {
+            batcher_loop(&inner, work_rx, exec_tx)
+        }));
+    }
+    {
+        let inner = Arc::clone(&inner);
+        let work_tx = work_tx.clone();
+        threads.push(thread::spawn(move || {
+            acceptor_loop(&inner, listener, work_tx)
+        }));
+    }
+    if let Some(every) = config.reload_poll {
+        let inner = Arc::clone(&inner);
+        threads.push(thread::spawn(move || poll_loop(&inner, every)));
+    }
+
+    Ok(ServerHandle {
+        inner,
+        addr,
+        threads,
+        work_tx: Some(work_tx),
+    })
+}
+
+fn acceptor_loop(inner: &Arc<Inner>, listener: TcpListener, work_tx: mpsc::SyncSender<WorkItem>) {
+    let mut next_conn_id = 0u64;
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let cap = inner.config.max_connections.max(1);
+        let admitted = inner
+            .active_connections
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                (c < cap).then_some(c + 1)
+            })
+            .is_ok();
+        if !admitted {
+            bump(&inner.stats.refused);
+            // Typed refusal: one Busy frame, then the connection closes.
+            let mut w = BufWriter::new(&stream);
+            let _ = codec::write_frame(
+                &mut w,
+                &Frame::new(Opcode::Busy, 0, inner.cell.generation(), Vec::new()),
+            );
+            continue;
+        }
+        bump(&inner.stats.accepted);
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            inner
+                .conns
+                .lock()
+                .expect("conn registry poisoned")
+                .push((conn_id, clone));
+        }
+        let inner = Arc::clone(inner);
+        let work_tx = work_tx.clone();
+        // Reader threads detach; shutdown disconnects their sockets and
+        // the active-connection counter tracks them out. On exit the
+        // connection deregisters itself and shuts the socket down — the
+        // registry clone would otherwise keep the kernel socket open
+        // (no FIN) after the reader/writer halves are dropped.
+        thread::spawn(move || {
+            connection_loop(&inner, stream, &work_tx);
+            inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+            let mut conns = inner.conns.lock().expect("conn registry poisoned");
+            if let Some(pos) = conns.iter().position(|(id, _)| *id == conn_id) {
+                let (_, s) = conns.swap_remove(pos);
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        });
+    }
+}
+
+fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, work_tx: &mpsc::SyncSender<WorkItem>) {
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        while let Ok(frame) = reply_rx.recv() {
+            if codec::write_frame(&mut w, &frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match codec::read_frame(&mut reader, inner.config.max_payload) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                if !handle_frame(inner, frame, &reply_tx, work_tx) {
+                    break;
+                }
+            }
+            Err(e) if e.is_timeout() => break,
+            Err(CodecError::Protocol(p)) => {
+                // Framing is lost — answer with the typed error, then
+                // close; the stream cannot resync. The *server* stays up.
+                bump(&inner.stats.protocol_errors);
+                let _ = reply_tx.send(error_frame(inner, 0, &p));
+                break;
+            }
+            Err(CodecError::Io(_)) => break,
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Handles one well-framed request. Returns `false` when the connection
+/// must close (work queue gone at shutdown).
+fn handle_frame(
+    inner: &Arc<Inner>,
+    frame: Frame,
+    reply_tx: &mpsc::Sender<Frame>,
+    work_tx: &mpsc::SyncSender<WorkItem>,
+) -> bool {
+    match frame.header.opcode {
+        Opcode::Query => match crate::protocol::decode_query(&frame.payload) {
+            Ok(query) => {
+                let item = WorkItem {
+                    reply: reply_tx.clone(),
+                    id: frame.header.id,
+                    query,
+                };
+                match work_tx.try_send(item) {
+                    Ok(()) => bump(&inner.stats.queries),
+                    Err(TrySendError::Full(item)) => {
+                        bump(&inner.stats.busy);
+                        let _ = reply_tx.send(Frame::new(
+                            Opcode::Busy,
+                            item.id,
+                            inner.cell.generation(),
+                            Vec::new(),
+                        ));
+                    }
+                    Err(TrySendError::Disconnected(_)) => return false,
+                }
+            }
+            Err(p) => {
+                // The frame itself was sound, only the payload grammar
+                // failed: answer typed, keep the connection.
+                bump(&inner.stats.protocol_errors);
+                let _ = reply_tx.send(error_frame(inner, frame.header.id, &p));
+            }
+        },
+        Opcode::Ping => {
+            let _ = reply_tx.send(Frame::new(
+                Opcode::Pong,
+                frame.header.id,
+                inner.cell.generation(),
+                Vec::new(),
+            ));
+        }
+        Opcode::Reload => {
+            let swapped = inner.reload();
+            let _ = reply_tx.send(Frame::new(
+                Opcode::Reloaded,
+                frame.header.id,
+                inner.cell.generation(),
+                vec![u8::from(swapped)],
+            ));
+        }
+        // A client sending response opcodes is confused; tell it so and
+        // keep listening (the framing is intact).
+        Opcode::Answer | Opcode::Error | Opcode::Pong | Opcode::Busy | Opcode::Reloaded => {
+            bump(&inner.stats.protocol_errors);
+            let p = ProtocolError::BadPayload {
+                reason: format!(
+                    "response opcode 0x{:02x} is not a request",
+                    frame.header.opcode as u8
+                ),
+            };
+            let _ = reply_tx.send(error_frame(inner, frame.header.id, &p));
+        }
+    }
+    true
+}
+
+fn error_frame(inner: &Arc<Inner>, id: u64, p: &ProtocolError) -> Frame {
+    Frame::new(
+        Opcode::Error,
+        id,
+        inner.cell.generation(),
+        encode_error(&WireError::Malformed {
+            reason: p.to_string(),
+        }),
+    )
+}
+
+fn batcher_loop(
+    inner: &Arc<Inner>,
+    work_rx: mpsc::Receiver<WorkItem>,
+    exec_tx: mpsc::SyncSender<Vec<WorkItem>>,
+) {
+    let batch_max = inner.config.batch_max.max(1);
+    let flush = inner.config.flush_interval;
+    let max_inflight = inner.config.max_inflight_batches.max(1);
+    'outer: loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Wait for a batch's first query; wake periodically to observe
+        // shutdown.
+        let first = match work_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + flush;
+        while batch.len() < batch_max {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match work_rx.recv_timeout(left) {
+                Ok(item) => batch.push(item),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    dispatch_or_refuse(inner, batch, &exec_tx, max_inflight);
+                    break 'outer;
+                }
+            }
+        }
+        dispatch_or_refuse(inner, batch, &exec_tx, max_inflight);
+    }
+}
+
+/// Hands a batch to the executor pool if an in-flight slot is free;
+/// otherwise answers every query in it with `Busy` — the typed
+/// backpressure response of a saturated server.
+fn dispatch_or_refuse(
+    inner: &Arc<Inner>,
+    batch: Vec<WorkItem>,
+    exec_tx: &mpsc::SyncSender<Vec<WorkItem>>,
+    max_inflight: usize,
+) {
+    let slot = inner
+        .inflight_batches
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+            (c < max_inflight).then_some(c + 1)
+        })
+        .is_ok();
+    if slot {
+        bump(&inner.stats.batches);
+        if exec_tx.send(batch).is_err() {
+            inner.inflight_batches.fetch_sub(1, Ordering::SeqCst);
+        }
+    } else {
+        let generation = inner.cell.generation();
+        for item in batch {
+            bump(&inner.stats.busy);
+            let _ = item
+                .reply
+                .send(Frame::new(Opcode::Busy, item.id, generation, Vec::new()));
+        }
+    }
+}
+
+fn executor_loop(inner: &Arc<Inner>, exec_rx: &Arc<Mutex<mpsc::Receiver<Vec<WorkItem>>>>) {
+    let policy = inner.config.policy();
+    loop {
+        let batch = {
+            let guard = exec_rx.lock().expect("executor queue poisoned");
+            guard.recv()
+        };
+        let batch = match batch {
+            Ok(b) => b,
+            Err(_) => break,
+        };
+        // One consistent snapshot per batch: a reload mid-batch swaps the
+        // cell, but this batch keeps draining against its own Arc.
+        let (engine, generation) = inner.cell.snapshot();
+        let queries: Vec<Query> = batch.iter().map(|item| item.query).collect();
+        let report = engine.serve(&queries, &policy);
+        for (item, answer) in batch.into_iter().zip(report.answers) {
+            let frame = match answer {
+                Ok(outcome) => Frame::new(
+                    Opcode::Answer,
+                    item.id,
+                    generation,
+                    encode_outcome(&outcome),
+                ),
+                Err(e) => Frame::new(
+                    Opcode::Error,
+                    item.id,
+                    generation,
+                    encode_error(&WireError::from(e)),
+                ),
+            };
+            bump(&inner.stats.answered);
+            let _ = item.reply.send(frame);
+        }
+        inner.inflight_batches.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn poll_loop(inner: &Arc<Inner>, every: Duration) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(every.min(Duration::from_millis(100)));
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Some((path, _)) = &inner.source else {
+            break;
+        };
+        let seen = file_mtime(path);
+        let changed = {
+            let last = inner.source_mtime.lock().expect("mtime lock poisoned");
+            seen.is_some() && *last != seen
+        };
+        if changed {
+            inner.reload();
+        }
+    }
+}

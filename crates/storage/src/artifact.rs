@@ -135,6 +135,64 @@ pub fn load(file: &CsrFile) -> Result<QueryEngine> {
     QueryEngine::from_frozen(frozen).map_err(|e| bad(e.reason))
 }
 
+/// Where [`restore_or_build`] got its engine from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSource {
+    /// Restored from the file's frozen-artifact section (cheap).
+    Artifact,
+    /// Built from scratch off the file's graph sections — the file
+    /// carried no artifact (expensive; persist one with [`store`]).
+    Built,
+}
+
+/// Re-opens the CSR file at `path` and produces a serving-ready
+/// [`QueryEngine`]: restored from the frozen-artifact section when one is
+/// present, otherwise **built** from the file's graph with `params`. The
+/// serve frontend's startup *and* hot-swap path — each reload re-opens
+/// the file fresh, so an atomically replaced file (the crate-wide
+/// write-new-then-rename contract) is picked up in full.
+///
+/// # Errors
+///
+/// Any [`CsrFile::open`] error, a corrupt artifact payload
+/// ([`StorageError::Artifact`]), or a graph section that fails
+/// materialization. A *missing* artifact is not an error — that is the
+/// build fallback.
+///
+/// # Examples
+///
+/// ```
+/// use storage::artifact::{restore_or_build, store, EngineSource};
+/// use triangle::PipelineParams;
+///
+/// let g = graph::gen::gnp(30, 0.2, 7).unwrap();
+/// let dir = storage::test_dir("doc-restore-or-build");
+/// let path = dir.join("g.csr");
+/// storage::write_graph(&g, &path).unwrap();
+///
+/// // No artifact yet: falls back to a fresh build…
+/// let (engine, source) = restore_or_build(&path, &PipelineParams::default()).unwrap();
+/// assert_eq!(source, EngineSource::Built);
+///
+/// // …and once one is stored, restore takes over.
+/// store(&path, &engine).unwrap();
+/// let (_, source) = restore_or_build(&path, &PipelineParams::default()).unwrap();
+/// assert_eq!(source, EngineSource::Artifact);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub fn restore_or_build(
+    path: &Path,
+    params: &triangle::PipelineParams,
+) -> Result<(QueryEngine, EngineSource)> {
+    let file = CsrFile::open(path)?;
+    if file.artifact_bytes().is_some() {
+        Ok((load(&file)?, EngineSource::Artifact))
+    } else {
+        let g = file.to_graph()?;
+        Ok((QueryEngine::build(&g, params), EngineSource::Built))
+    }
+}
+
 /// Serializes a [`FrozenEngine`] into the artifact payload bytes.
 ///
 /// # Examples
@@ -415,6 +473,33 @@ mod tests {
         let file = CsrFile::open(&path).unwrap();
         assert!(file.artifact_bytes().is_none());
         assert!(matches!(load(&file), Err(StorageError::Artifact { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_or_build_prefers_the_artifact_and_answers_identically() {
+        let (g, engine) = engine_for(40, 0.2, 37);
+        let dir = crate::test_dir("artifact-restore-or-build");
+        let path = dir.join("g.csr");
+        write_graph(&g, &path).unwrap();
+        let params = PipelineParams::default();
+        let (built, source) = restore_or_build(&path, &params).unwrap();
+        assert_eq!(source, EngineSource::Built);
+        store(&path, &engine).unwrap();
+        let (restored, source) = restore_or_build(&path, &params).unwrap();
+        assert_eq!(source, EngineSource::Artifact);
+        for v in 0..g.n() as u32 {
+            let q = Query::Vertex {
+                v,
+                emit: Emit::Enumerate,
+            };
+            assert_eq!(engine.answer(q), restored.answer(q), "vertex {v}");
+            assert_eq!(
+                engine.answer(q),
+                built.answer(q),
+                "built engine, vertex {v}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -536,11 +536,65 @@ impl QueryEngine {
         }
     }
 
-    /// Serves a query batch on the deterministic scheduler: one pure job
-    /// per query, merged back in submission order — so the answers are
-    /// **bit-identical** for every worker count, and a concurrent serve
-    /// can be audited against a sequential replay with `==`.
+    /// Serves a query batch on the deterministic scheduler, **chunked
+    /// per worker**: queries are split into contiguous chunks and each
+    /// chunk runs as one scheduler job, so the per-job scheduling cost
+    /// (queue lock, scoped-task spawn) is amortized over hundreds of
+    /// microsecond-scale queries instead of paid per query — the PR 7
+    /// follow-up that lets a multi-threaded serve actually beat `t = 1`.
+    /// The chunk size aims at four chunks per worker, enough slack for
+    /// the shared pull queue to rebalance a skewed stream.
+    ///
+    /// Answers are merged back in submission order and each query is a
+    /// pure function of the artifact, so the report is **bit-identical**
+    /// for every worker count *and* every chunk size —
+    /// [`QueryEngine::serve_unbatched`] is the retained per-query
+    /// reference, pinned equal in `tests/service_equivalence.rs`.
     pub fn serve(&self, queries: &[Query], policy: &SchedulerPolicy) -> ServeReport {
+        let workers = policy.effective_workers(queries.len()).max(1);
+        let chunk = queries.len().div_ceil(workers * 4).max(1);
+        self.serve_chunked(queries, policy, chunk)
+    }
+
+    /// [`QueryEngine::serve`] with an explicit chunk size (`0` is treated
+    /// as `1`). Exposed for the batching ablation: any chunk size yields
+    /// bit-identical answers, only the scheduling overhead moves.
+    pub fn serve_chunked(
+        &self,
+        queries: &[Query],
+        policy: &SchedulerPolicy,
+        chunk: usize,
+    ) -> ServeReport {
+        let t0 = Instant::now();
+        let jobs: Vec<&[Query]> = queries.chunks(chunk.max(1)).collect();
+        let (chunks, stats) = run_jobs(jobs, policy, |_, qs| {
+            let mut out = Vec::with_capacity(qs.len());
+            for &q in qs {
+                let t = Instant::now();
+                out.push((self.answer(q), t.elapsed()));
+            }
+            out
+        });
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(queries.len());
+        for (a, l) in chunks.into_iter().flatten() {
+            answers.push(a);
+            latencies.push(l);
+        }
+        ServeReport {
+            answers,
+            latencies,
+            wall: t0.elapsed(),
+            stats,
+        }
+    }
+
+    /// The PR 7 serve path: one scheduler job **per query**. Kept as the
+    /// executable reference for the batching ablation (the same role
+    /// `CONGEST_ENGINE_FULL_SCAN` plays for the worklist engine) —
+    /// `exp_serve --chunk 1`-style sweeps and the equivalence tests pin
+    /// [`QueryEngine::serve`] bit-identical to this.
+    pub fn serve_unbatched(&self, queries: &[Query], policy: &SchedulerPolicy) -> ServeReport {
         let t0 = Instant::now();
         let (results, stats) = run_jobs(queries.to_vec(), policy, |_, q| {
             let t = Instant::now();
@@ -1115,6 +1169,40 @@ mod tests {
         assert!(seq.answers_match(&par), "worker count changed an answer");
         assert_eq!(seq.count_checksum(), par.count_checksum());
         assert!(par.stats.workers > 1, "parallel serve used one worker");
+    }
+
+    #[test]
+    fn chunked_serve_is_bit_identical_to_unbatched_at_every_chunk_size() {
+        let g = graph::gen::gnp(60, 0.2, 61).unwrap();
+        let engine = QueryEngine::build(&g, &params());
+        let queries: Vec<Query> = (0..150u32)
+            .map(|i| match i % 3 {
+                0 => Query::Vertex {
+                    v: i % 60,
+                    emit: Emit::Enumerate,
+                },
+                1 => Query::Edge {
+                    u: i % 60,
+                    v: (i * 7 + 1) % 60,
+                    emit: Emit::Count,
+                },
+                _ => Query::TopKBySupport { v: i % 60, k: 4 },
+            })
+            .collect();
+        let policy = SchedulerPolicy::with_workers(4);
+        let reference = engine.serve_unbatched(&queries, &policy);
+        for chunk in [0, 1, 3, 64, 150, 10_000] {
+            let batched = engine.serve_chunked(&queries, &policy, chunk);
+            assert!(
+                reference.answers_match(&batched),
+                "chunk size {chunk} changed an answer"
+            );
+        }
+        let auto = engine.serve(&queries, &policy);
+        assert!(reference.answers_match(&auto));
+        // Chunking really did coarsen the job list.
+        assert!(auto.stats.jobs < queries.len());
+        assert_eq!(reference.stats.jobs, queries.len());
     }
 
     #[test]

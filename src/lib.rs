@@ -13,6 +13,7 @@
 //! | [`routing`] | GKS expander routing | the §3 preprocessing/query trade-off |
 //! | [`triangle`] | triangle enumeration | Theorem 2 + the DLP clique baseline |
 //! | [`storage`] | on-disk CSR ingestion | real-graph datasets, zero-copy loading, frozen artifacts |
+//! | [`server`] | wire frontend | TCP serving of point queries, hot-swap artifact reloads |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use congest;
 pub use expander;
 pub use graph;
 pub use routing;
+pub use server;
 pub use storage;
 pub use triangle;
 
@@ -57,6 +59,10 @@ pub mod prelude {
     pub use expander::prelude::*;
     pub use graph::prelude::*;
     pub use routing::{QueryCharge, RoutingHierarchy, RoutingRequest};
+    pub use server::{
+        serve_engine, serve_path, Client, ClientError, Frame, Opcode, ProtocolError, ResponseBody,
+        ServerConfig, ServerHandle, WireError, WireResponse,
+    };
     pub use storage::{convert_edge_list, write_graph, ConvertOptions, CsrFile, CsrView};
     pub use triangle::{
         clique_enumerate, congest_enumerate, count_triangles, enumerate_triangles,

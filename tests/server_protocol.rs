@@ -1,0 +1,289 @@
+//! Fuzz-grade guarantees of the wire protocol (ISSUE 9, DESIGN.md §14):
+//!
+//! * **round-trip identity** — every well-formed frame, query, outcome,
+//!   and error payload decodes back to exactly what was encoded;
+//! * **total decoding** — arbitrary bytes, truncations, and single-bit
+//!   flips of valid frames produce `Ok` or a typed
+//!   [`ProtocolError`], never a panic and never an allocation driven by
+//!   a forged length prefix;
+//! * **stream discipline** — concatenated frames read back one by one
+//!   through the codec, and a clean EOF between frames is distinguished
+//!   from truncation inside one.
+
+use expander_repro::prelude::*;
+use proptest::prelude::*;
+use routing::QueryCharge;
+use server::codec::{read_frame, write_frame, CodecError};
+use server::protocol::{
+    decode_error, decode_outcome, decode_query, encode_error, encode_outcome, encode_query,
+    FrameHeader, HEADER_LEN,
+};
+use triangle::service::EdgeSupport;
+use triangle::Triangle;
+
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Query),
+        Just(Opcode::Ping),
+        Just(Opcode::Reload),
+        Just(Opcode::Answer),
+        Just(Opcode::Error),
+        Just(Opcode::Pong),
+        Just(Opcode::Busy),
+        Just(Opcode::Reloaded),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        arb_opcode(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(opcode, id, generation, payload)| Frame::new(opcode, id, generation, payload))
+}
+
+fn arb_emit() -> impl Strategy<Value = Emit> {
+    prop_oneof![Just(Emit::Count), Just(Emit::Enumerate)]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        (any::<u32>(), arb_emit()).prop_map(|(v, emit)| Query::Vertex { v, emit }),
+        (any::<u32>(), any::<u32>(), arb_emit()).prop_map(|(u, v, emit)| Query::Edge {
+            u,
+            v,
+            emit
+        }),
+        (any::<u32>(), 0usize..64).prop_map(|(v, k)| Query::TopKBySupport { v, k }),
+    ]
+}
+
+fn arb_charge() -> impl Strategy<Value = QueryCharge> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(words, queries, rounds, max_congestion, delivered)| QueryCharge {
+                words,
+                queries,
+                rounds,
+                max_congestion,
+                delivered,
+            },
+        )
+}
+
+/// Strictly ascending `a < b < c` vertex triples, the only shape
+/// `Triangle::new` accepts.
+fn arb_triangle() -> impl Strategy<Value = Triangle> {
+    (0u32..1000, 1u32..1000, 1u32..1000)
+        .prop_map(|(a, db, dc)| Triangle::new(a, a + db, a + db + dc))
+}
+
+fn arb_answer() -> impl Strategy<Value = Answer> {
+    prop_oneof![
+        any::<u64>().prop_map(Answer::Count),
+        proptest::collection::vec(arb_triangle(), 0..16).prop_map(Answer::Triangles),
+        proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(u, v, support)| EdgeSupport {
+                u,
+                v,
+                support
+            }),
+            0..16
+        )
+        .prop_map(Answer::TopEdges),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = QueryOutcome> {
+    (arb_answer(), arb_charge()).prop_map(|(answer, charge)| QueryOutcome { answer, charge })
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    let printable = proptest::collection::vec(32u8..127, 0usize..80)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII"));
+    prop_oneof![
+        any::<u32>().prop_map(|v| WireError::UnknownVertex { v }),
+        printable.prop_map(|reason| WireError::Malformed { reason }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_roundtrip_bit_exactly(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(Frame::decode(&bytes, MAX_PAYLOAD).unwrap(), frame);
+    }
+
+    #[test]
+    fn query_payloads_roundtrip(q in arb_query()) {
+        prop_assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn outcome_payloads_roundtrip(o in arb_outcome()) {
+        prop_assert_eq!(decode_outcome(&encode_outcome(&o)).unwrap(), o);
+    }
+
+    #[test]
+    fn error_payloads_roundtrip(e in arb_wire_error()) {
+        prop_assert_eq!(decode_error(&encode_error(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // Total: Ok or a typed error, whatever the bytes.
+        let _ = Frame::decode(&bytes, MAX_PAYLOAD);
+        let mut cursor = &bytes[..];
+        let _ = read_frame(&mut cursor, MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_payload_decoders(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = decode_query(&bytes);
+        let _ = decode_outcome(&bytes);
+        let _ = decode_error(&bytes);
+    }
+
+    #[test]
+    fn single_bit_flips_of_a_valid_frame_are_total(
+        frame in arb_frame(),
+        flip in any::<usize>(),
+    ) {
+        let mut bytes = frame.encode();
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // A flipped frame either still parses (the flip landed in the
+        // id/generation/payload bytes) or fails with a typed error; it
+        // never panics and never reports success with different length
+        // semantics than the buffer.
+        if let Ok(parsed) = Frame::decode(&bytes, MAX_PAYLOAD) {
+            prop_assert_eq!(parsed.payload.len(), frame.payload.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_frame_is_typed(frame in arb_frame()) {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut], MAX_PAYLOAD) {
+                Err(ProtocolError::Truncated { .. }) => {}
+                other => prop_assert!(false, "cut {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_stream_back_in_order(
+        frames in proptest::collection::vec(arb_frame(), 1..8)
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            let got = read_frame(&mut cursor, MAX_PAYLOAD).unwrap().unwrap();
+            prop_assert_eq!(&got, f);
+        }
+        // Clean EOF between frames, not an error.
+        prop_assert!(read_frame(&mut cursor, MAX_PAYLOAD).unwrap().is_none());
+    }
+
+    #[test]
+    fn forged_length_prefixes_cannot_demand_allocation(
+        claimed in (MAX_PAYLOAD + 1)..u32::MAX,
+        id in any::<u64>(),
+    ) {
+        // Hand-build a header whose payload_len exceeds the cap: the
+        // decoder must reject it from the 24 header bytes alone.
+        let header = FrameHeader {
+            opcode: Opcode::Query,
+            id,
+            generation: 0,
+            payload_len: claimed,
+        };
+        let bytes = header.encode();
+        match FrameHeader::decode(&bytes, MAX_PAYLOAD) {
+            Err(ProtocolError::Oversize { .. }) => {}
+            other => prop_assert!(false, "claimed {} gave {:?}", claimed, other),
+        }
+        let mut cursor = &bytes[..];
+        prop_assert!(matches!(
+            read_frame(&mut cursor, MAX_PAYLOAD),
+            Err(CodecError::Protocol(ProtocolError::Oversize { .. }))
+        ));
+    }
+}
+
+/// The mid-payload-truncation case needs a reader, not a slice decode:
+/// the codec must distinguish "clean EOF between frames" from "EOF with
+/// a frame half-read".
+#[test]
+fn truncation_inside_the_payload_is_not_a_clean_eof() {
+    let frame = Frame::new(Opcode::Query, 9, 0, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    let bytes = frame.encode();
+    for cut in 1..bytes.len() {
+        let mut cursor = &bytes[..cut];
+        assert!(
+            matches!(
+                read_frame(&mut cursor, MAX_PAYLOAD),
+                Err(CodecError::Protocol(ProtocolError::Truncated { .. }))
+            ),
+            "cut {cut} was not reported as truncation"
+        );
+    }
+    // Zero bytes IS a clean EOF.
+    let mut empty: &[u8] = &[];
+    assert!(read_frame(&mut empty, MAX_PAYLOAD).unwrap().is_none());
+}
+
+/// Every header malformation gets its own typed error, checked exactly.
+#[test]
+fn header_malformations_are_individually_typed() {
+    let good = Frame::new(Opcode::Ping, 3, 0, Vec::new()).encode();
+    assert_eq!(good.len(), HEADER_LEN);
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        Frame::decode(&bad_magic, MAX_PAYLOAD),
+        Err(ProtocolError::BadMagic { .. })
+    ));
+
+    let mut bad_version = good.clone();
+    bad_version[2] = 99;
+    assert!(matches!(
+        Frame::decode(&bad_version, MAX_PAYLOAD),
+        Err(ProtocolError::UnsupportedVersion { .. })
+    ));
+
+    let mut bad_opcode = good.clone();
+    bad_opcode[3] = 0x7F;
+    assert!(matches!(
+        Frame::decode(&bad_opcode, MAX_PAYLOAD),
+        Err(ProtocolError::UnknownOpcode { .. })
+    ));
+
+    let mut trailing = good;
+    trailing.push(0);
+    assert!(matches!(
+        Frame::decode(&trailing, MAX_PAYLOAD),
+        Err(ProtocolError::TrailingBytes { .. })
+    ));
+}

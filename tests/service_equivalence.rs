@@ -109,6 +109,27 @@ fn audit(g: &Graph, engine: &QueryEngine, raw_stream: &[u64]) -> Result<(), Test
         seq.answers_match(&par),
         "4-worker answers differ from sequential replay"
     );
+    // The batched dispatch (PR 9) must be invisible in the answers: the
+    // per-query reference path, the auto-chunked default, and an
+    // awkward explicit chunk size all agree bit-for-bit — while the
+    // chunked paths actually batch (fewer scheduler jobs than queries).
+    let unbatched = engine.serve_unbatched(&queries, &SchedulerPolicy::with_workers(4));
+    prop_assert!(
+        seq.answers_match(&unbatched),
+        "per-query reference answers differ from sequential replay"
+    );
+    prop_assert_eq!(unbatched.stats.jobs, queries.len());
+    let chunked = engine.serve_chunked(&queries, &SchedulerPolicy::with_workers(3), 7);
+    prop_assert!(
+        seq.answers_match(&chunked),
+        "chunk-7 answers differ from sequential replay"
+    );
+    prop_assert!(
+        par.stats.jobs < queries.len(),
+        "auto-chunked serve did not batch: {} jobs for {} queries",
+        par.stats.jobs,
+        queries.len()
+    );
     let full = enumerate_via_decomposition(g, &PipelineParams::default()).triangles;
     for (q, got) in queries.iter().zip(&seq.answers) {
         let got = got.as_ref().expect("in-range queries never error");
