@@ -1,0 +1,88 @@
+//! Criterion bench for the churn tier: ledger open cost, incremental
+//! batch application (with its inverse, so state stays stationary across
+//! iterations), the from-scratch recount comparator, and the
+//! certificate-driven rebuild cycle, on a small planted-partition
+//! instance. Joined to the CI bench-regression gate
+//! (`BENCH_baseline.json`) so an incremental-path slowdown fails loudly.
+
+use bench_suite::{churn_ops, scale_planted_partition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::ClusterAssignment;
+use std::sync::Arc;
+use triangle::pipeline::PipelineParams;
+use triangle::service::QueryEngine;
+use triangle::{count_triangles, DeltaLedger, EdgeOp};
+
+/// The batch run backwards: applied after `ops`, it restores the exact
+/// edge multiset, so a persistent ledger stays stationary across bench
+/// iterations. Self-loop inserts are filtered from the forward batch
+/// because loop deletes are no-ops by contract — they would accumulate.
+fn revertible(ops: &[EdgeOp]) -> (Vec<EdgeOp>, Vec<EdgeOp>) {
+    let forward: Vec<EdgeOp> = ops
+        .iter()
+        .copied()
+        .filter(|op| match op {
+            EdgeOp::Insert(u, v) | EdgeOp::Delete(u, v) => u != v,
+        })
+        .collect();
+    let backward: Vec<EdgeOp> = forward
+        .iter()
+        .rev()
+        .map(|op| match *op {
+            EdgeOp::Insert(u, v) => EdgeOp::Delete(u, v),
+            EdgeOp::Delete(u, v) => EdgeOp::Insert(u, v),
+        })
+        .collect();
+    (forward, backward)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    let pp = scale_planted_partition(20_000, 42);
+    let params = PipelineParams::default();
+    let assignment =
+        ClusterAssignment::from_parts(&pp.graph, &pp.blocks, 0.1, &params.scheduler_policy());
+    let engine = Arc::new(QueryEngine::from_assignment(&pp.graph, assignment, &params));
+
+    // Opening a ledger pays one exact count — the price of admission.
+    group.bench_with_input(BenchmarkId::new("open", "20k"), &pp.graph, |b, g| {
+        b.iter(|| DeltaLedger::new(g, Arc::clone(&engine)))
+    });
+
+    // Incremental application: forward batch + its inverse per iteration,
+    // so every iteration sees the same graph.
+    for batch in [16usize, 256] {
+        let (forward, backward) = revertible(&churn_ops(&pp.graph, 7, batch));
+        let mut ledger = DeltaLedger::new(&pp.graph, Arc::clone(&engine));
+        group.bench_function(BenchmarkId::new("apply_revert", format!("b{batch}")), |b| {
+            b.iter(|| {
+                ledger.apply(&forward);
+                ledger.apply(&backward);
+                ledger.triangles()
+            })
+        });
+    }
+
+    // The from-scratch comparator the apply path is racing.
+    group.bench_with_input(BenchmarkId::new("recount", "20k"), &pp.graph, |b, g| {
+        b.iter(|| count_triangles(g))
+    });
+
+    // The certificate-driven rebuild cycle: absorb a light batch, then
+    // refreeze (most clusters ride along by pointer). The ledger
+    // persists; deletes already absorbed are ignored on later cycles, so
+    // per-iteration drift is a handful of parallel copies on 20k edges.
+    let ops = churn_ops(&pp.graph, 11, 64);
+    let mut ledger = DeltaLedger::new(&pp.graph, Arc::clone(&engine));
+    group.bench_function(BenchmarkId::new("rebuild_cycle", "b64"), |b| {
+        b.iter(|| {
+            ledger.apply(&ops);
+            ledger.rebuild(&params).reused
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

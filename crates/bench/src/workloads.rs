@@ -3,7 +3,8 @@
 //! ([`scale_tier`]) built on the `O(n + m)` chunk-parallel generators.
 
 use graph::gen::PlantedPartition;
-use graph::{gen, Graph, VertexSet};
+use graph::{gen, Graph, VertexId, VertexSet};
+use triangle::EdgeOp;
 
 /// A graph plus the most balanced planted sparse cut we know it contains.
 #[derive(Debug, Clone)]
@@ -165,6 +166,45 @@ pub fn scale_tier(target_edges: usize, seed: u64) -> Vec<ScaleWorkload> {
     ]
 }
 
+/// A deterministic churn batch for the dynamic-graph tier: ~half
+/// deletions of real edges (sampled from the base graph), ~half
+/// insertions of fresh pairs, with a sprinkle of the regression-prone
+/// shapes (delete-then-reinsert, parallel copies, self loops). The
+/// stream is a pure function of `(g, seed, len)`.
+pub fn churn_ops(g: &Graph, seed: u64, len: usize) -> Vec<EdgeOp> {
+    let n = g.n().max(1) as u64;
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let u = (next() % n) as VertexId;
+        let v = (next() % n) as VertexId;
+        match next() % 8 {
+            0..=2 => ops.push(EdgeOp::Insert(u, v)),
+            3..=5 if !edges.is_empty() => {
+                let (a, b) = edges[(next() % edges.len() as u64) as usize];
+                ops.push(EdgeOp::Delete(a, b));
+            }
+            6 if !edges.is_empty() => {
+                let (a, b) = edges[(next() % edges.len() as u64) as usize];
+                ops.push(EdgeOp::Delete(a, b));
+                ops.push(EdgeOp::Insert(a, b));
+            }
+            7 => ops.push(EdgeOp::Insert(u, u)),
+            _ => ops.push(EdgeOp::Insert(u, v)),
+        }
+    }
+    ops.truncate(len);
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +254,17 @@ mod tests {
         assert_eq!(pp.blocks.len(), 4);
         let phi = pp.graph.conductance(&pp.blocks[0]).unwrap();
         assert!(phi < 0.25, "planted cut conductance {phi}");
+    }
+
+    #[test]
+    fn churn_ops_is_deterministic_and_sized() {
+        let g = gen::gnp(50, 0.2, 1).unwrap();
+        let a = churn_ops(&g, 9, 200);
+        let b = churn_ops(&g, 9, 200);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().any(|op| matches!(op, EdgeOp::Delete(_, _))));
+        assert!(a.iter().any(|op| matches!(op, EdgeOp::Insert(_, _))));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod params;
 pub mod partition;
 pub mod prelude;
 pub mod quality;
+pub mod recluster;
 pub mod rounds;
 pub mod scheduler;
 pub mod sparse_cut;
@@ -56,6 +57,7 @@ pub use decomposition::{
 };
 pub use params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
 pub use quality::{QualityBounds, QualityReport};
+pub use recluster::{recluster_broken, ReclusterParams, ReclusterReport};
 pub use scheduler::{
     derive_seed, JobStats, LevelExecution, RecursionReport, SchedulerPolicy, ScratchPool,
 };

@@ -11,9 +11,10 @@ pub use crate::parallel_nibble::{parallel_nibble, ParallelNibbleOutcome};
 pub use crate::params::{DecompositionParams, NibbleParams, ParamMode, SparseCutParams};
 pub use crate::partition::{partition, PartitionOutcome};
 pub use crate::quality::{QualityBounds, QualityReport};
+pub use crate::recluster::{recluster_broken, ReclusterParams, ReclusterReport};
 pub use crate::rounds::RoundLedger;
 pub use crate::scheduler::{
     derive_seed, JobStats, LevelExecution, RecursionReport, SchedulerPolicy, ScratchPool,
 };
 pub use crate::sparse_cut::{nearly_most_balanced_sparse_cut, SparseCutOutcome};
-pub use crate::verify::{verify_decomposition, VerificationReport};
+pub use crate::verify::{certify_current, verify_decomposition, VerificationReport};

@@ -1,0 +1,257 @@
+//! Certificate-driven reclustering: the decomposition-maintenance half of
+//! the churn tier (DESIGN.md §15).
+//!
+//! Theorem 1's output is a partition whose parts each certify `Φ ≥ φ`.
+//! Under edge churn most parts keep certifying — deleting a handful of
+//! intra-cluster edges rarely breaks an expander, and inserted edges can
+//! only *raise* internal connectivity or land between clusters (where
+//! they join the inter-cluster budget). Following the maintenance view of
+//! Chang–Saranurak's deterministic pruning line, [`recluster_broken`]
+//! therefore re-decomposes **only** the clusters whose φ certificate
+//! actually broke:
+//!
+//! 1. clusters with no incident churn are passed through untouched (and
+//!    flagged reusable, so downstream artifact caches can keep their
+//!    frozen snapshots by pointer);
+//! 2. touched clusters are re-certified on the *current* graph via
+//!    [`crate::verify::certify_current`] — the loop-augmented induced
+//!    view, so crossing and churned edges are compensated exactly as the
+//!    working graph would;
+//! 3. clusters whose certified lower bound fell below the promised `φ`
+//!    are re-decomposed in isolation (a fresh [`ExpanderDecomposition`]
+//!    on the induced subgraph, deterministically seeded by old cluster
+//!    id) and their sub-parts replace the broken part.
+//!
+//! The result is a covering partition ready for
+//! [`ClusterAssignment::from_parts`], plus the reuse map that lets the
+//! query engine's refreeze keep untouched per-cluster artifacts alive.
+//!
+//! The certificate is conservative: the Cheeger lower bound on large
+//! parts can dip below `φ` while the true conductance still clears it, in
+//! which case we re-decompose a healthy cluster — extra work, never a
+//! wrong answer. The re-decomposition promises its own (sub-)schedule's
+//! φ; the maintained assignment keeps reporting the original target, so a
+//! later churn batch re-checks the new parts against the same bar.
+
+use crate::decomposition::{ClusterAssignment, ExpanderDecomposition};
+use crate::params::ParamMode;
+use crate::verify::certify_current;
+use graph::seed::derive_seed;
+use graph::view::Subgraph;
+use graph::working::WorkingGraph;
+use graph::VertexSet;
+
+/// Knobs for the per-cluster re-decomposition (the subset of the
+/// decomposition builder the churn tier forwards).
+#[derive(Debug, Clone, Copy)]
+pub struct ReclusterParams {
+    /// Inter-cluster budget for each isolated re-decomposition.
+    pub epsilon: f64,
+    /// Schedule index `k` of the re-decomposition.
+    pub k: usize,
+    /// Parameter mode (paper constants vs practical).
+    pub mode: ParamMode,
+    /// Root seed; each broken cluster decomposes under
+    /// `derive_seed(seed, old_cluster_id)` so runs are reproducible and
+    /// independent of iteration order.
+    pub seed: u64,
+}
+
+impl Default for ReclusterParams {
+    fn default() -> Self {
+        ReclusterParams {
+            epsilon: 0.3,
+            k: 2,
+            mode: ParamMode::Practical,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of [`recluster_broken`]: the next covering partition plus the
+/// bookkeeping the refreeze path needs.
+#[derive(Debug, Clone)]
+pub struct ReclusterReport {
+    /// The new covering partition, ready for
+    /// [`ClusterAssignment::from_parts`].
+    pub parts: Vec<VertexSet>,
+    /// For each entry of `parts`: `Some(old_id)` when the part is an
+    /// untouched old cluster whose frozen artifacts can be reused by
+    /// pointer, `None` when it was touched (re-certified or freshly cut)
+    /// and must be re-frozen.
+    pub reuse: Vec<Option<usize>>,
+    /// Touched clusters whose φ certificate was re-verified.
+    pub checked: usize,
+    /// Clusters whose certificate broke and were re-decomposed.
+    pub broken: usize,
+}
+
+impl ReclusterReport {
+    /// Number of parts passed through with reusable artifacts.
+    pub fn reused(&self) -> usize {
+        self.reuse.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Re-verifies the φ certificates of the `dirty` clusters of `assignment`
+/// against the current overlay `working`, re-decomposes exactly the
+/// broken ones, and returns the next covering partition. `dirty[c]` marks
+/// old cluster `c` as touched by churn (any applied op with an endpoint
+/// in the cluster); untouched clusters are passed through and flagged
+/// reusable.
+///
+/// # Panics
+///
+/// Panics if `dirty.len()` differs from the assignment's cluster count or
+/// the overlay's vertex count differs from the assignment's.
+pub fn recluster_broken(
+    working: &WorkingGraph,
+    assignment: &ClusterAssignment,
+    dirty: &[bool],
+    params: &ReclusterParams,
+) -> ReclusterReport {
+    assert_eq!(
+        dirty.len(),
+        assignment.cluster_count(),
+        "one dirty flag per cluster"
+    );
+    assert_eq!(working.n(), assignment.n, "overlay/assignment mismatch");
+    let n = working.n();
+    let mut parts = Vec::with_capacity(assignment.cluster_count());
+    let mut reuse = Vec::with_capacity(assignment.cluster_count());
+    let mut checked = 0usize;
+    let mut broken = 0usize;
+    for (c, part) in assignment.clusters.iter().enumerate() {
+        if !dirty[c] {
+            parts.push(part.clone());
+            reuse.push(Some(c));
+            continue;
+        }
+        checked += 1;
+        let cert = certify_current(working, part);
+        if cert.conductance_lower >= assignment.phi {
+            // Touched but still certifying: same part, fresh artifacts.
+            parts.push(part.clone());
+            reuse.push(None);
+            continue;
+        }
+        broken += 1;
+        let sub = Subgraph::induced(working, part);
+        if sub.graph().m() == 0 {
+            // No internal edges survive: every member becomes a
+            // (vacuously expanding) singleton.
+            for v in part.iter() {
+                parts.push(VertexSet::from_iter(n, [v]));
+                reuse.push(None);
+            }
+            continue;
+        }
+        let res = ExpanderDecomposition::builder()
+            .epsilon(params.epsilon)
+            .k(params.k)
+            .mode(params.mode)
+            .seed(derive_seed(params.seed, c as u64))
+            .build()
+            .run(sub.graph())
+            .expect("non-empty induced subgraph decomposes");
+        for sub_part in &res.parts {
+            parts.push(sub.set_to_parent(sub_part, n));
+            reuse.push(None);
+        }
+    }
+    ReclusterReport {
+        parts,
+        reuse,
+        checked,
+        broken,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerPolicy;
+    use graph::{gen, VertexId};
+
+    fn planted() -> (graph::Graph, Vec<VertexSet>) {
+        let pp = gen::planted_partition(&[24, 24, 24], 0.7, 0.01, 11).unwrap();
+        (pp.graph, pp.blocks)
+    }
+
+    #[test]
+    fn untouched_clusters_pass_through_as_reusable() {
+        let (g, blocks) = planted();
+        let assignment =
+            ClusterAssignment::from_parts(&g, &blocks, 0.05, &SchedulerPolicy::sequential());
+        let working = WorkingGraph::new(&g);
+        let dirty = vec![false; assignment.cluster_count()];
+        let report = recluster_broken(&working, &assignment, &dirty, &ReclusterParams::default());
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.broken, 0);
+        assert_eq!(report.parts.len(), assignment.cluster_count());
+        assert_eq!(report.reused(), assignment.cluster_count());
+        for (i, part) in report.parts.iter().enumerate() {
+            assert_eq!(report.reuse[i], Some(i));
+            assert_eq!(part.len(), assignment.clusters[i].len());
+        }
+    }
+
+    #[test]
+    fn healthy_touched_cluster_keeps_its_part() {
+        let (g, blocks) = planted();
+        let assignment =
+            ClusterAssignment::from_parts(&g, &blocks, 0.05, &SchedulerPolicy::sequential());
+        let mut working = WorkingGraph::new(&g);
+        // One intra-cluster insertion: touches cluster 0, breaks nothing.
+        let members: Vec<VertexId> = assignment.clusters[0].iter().collect();
+        working.insert_edges([(members[0], members[1])]);
+        let mut dirty = vec![false; assignment.cluster_count()];
+        dirty[0] = true;
+        let report = recluster_broken(&working, &assignment, &dirty, &ReclusterParams::default());
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.broken, 0);
+        assert_eq!(report.parts.len(), assignment.cluster_count());
+        assert_eq!(report.reuse[0], None, "touched clusters refreeze");
+        assert_eq!(report.reused(), assignment.cluster_count() - 1);
+    }
+
+    #[test]
+    fn shredded_cluster_is_recut_alone() {
+        let (g, blocks) = planted();
+        let assignment =
+            ClusterAssignment::from_parts(&g, &blocks, 0.05, &SchedulerPolicy::sequential());
+        let mut working = WorkingGraph::new(&g);
+        // Delete every internal edge of cluster 0: its certificate must
+        // collapse and the members fall apart into singletons.
+        let target = &assignment.clusters[0];
+        let victims: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .filter(|&(u, v)| target.contains(u) && target.contains(v))
+            .collect();
+        working.remove_edges(victims.iter().copied(), true);
+        let mut dirty = vec![false; assignment.cluster_count()];
+        dirty[0] = true;
+        let report = recluster_broken(&working, &assignment, &dirty, &ReclusterParams::default());
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.broken, 1);
+        // The other blocks survive untouched and reusable.
+        assert_eq!(report.reused(), assignment.cluster_count() - 1);
+        // Partition still covers V exactly once.
+        let mut seen = vec![false; g.n()];
+        for part in &report.parts {
+            for v in part.iter() {
+                assert!(!seen[v as usize], "vertex {v} covered twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // And from_parts accepts the result.
+        let next = ClusterAssignment::from_parts(
+            &working.to_graph(),
+            &report.parts,
+            assignment.phi,
+            &SchedulerPolicy::sequential(),
+        );
+        assert_eq!(next.cluster_count(), report.parts.len());
+    }
+}

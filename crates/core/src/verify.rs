@@ -9,7 +9,7 @@
 //!    report also shows how tight the certificate is.
 
 use crate::decomposition::DecompositionResult;
-use graph::view::Subgraph;
+use graph::view::{AdjacencyView, Subgraph};
 use graph::{spectral, Graph, VertexSet};
 
 /// Conductance evidence for one part.
@@ -120,14 +120,42 @@ fn certify_part(g: &Graph, result: &DecompositionResult, part: &VertexSet) -> Pa
         };
     }
     let view = part_view(g, result, part);
+    certify_view(&view, size)
+}
+
+/// Certifies a part of the **current** graph `g` directly, without a
+/// [`DecompositionResult`]: the view is `G{Vᵢ}` built by loop-augmenting
+/// the induced subgraph, so every edge crossing out of `part` (including
+/// edges churned in after decomposition) is compensated by a loop. This is
+/// the certificate the churn tier re-checks per touched cluster — the
+/// lower bound is sound against the paper's convention because
+/// `Subgraph::loop_augmented` reproduces the working graph's per-part view
+/// for any [`AdjacencyView`] source.
+pub fn certify_current<A: AdjacencyView + ?Sized>(g: &A, part: &VertexSet) -> PartCertificate {
+    let size = part.len();
+    if size <= 1 {
+        return PartCertificate {
+            size,
+            conductance_lower: f64::INFINITY,
+            exact: true,
+            conductance_upper: f64::INFINITY,
+        };
+    }
+    let view = Subgraph::loop_augmented(g, part).graph().clone();
+    certify_view(&view, size)
+}
+
+/// Shared certificate core: exact enumeration for small views, Cheeger
+/// lower bound plus sweep-cut upper bound otherwise.
+fn certify_view(view: &Graph, size: usize) -> PartCertificate {
     // Upper bound from a degree-ordered sweep.
     let mut order: Vec<graph::VertexId> = (0..view.n() as graph::VertexId).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(view.degree(v)));
-    let upper = spectral::sweep_cut(&view, &order)
+    let upper = spectral::sweep_cut(view, &order)
         .map(|s| s.conductance)
         .unwrap_or(f64::INFINITY);
     if size <= 16 {
-        let exact = spectral::exact_conductance(&view).unwrap_or(f64::INFINITY);
+        let exact = spectral::exact_conductance(view).unwrap_or(f64::INFINITY);
         PartCertificate {
             size,
             conductance_lower: exact,
@@ -135,7 +163,7 @@ fn certify_part(g: &Graph, result: &DecompositionResult, part: &VertexSet) -> Pa
             conductance_upper: upper.min(exact),
         }
     } else {
-        let gap = spectral::lazy_walk_lambda2(&view, 300)
+        let gap = spectral::lazy_walk_lambda2(view, 300)
             .map(|s| spectral::cheeger_lower_bound(&s))
             .unwrap_or(0.0);
         PartCertificate {
@@ -210,6 +238,43 @@ mod tests {
                 assert!(cert.conductance_lower.is_infinite());
             }
         }
+    }
+
+    #[test]
+    fn certify_current_reads_any_adjacency_view() {
+        let (g, cliques) = gen::ring_of_cliques(4, 6).unwrap();
+        let w = graph::working::WorkingGraph::new(&g);
+        for part in &cliques {
+            let cert = certify_current(&w, part);
+            assert!(cert.conductance_lower <= cert.conductance_upper + 1e-9);
+            assert!(
+                cert.conductance_lower > 0.0,
+                "an intact clique certifies as an expander"
+            );
+        }
+    }
+
+    #[test]
+    fn certify_current_sees_churned_edges() {
+        // Shredding a clique's internal edges must drop the certificate.
+        let (g, cliques) = gen::ring_of_cliques(4, 8).unwrap();
+        let mut w = graph::working::WorkingGraph::new(&g);
+        let before = certify_current(&w, &cliques[0]);
+        let members: Vec<graph::VertexId> = cliques[0].iter().collect();
+        let hub = members[0];
+        w.remove_edges(
+            members[1..]
+                .iter()
+                .flat_map(|&a| members[1..].iter().map(move |&b| (a, b))),
+            true,
+        );
+        let after = certify_current(&w, &cliques[0]);
+        assert!(
+            after.conductance_lower < before.conductance_lower,
+            "star remnant around {hub} must certify strictly worse ({} vs {})",
+            after.conductance_lower,
+            before.conductance_lower
+        );
     }
 
     #[test]

@@ -12,22 +12,34 @@
 //! * removal of `k` edges costs `O(k·log Δ)` — one binary search per
 //!   directed slot, a tombstone flip, a live-degree decrement, and a loop
 //!   counter bump;
+//! * insertion of `k` edges costs `O(k·(log Δ + row))` — a dead slot is
+//!   resurrected when the base CSR ever held a copy, otherwise the edge
+//!   lands in a per-vertex sorted **insert-overlay row** (`extra`);
 //! * every read (`degree`, [`WorkingGraph::live_neighbors`], subgraph
-//!   extraction via [`crate::view::Subgraph`]) filters tombstones in
-//!   place — nothing is ever copied back into a fresh `Graph`.
+//!   extraction via [`crate::view::Subgraph`]) merges the live base slots
+//!   with the insert rows in place — nothing is ever copied back into a
+//!   fresh `Graph`.
 //!
-//! # Invariants (the overlay contract, DESIGN.md §9)
+//! # Invariants (the overlay contract, DESIGN.md §9 and §15)
 //!
 //! 1. **Symmetric tombstones.** The CSR stores each undirected edge as two
 //!    directed slots; a removal kills exactly one live slot in each row,
 //!    so `#live slots of v in row(u) == #live slots of u in row(v)` holds
 //!    at all times (parallel edges lose copies one at a time).
-//! 2. **Live-degree agreement.** `live_deg[v]` equals the number of live
-//!    slots in `row(v)`; `m()` equals half the total live slot count.
-//! 3. **Degree preservation.** With compensation, `degree(v)` (live
+//! 2. **Symmetric insert rows.** An inserted copy of `{u, v}` that cannot
+//!    resurrect a dead slot pair appears exactly once in `extra[u]` and
+//!    once in `extra[v]`, both rows kept sorted. Because base
+//!    multiplicities and live counts are symmetric, dead-slot counts are
+//!    too — resurrection always finds a pair.
+//! 3. **Live-degree agreement.** `live_deg[v]` equals the number of live
+//!    slots in `row(v)` plus `extra[v].len()`; `m()` equals half the total
+//!    over all rows.
+//! 4. **Degree preservation.** With compensation, `degree(v)` (live
 //!    endpoints + loop count) is invariant under removal — exactly the
 //!    paper's convention, checked bit-for-bit against a from-scratch
-//!    [`Graph::remove_edges`] rebuild by `tests/working_graph.rs`.
+//!    [`Graph::remove_edges`] rebuild by `tests/working_graph.rs`. The
+//!    same harness checks insert == rebuild identity via
+//!    [`WorkingGraph::to_graph`].
 
 use crate::cut::VertexSet;
 use crate::{Graph, VertexId};
@@ -56,6 +68,9 @@ pub struct WorkingGraph {
     adj: Vec<VertexId>,
     /// Tombstones: `alive[i]` tells whether directed slot `i` still counts.
     alive: Vec<bool>,
+    /// Per-vertex sorted insert-overlay rows: copies of edges inserted
+    /// after the snapshot that have no dead base slot to resurrect.
+    extra: Vec<Vec<VertexId>>,
     /// Number of live slots per row (`deg(v)` without loops).
     live_deg: Vec<u32>,
     /// Self-loop count per vertex: base loops plus compensation.
@@ -74,6 +89,7 @@ impl WorkingGraph {
             offsets: g.offsets.clone(),
             adj: g.adj.clone(),
             alive: vec![true; g.adj.len()],
+            extra: vec![Vec::new(); g.n()],
             live_deg: g.offsets.windows(2).map(|w| (w[1] - w[0]) as u32).collect(),
             loops: g.loops.clone(),
             m: g.m(),
@@ -126,16 +142,19 @@ impl WorkingGraph {
     }
 
     /// Iterator over `v`'s **live** neighbors in ascending order (self
-    /// loops excluded; parallel edges repeat). Reads through the overlay —
-    /// no copy.
-    pub fn live_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+    /// loops excluded; parallel edges repeat): the live base slots merged
+    /// with the sorted insert-overlay row. Reads through the overlay — no
+    /// copy.
+    pub fn live_neighbors(&self, v: VertexId) -> LiveNeighbors<'_> {
         let lo = self.offsets[v as usize];
         let hi = self.offsets[v as usize + 1];
-        self.adj[lo..hi]
-            .iter()
-            .zip(&self.alive[lo..hi])
-            .filter(|&(_, &alive)| alive)
-            .map(|(&w, _)| w)
+        LiveNeighbors {
+            adj: &self.adj[lo..hi],
+            alive: &self.alive[lo..hi],
+            i: 0,
+            extra: &self.extra[v as usize],
+            j: 0,
+        }
     }
 
     /// Whether at least one live copy of the non-loop edge `{u, v}` exists.
@@ -147,7 +166,31 @@ impl WorkingGraph {
         if u == v {
             return self.loops[u as usize] > 0;
         }
-        self.find_live_slot(u, v).is_some()
+        self.find_live_slot(u, v).is_some() || !self.extra_range(u, v).is_empty()
+    }
+
+    /// Live copies of `{u, v}` in the overlay: `loops[u]` when `u == v`,
+    /// otherwise live base slots plus insert-row occurrences. Out-of-range
+    /// pairs have multiplicity 0.
+    pub fn multiplicity(&self, u: VertexId, v: VertexId) -> usize {
+        if (u as usize) >= self.n() || (v as usize) >= self.n() {
+            return 0;
+        }
+        if u == v {
+            return self.loops[u as usize] as usize;
+        }
+        let lo = self.offsets[u as usize];
+        let hi = self.offsets[u as usize + 1];
+        let row = &self.adj[lo..hi];
+        let mut i = lo + row.partition_point(|&x| x < v);
+        let mut live = 0usize;
+        while i < hi && self.adj[i] == v {
+            if self.alive[i] {
+                live += 1;
+            }
+            i += 1;
+        }
+        live + self.extra_range(u, v).len()
     }
 
     /// First live slot holding `v` inside `u`'s row, if any.
@@ -163,6 +206,72 @@ impl WorkingGraph {
             i += 1;
         }
         None
+    }
+
+    /// First tombstoned slot holding `v` inside `u`'s row, if any — the
+    /// resurrection target for an insertion of a previously removed copy.
+    fn find_dead_slot(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let lo = self.offsets[u as usize];
+        let hi = self.offsets[u as usize + 1];
+        let row = &self.adj[lo..hi];
+        let mut i = lo + row.partition_point(|&x| x < v);
+        while i < hi && self.adj[i] == v {
+            if !self.alive[i] {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index range of `v`'s occurrences inside `u`'s insert-overlay row.
+    fn extra_range(&self, u: VertexId, v: VertexId) -> std::ops::Range<usize> {
+        let row = &self.extra[u as usize];
+        let lo = row.partition_point(|&x| x < v);
+        let hi = lo + row[lo..].partition_point(|&x| x == v);
+        lo..hi
+    }
+
+    /// Inserts one copy of each listed edge. A copy whose base CSR row
+    /// holds a tombstoned slot resurrects that slot pair (`O(log Δ)`);
+    /// otherwise it lands in both endpoints' sorted insert-overlay rows.
+    /// Self loops (`u == v`) bump the loop counter directly; out-of-range
+    /// pairs are ignored (mirroring [`WorkingGraph::remove_edges`]).
+    /// Returns how many copies were inserted.
+    pub fn insert_edges<I>(&mut self, edges: I) -> usize
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut inserted = 0usize;
+        let n = self.n();
+        for (u, v) in edges {
+            if (u as usize) >= n || (v as usize) >= n {
+                continue;
+            }
+            if u == v {
+                self.loops[u as usize] += 1;
+                self.total_loops += 1;
+                inserted += 1;
+                continue;
+            }
+            if let Some(slot_u) = self.find_dead_slot(u, v) {
+                let slot_v = self
+                    .find_dead_slot(v, u)
+                    .expect("symmetric dead-slot invariant");
+                self.alive[slot_u] = true;
+                self.alive[slot_v] = true;
+            } else {
+                let pos_u = self.extra[u as usize].partition_point(|&x| x <= v);
+                self.extra[u as usize].insert(pos_u, v);
+                let pos_v = self.extra[v as usize].partition_point(|&x| x <= u);
+                self.extra[v as usize].insert(pos_v, u);
+            }
+            self.live_deg[u as usize] += 1;
+            self.live_deg[v as usize] += 1;
+            self.m += 1;
+            inserted += 1;
+        }
+        inserted
     }
 
     /// Removes one live copy of each listed edge, `O(log Δ)` per edge.
@@ -181,14 +290,22 @@ impl WorkingGraph {
                 continue; // loops are never slots; out-of-range pairs
                           // match nothing (same as Graph::remove_edges)
             }
-            let Some(slot_u) = self.find_live_slot(u, v) else {
-                continue; // absent (or all copies already tombstoned)
-            };
-            let slot_v = self
-                .find_live_slot(v, u)
-                .expect("symmetric tombstone invariant");
-            self.alive[slot_u] = false;
-            self.alive[slot_v] = false;
+            if let Some(slot_u) = self.find_live_slot(u, v) {
+                let slot_v = self
+                    .find_live_slot(v, u)
+                    .expect("symmetric tombstone invariant");
+                self.alive[slot_u] = false;
+                self.alive[slot_v] = false;
+            } else {
+                let at_u = self.extra_range(u, v);
+                if at_u.is_empty() {
+                    continue; // absent (or all copies already tombstoned)
+                }
+                let at_v = self.extra_range(v, u);
+                debug_assert!(!at_v.is_empty(), "symmetric insert-row invariant");
+                self.extra[u as usize].remove(at_u.start);
+                self.extra[v as usize].remove(at_v.start);
+            }
             self.live_deg[u as usize] -= 1;
             self.live_deg[v as usize] -= 1;
             self.m -= 1;
@@ -248,6 +365,45 @@ impl WorkingGraph {
         g.loops.copy_from_slice(&self.loops);
         g.total_loops = self.total_loops;
         g
+    }
+}
+
+/// Iterator over a vertex's live neighbors: the tombstone-filtered base
+/// CSR row merged on the fly with the sorted insert-overlay row. Both
+/// inputs are ascending, so the merge is ascending; ties emit the base
+/// copy first (parallel edges repeat either way).
+pub struct LiveNeighbors<'a> {
+    adj: &'a [VertexId],
+    alive: &'a [bool],
+    i: usize,
+    extra: &'a [VertexId],
+    j: usize,
+}
+
+impl Iterator for LiveNeighbors<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        while self.i < self.adj.len() && !self.alive[self.i] {
+            self.i += 1;
+        }
+        let base = (self.i < self.adj.len()).then(|| self.adj[self.i]);
+        let ins = (self.j < self.extra.len()).then(|| self.extra[self.j]);
+        match (base, ins) {
+            (Some(b), Some(e)) if b <= e => {
+                self.i += 1;
+                Some(b)
+            }
+            (_, Some(e)) => {
+                self.j += 1;
+                Some(e)
+            }
+            (Some(b), None) => {
+                self.i += 1;
+                Some(b)
+            }
+            (None, None) => None,
+        }
     }
 }
 
@@ -334,6 +490,86 @@ mod tests {
         w.remove_edges([(1, 2)], true);
         assert_eq!(w.internal_edges(&s), 2);
         assert_eq!(w.volume(&s), g.volume(&s)); // compensated
+    }
+
+    #[test]
+    fn insert_matches_rebuild() {
+        let g = c4();
+        let mut w = WorkingGraph::new(&g);
+        assert_eq!(w.insert_edges([(0, 2), (1, 3)]), 2);
+        assert_eq!(w.m(), 6);
+        assert!(w.has_edge(0, 2) && w.has_edge(3, 1));
+        assert_eq!(w.live_neighbors(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let rebuilt =
+            Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]).unwrap();
+        assert_eq!(w.to_graph(), rebuilt);
+    }
+
+    #[test]
+    fn reinsert_resurrects_dead_slots() {
+        let g = c4();
+        let mut w = WorkingGraph::new(&g);
+        w.remove_edges([(1, 2)], false);
+        assert_eq!(w.insert_edges([(2, 1)]), 1);
+        assert_eq!(w.to_graph(), g, "delete-then-reinsert is the identity");
+        // The copy went back into the base slots, not the insert rows.
+        assert!(w.extra.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn inserted_parallel_copies_and_loops() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut w = WorkingGraph::new(&g);
+        assert_eq!(w.insert_edges([(0, 1), (1, 0), (1, 1)]), 3);
+        assert_eq!(w.multiplicity(0, 1), 3);
+        assert_eq!(w.multiplicity(1, 1), 1);
+        assert_eq!(w.live_neighbors(0).collect::<Vec<_>>(), vec![1, 1, 1]);
+        assert_eq!(w.degree(1), 4); // 3 endpoints + 1 loop
+        assert_eq!(w.total_self_loops(), 1);
+        // Deleting strips extra copies once the base slot is tombstoned.
+        assert_eq!(w.remove_edges([(0, 1), (0, 1), (0, 1)], false), 3);
+        assert_eq!(w.multiplicity(0, 1), 0);
+        assert!(!w.has_edge(0, 1));
+        assert!(w.has_edge(1, 1), "loop deletion is not requested here");
+    }
+
+    #[test]
+    fn insert_ignores_out_of_range() {
+        let g = c4();
+        let mut w = WorkingGraph::new(&g);
+        assert_eq!(w.insert_edges([(9, 0), (0, 9)]), 0);
+        assert_eq!(w.m(), 4);
+    }
+
+    #[test]
+    fn mixed_churn_tracks_rebuild() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let mut w = WorkingGraph::new(&g);
+        w.remove_edges([(0, 1), (2, 3)], true);
+        w.insert_edges([(0, 3), (1, 4), (0, 1)]);
+        w.remove_edges([(1, 4)], true);
+        // Final multiset: {12, 34, 40, 03, 01}; compensation loops from the
+        // three removals land at 0, 1 (twice), 2, 3, and 4.
+        let reference = Graph::from_edges(
+            5,
+            [
+                (1, 2),
+                (3, 4),
+                (4, 0),
+                (0, 3),
+                (0, 1),
+                (0, 0),
+                (1, 1),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.to_graph(), reference);
+        assert_eq!(w.m(), reference.m());
+        assert_eq!(w.total_self_loops(), reference.total_self_loops());
     }
 
     #[test]

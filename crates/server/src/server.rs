@@ -351,6 +351,19 @@ impl ServerHandle {
         self.inner.reload()
     }
 
+    /// Swaps a caller-built engine into the serving slot and returns the
+    /// new generation — the churn tier's rebuild hook: a
+    /// `triangle::churn::DeltaLedger` refreezes incrementally in the
+    /// background and installs the result here. Same contract as a
+    /// reload: the generation advances exactly once, batches already in
+    /// flight finish on the engine snapshot they started with, and the
+    /// next batch answers on the new engine.
+    pub fn swap_engine(&self, engine: Arc<QueryEngine>) -> u64 {
+        let generation = self.inner.cell.swap(engine);
+        bump(&self.inner.stats.reloads);
+        generation
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()

@@ -22,6 +22,9 @@
 //! * [`service`] — the build-once/query-many split: the pipeline's build
 //!   phase frozen into an immutable [`service::QueryEngine`] that serves
 //!   concurrent triangle point queries with per-query routing charges.
+//! * [`churn`] — incremental maintenance under live edge churn: a
+//!   [`churn::DeltaLedger`] keeps counts and witnesses exact per batch,
+//!   and certificate-driven reclustering refreezes only broken clusters.
 //!
 //! Every algorithm returns a *sorted, deduplicated* triangle list so
 //! completeness is a one-line assertion against ground truth.
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod clique_algo;
 pub mod congest_algo;
 pub mod count;
@@ -36,6 +40,7 @@ pub mod dlp;
 pub mod pipeline;
 pub mod service;
 
+pub use churn::{BatchReport, ChurnPolicy, DeltaLedger, EdgeOp, RebuildReport};
 pub use clique_algo::{clique_enumerate, CliqueEnumeration};
 pub use congest_algo::{congest_enumerate, CongestEnumeration, TriangleConfig};
 pub use count::{count_triangles, enumerate_triangles, Triangle};

@@ -213,7 +213,11 @@ struct ClusterArtifact {
 #[derive(Debug)]
 pub struct QueryEngine {
     assignment: Arc<ClusterAssignment>,
-    clusters: Vec<ClusterArtifact>,
+    /// Per-cluster frozen artifacts. Individually `Arc`'d so an
+    /// incremental refreeze ([`QueryEngine::refreeze`]) can carry
+    /// untouched clusters' snapshots and hierarchies into the next engine
+    /// by pointer instead of rebuilding them.
+    clusters: Vec<Arc<ClusterArtifact>>,
     /// Cluster-local index of every vertex (its row in the cluster's
     /// snapshot and its id in the cluster's hierarchy).
     local_of: Vec<u32>,
@@ -259,7 +263,14 @@ impl QueryEngine {
             (decomp.cluster_assignment_with(g, &policy), rounds)
         };
         let wall_decompose = t0.elapsed();
-        Self::freeze(g, assignment, params, decomposition_rounds, wall_decompose)
+        Self::freeze(
+            g,
+            assignment,
+            params,
+            decomposition_rounds,
+            wall_decompose,
+            None,
+        )
     }
 
     /// Freezes a caller-supplied assignment — planted blocks, an oracle,
@@ -279,18 +290,77 @@ impl QueryEngine {
             g.n(),
             "assignment/graph vertex-count mismatch"
         );
-        Self::freeze(g, assignment, params, 0, Duration::ZERO)
+        Self::freeze(g, assignment, params, 0, Duration::ZERO, None)
+    }
+
+    /// Freezes a churned assignment while **reusing** the per-cluster
+    /// artifacts of a previous engine: `reuse[id] = Some(old_id)` carries
+    /// cluster `old_id`'s snapshot rows, degree snapshot, and hierarchy
+    /// (with its original seed) from `prev` into the new engine by
+    /// `Arc` pointer; `None` clusters are frozen from scratch. This is
+    /// the churn tier's incremental rebuild: only touched clusters pay
+    /// the freeze cost.
+    ///
+    /// Soundness is the caller's contract (upheld by
+    /// `expander::recluster::recluster_broken`): a reused cluster must
+    /// have identical membership AND no member with a changed full-graph
+    /// adjacency row, so both the snapshots and the kept-induced
+    /// subgraph — and hence the hierarchy — are bit-identical to a fresh
+    /// freeze. Reused hierarchies keep their original seeds, so routing
+    /// *charges* may differ from a from-scratch build with different
+    /// cluster ids; answers never do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` was built for a different vertex count, if
+    /// `reuse` has a different length than the assignment's cluster list,
+    /// or if a reused id is out of range in `prev`.
+    pub fn refreeze(
+        g: &Graph,
+        assignment: ClusterAssignment,
+        params: &PipelineParams,
+        prev: &QueryEngine,
+        reuse: &[Option<usize>],
+    ) -> QueryEngine {
+        assert_eq!(
+            assignment.n,
+            g.n(),
+            "assignment/graph vertex-count mismatch"
+        );
+        assert_eq!(
+            reuse.len(),
+            assignment.clusters.len(),
+            "one reuse entry per cluster"
+        );
+        Self::freeze(
+            g,
+            assignment,
+            params,
+            0,
+            Duration::ZERO,
+            Some((prev, reuse)),
+        )
+    }
+
+    /// Whether this engine's cluster `c` shares its frozen artifact (by
+    /// `Arc` pointer) with `other`'s cluster `other_c` — the observable
+    /// the recluster-scope regression test pins: untouched clusters must
+    /// survive a refreeze pointer-equal, never deep-copied.
+    pub fn shares_cluster_artifact(&self, c: usize, other: &QueryEngine, other_c: usize) -> bool {
+        Arc::ptr_eq(&self.clusters[c], &other.clusters[other_c])
     }
 
     /// The shared freeze: per-cluster snapshot + hierarchy jobs on the
     /// deterministic scheduler, seeded like the pipeline's level-0
-    /// cluster jobs.
+    /// cluster jobs. With a `reuse` context, flagged clusters are carried
+    /// over from the previous engine by pointer instead of rebuilt.
     fn freeze(
         g: &Graph,
         assignment: ClusterAssignment,
         params: &PipelineParams,
         decomposition_rounds: u64,
         wall_decompose: Duration,
+        reuse: Option<(&QueryEngine, &[Option<usize>])>,
     ) -> QueryEngine {
         let t0 = Instant::now();
         let policy = params.scheduler_policy();
@@ -305,6 +375,11 @@ impl QueryEngine {
         let spare_rows: ScratchPool<Vec<Vec<VertexId>>> = ScratchPool::new();
         let jobs: Vec<(usize, &VertexSet)> = assignment.clusters.iter().enumerate().collect();
         let (artifacts, _stats) = run_jobs(jobs, &policy, |_, (id, part)| {
+            if let Some((prev, map)) = reuse {
+                if let Some(old_id) = map[id] {
+                    return Arc::clone(&prev.clusters[old_id]);
+                }
+            }
             let members: Vec<VertexId> = part.iter().collect();
             let mut spare = spare_rows.take();
             let adj = snapshot_member_adjacency(g, &members, &mut spare);
@@ -325,11 +400,11 @@ impl QueryEngine {
             } else {
                 (None, Vec::new())
             };
-            ClusterArtifact {
+            Arc::new(ClusterArtifact {
                 adj,
                 local_deg,
                 hierarchy,
-            }
+            })
         });
 
         let mut local_of = vec![0u32; g.n()];
@@ -766,11 +841,11 @@ impl QueryEngine {
                     )
                 }
             };
-            artifacts.push(ClusterArtifact {
+            artifacts.push(Arc::new(ClusterArtifact {
                 adj: fc.adj,
                 local_deg: fc.local_deg,
                 hierarchy,
-            });
+            }));
         }
         let routed_clusters = artifacts.iter().filter(|a| a.hierarchy.is_some()).count();
         let hierarchy_build_rounds = artifacts
@@ -824,8 +899,13 @@ fn duration_to_ns(d: Duration) -> u64 {
 /// Streams the sorted intersection of two adjacency rows into `emit`,
 /// returning the number of comparison steps — the **words** both rows
 /// contributed to the merge, which is what the query's routing charge
-/// counts.
-fn merge_intersect(a: &[VertexId], b: &[VertexId], mut emit: impl FnMut(VertexId)) -> u64 {
+/// counts. Crate-visible: the churn ledger's triangle-delta kernel is
+/// this same merge over the overlay's sorted rows.
+pub(crate) fn merge_intersect(
+    a: &[VertexId],
+    b: &[VertexId],
+    mut emit: impl FnMut(VertexId),
+) -> u64 {
     let (mut i, mut j, mut steps) = (0usize, 0usize, 0u64);
     while i < a.len() && j < b.len() {
         steps += 1;

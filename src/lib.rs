@@ -70,5 +70,6 @@ pub mod prelude {
         TriangleConfig, TriangleReport,
     };
     pub use triangle::{Answer, Emit, Query, QueryEngine, QueryOutcome, ServeReport, ServiceError};
+    pub use triangle::{BatchReport, ChurnPolicy, DeltaLedger, EdgeOp, RebuildReport};
     pub use triangle::{FrozenEngine, RestoreError};
 }

@@ -1,0 +1,139 @@
+//! Recluster-scope regression (DESIGN.md §15): deleting intra-cluster
+//! edges until one planted block's φ certificate breaks must re-decompose
+//! ONLY that block. The untouched blocks' frozen artifacts must ride into
+//! the refrozen engine by `Arc` pointer — the regression this test pins
+//! is a rebuild that silently falls back to re-cutting (or re-freezing)
+//! the whole graph.
+
+use expander_repro::prelude::*;
+use std::sync::Arc;
+use triangle::{DeltaLedger, EdgeOp};
+
+/// Builds an engine directly from the planted blocks so cluster ids map
+/// 1:1 onto blocks and the φ threshold is known exactly.
+fn planted_engine(
+    pp: &gen::PlantedPartition,
+    phi: f64,
+    params: &PipelineParams,
+) -> Arc<QueryEngine> {
+    let assignment =
+        ClusterAssignment::from_parts(&pp.graph, &pp.blocks, phi, &params.scheduler_policy());
+    Arc::new(QueryEngine::from_assignment(&pp.graph, assignment, params))
+}
+
+/// Every intra-block edge of `block`, in base-graph orientation.
+fn internal_edges(g: &Graph, block: &VertexSet) -> Vec<(VertexId, VertexId)> {
+    g.edges()
+        .filter(|&(u, v)| block.contains(u) && block.contains(v))
+        .collect()
+}
+
+#[test]
+fn shredding_one_block_reclusters_only_that_block() {
+    let pp = gen::planted_partition(&[24, 24, 24], 0.7, 0.01, 17).unwrap();
+    let params = PipelineParams {
+        seed: 17,
+        ..Default::default()
+    };
+    let engine = planted_engine(&pp, 0.05, &params);
+    let old_clusters = engine.assignment().cluster_count();
+    assert_eq!(old_clusters, 3, "one cluster per planted block");
+    let mut ledger = DeltaLedger::new(&pp.graph, Arc::clone(&engine));
+
+    // Shred block 0 from the inside: delete every internal edge. Its
+    // conductance certificate cannot survive (the kept-induced subgraph
+    // is empty), while blocks 1 and 2 see no applied op at all.
+    let doomed: Vec<EdgeOp> = internal_edges(&pp.graph, &pp.blocks[0])
+        .into_iter()
+        .map(|(u, v)| EdgeOp::Delete(u, v))
+        .collect();
+    assert!(doomed.len() > 100, "the planted block must be dense");
+    let report = ledger.apply(&doomed);
+    assert_eq!(report.applied, doomed.len());
+    assert_eq!(report.touched_clusters, 1, "only block 0 is dirtied");
+    assert_eq!(ledger.dirty_clusters(), 1);
+
+    let rebuild = ledger.rebuild(&params);
+
+    // Scope: exactly one certificate checked, and it broke.
+    assert_eq!(rebuild.checked, 1, "only the dirty cluster is certified");
+    assert_eq!(rebuild.broken, 1, "the shredded block's certificate breaks");
+    assert_eq!(rebuild.reused, 2, "both untouched blocks ride along");
+    assert!(
+        rebuild.rebuilt >= 1,
+        "the broken block re-decomposes into at least one new cluster"
+    );
+
+    // The untouched blocks' artifacts are the SAME allocations as the old
+    // engine's — pointer equality, not just equal contents.
+    let new = &rebuild.engine;
+    let mut shared_with_old = 0;
+    for c in 0..new.assignment().cluster_count() {
+        for old_c in 0..old_clusters {
+            if new.shares_cluster_artifact(c, &engine, old_c) {
+                shared_with_old += 1;
+            }
+        }
+    }
+    assert_eq!(
+        shared_with_old, 2,
+        "exactly the two untouched blocks are Arc-shared"
+    );
+
+    // Sanity: the refrozen engine answers like a fresh build on the
+    // shredded graph (charges excluded by the refreeze contract).
+    let final_g = ledger.working().to_graph();
+    let fresh = QueryEngine::build(&final_g, &params);
+    for v in 0..final_g.n() as VertexId {
+        let q = Query::Vertex {
+            v,
+            emit: Emit::Count,
+        };
+        assert_eq!(
+            new.answer(q).unwrap().answer,
+            fresh.answer(q).unwrap().answer,
+            "vertex {v}"
+        );
+    }
+}
+
+#[test]
+fn healthy_blocks_survive_light_churn_without_recut() {
+    // A light touch inside one block dirties it, but its certificate
+    // holds: the part must be KEPT (same member set) even though its
+    // artifact refreezes, and the other blocks stay pointer-shared.
+    let pp = gen::planted_partition(&[24, 24, 24], 0.7, 0.01, 19).unwrap();
+    let params = PipelineParams {
+        seed: 19,
+        ..Default::default()
+    };
+    let engine = planted_engine(&pp, 0.05, &params);
+    let mut ledger = DeltaLedger::new(&pp.graph, Arc::clone(&engine));
+
+    let members: Vec<VertexId> = pp.blocks[1].iter().collect();
+    ledger.apply(&[
+        EdgeOp::Insert(members[0], members[1]),
+        EdgeOp::Insert(members[2], members[3]),
+    ]);
+    let rebuild = ledger.rebuild(&params);
+
+    assert_eq!(rebuild.checked, 1);
+    assert_eq!(rebuild.broken, 0, "two extra internal edges break nothing");
+    assert_eq!(rebuild.reused, 2);
+    assert_eq!(rebuild.rebuilt, 1, "the certified block refreezes in place");
+    assert_eq!(
+        rebuild.engine.assignment().cluster_count(),
+        3,
+        "the partition itself is unchanged"
+    );
+    // Same member sets as the planted blocks, in some order.
+    let new_assignment = rebuild.engine.assignment();
+    for block in &pp.blocks {
+        let c = new_assignment.cluster_of[block.iter().next().unwrap() as usize];
+        let found: VertexSet = VertexSet::from_iter(
+            pp.graph.n(),
+            (0..pp.graph.n() as VertexId).filter(|&v| new_assignment.cluster_of[v as usize] == c),
+        );
+        assert_eq!(&found, block, "kept block must keep its members");
+    }
+}

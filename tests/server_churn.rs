@@ -1,0 +1,229 @@
+//! Hot-swap under churn (DESIGN.md §15): a live TCP server rides through
+//! a `DeltaLedger` rebuild mid-stream.
+//!
+//! * the generation advances **exactly once** per [`swap_engine`] — no
+//!   double-bumps, no skipped numbers;
+//! * every wire response is stamped with the generation of the engine
+//!   snapshot that answered it, and the answer matches that generation's
+//!   in-process oracle bit-for-bit — **zero mismatches**, even for
+//!   batches in flight across the swap boundary;
+//! * batches already in flight finish on the engine they started with
+//!   (the stamp proves which engine answered).
+//!
+//! [`swap_engine`]: server::server::ServerHandle::swap_engine
+
+use expander_repro::prelude::*;
+use server::client::{Client, ResponseBody};
+use server::server::{serve_engine, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use triangle::{DeltaLedger, EdgeOp};
+
+/// Probe queries the oracle comparison replays per generation.
+fn probe_stream(n: usize) -> Vec<Query> {
+    let mut qs = Vec::new();
+    for v in 0..n as VertexId {
+        qs.push(Query::Vertex {
+            v,
+            emit: Emit::Count,
+        });
+        qs.push(Query::Vertex {
+            v,
+            emit: Emit::Enumerate,
+        });
+        qs.push(Query::TopKBySupport { v, k: 2 });
+    }
+    qs
+}
+
+/// Asserts one wire response against the in-process oracle for the
+/// engine generation that stamped it.
+fn assert_matches_oracle(
+    resp: &server::client::WireResponse,
+    query: Query,
+    oracles: &[(u64, Arc<QueryEngine>)],
+) {
+    let engine = &oracles
+        .iter()
+        .find(|(generation, _)| *generation == resp.generation)
+        .unwrap_or_else(|| {
+            panic!(
+                "response stamped with unknown generation {}",
+                resp.generation
+            )
+        })
+        .1;
+    let expected = engine.answer(query).unwrap();
+    match &resp.body {
+        ResponseBody::Answer(outcome) => {
+            assert_eq!(
+                outcome, &expected,
+                "generation {} answered {:?} wrong",
+                resp.generation, query
+            );
+        }
+        other => panic!("expected an answer for {query:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn swap_mid_stream_is_generation_exact_and_mismatch_free() {
+    let g0 = gen::gnp(40, 0.18, 23).unwrap();
+    let params = PipelineParams {
+        seed: 23,
+        ..Default::default()
+    };
+    let engine0 = Arc::new(QueryEngine::build(&g0, &params));
+
+    let config = ServerConfig {
+        batch_max: 8,
+        flush_interval: Duration::from_micros(200),
+        ..Default::default()
+    };
+    let handle = serve_engine(Arc::clone(&engine0), &config).unwrap();
+    assert_eq!(handle.generation(), 1);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let queries = probe_stream(g0.n());
+
+    // ── Phase A: the whole stream answers on generation 1. ──
+    let oracles = vec![(1u64, Arc::clone(&engine0))];
+    let responses = client.run_pipelined(&queries, 16, 8).unwrap();
+    for (resp, &q) in responses.iter().zip(&queries) {
+        assert_eq!(resp.generation, 1, "no swap yet");
+        assert_matches_oracle(resp, q, &oracles);
+    }
+
+    // ── The churn batch: maintain incrementally, rebuild, swap. ──
+    let mut ledger = DeltaLedger::new(&g0, Arc::clone(&engine0));
+    let churn: Vec<EdgeOp> = (0..12)
+        .map(|i| {
+            if i % 3 == 0 {
+                EdgeOp::Delete(i, (i + 1) % g0.n() as VertexId)
+            } else {
+                EdgeOp::Insert(i, (i + 5) % g0.n() as VertexId)
+            }
+        })
+        .collect();
+    ledger.apply(&churn);
+    let rebuild = ledger.rebuild(&params);
+    let reloads_before = handle.stats().reloads;
+    let generation = handle.swap_engine(Arc::clone(&rebuild.engine));
+    assert_eq!(
+        generation, 2,
+        "one swap advances the generation exactly once"
+    );
+    assert_eq!(handle.generation(), 2);
+    assert_eq!(handle.stats().reloads, reloads_before + 1);
+    assert!(
+        Arc::ptr_eq(&handle.engine(), &rebuild.engine),
+        "the serving snapshot is the refrozen engine itself"
+    );
+
+    // ── Phase B: the stream now answers on generation 2, against the
+    // refrozen engine's oracle. ──
+    let oracles = vec![
+        (1u64, Arc::clone(&engine0)),
+        (2u64, Arc::clone(&rebuild.engine)),
+    ];
+    let responses = client.run_pipelined(&queries, 16, 8).unwrap();
+    for (resp, &q) in responses.iter().zip(&queries) {
+        assert_eq!(resp.generation, 2, "post-swap batches see the new engine");
+        assert_matches_oracle(resp, q, &oracles);
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_stream_across_many_swaps_never_mismatches() {
+    // A client pipelines continuously while the main thread swaps the
+    // engine repeatedly (alternating two refrozen generations). Batches
+    // in flight at a swap finish on their snapshot: every response's
+    // generation stamp picks its oracle, and every answer must match it.
+    let g0 = gen::gnp(32, 0.2, 29).unwrap();
+    let params = PipelineParams {
+        seed: 29,
+        ..Default::default()
+    };
+    let engine0 = Arc::new(QueryEngine::build(&g0, &params));
+
+    // The churned twin: one ledger batch away from g0.
+    let mut ledger = DeltaLedger::new(&g0, Arc::clone(&engine0));
+    ledger.apply(&[
+        EdgeOp::Insert(0, 9),
+        EdgeOp::Insert(1, 8),
+        EdgeOp::Delete(2, 3),
+    ]);
+    let engine1 = ledger.rebuild(&params).engine;
+
+    let config = ServerConfig {
+        batch_max: 4,
+        flush_interval: Duration::from_micros(100),
+        ..Default::default()
+    };
+    let handle = serve_engine(Arc::clone(&engine0), &config).unwrap();
+    let addr = handle.addr();
+
+    const SWAPS: u64 = 6;
+    let queries: Vec<Query> = probe_stream(g0.n()).into_iter().cycle().take(400).collect();
+    let worker_queries = queries.clone();
+    let client_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        client.run_pipelined(&worker_queries, 32, 16).unwrap()
+    });
+
+    // Generation g serves engine0 when g is odd, engine1 when even.
+    let mut expected_generation = 1;
+    for _ in 0..SWAPS {
+        std::thread::sleep(Duration::from_millis(3));
+        let next = if expected_generation % 2 == 1 {
+            Arc::clone(&engine1)
+        } else {
+            Arc::clone(&engine0)
+        };
+        let generation = handle.swap_engine(next);
+        expected_generation += 1;
+        assert_eq!(
+            generation, expected_generation,
+            "each swap advances the generation exactly once"
+        );
+    }
+    assert_eq!(handle.generation(), 1 + SWAPS);
+    assert_eq!(handle.stats().reloads, SWAPS);
+
+    let oracles: Vec<(u64, Arc<QueryEngine>)> = (1..=1 + SWAPS)
+        .map(|generation| {
+            let engine = if generation % 2 == 1 {
+                Arc::clone(&engine0)
+            } else {
+                Arc::clone(&engine1)
+            };
+            (generation, engine)
+        })
+        .collect();
+    let responses = client_thread.join().unwrap();
+    assert_eq!(responses.len(), queries.len());
+    let mut by_generation = vec![0u64; 2 + SWAPS as usize];
+    for (resp, &q) in responses.iter().zip(&queries) {
+        assert!(
+            (1..=1 + SWAPS).contains(&resp.generation),
+            "generation {} was never armed",
+            resp.generation
+        );
+        by_generation[resp.generation as usize] += 1;
+        assert_matches_oracle(resp, q, &oracles);
+    }
+    // The stream genuinely crossed swap boundaries: more than one
+    // generation answered.
+    let active = by_generation.iter().filter(|&&c| c > 0).count();
+    assert!(active >= 2, "stream should span at least two generations");
+
+    handle.shutdown();
+}

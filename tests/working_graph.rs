@@ -61,6 +61,96 @@ fn removal_sequence(g: &Graph, seed: u64, rounds: usize) -> Vec<Vec<(VertexId, V
         .collect()
 }
 
+/// Deterministically picks a mixed insert/delete stream from `seed`:
+/// present edges, absent pairs, repeated pairs, and the occasional self
+/// loop — every path of the insert overlay.
+fn churn_sequence(g: &Graph, seed: u64, rounds: usize) -> Vec<Vec<(bool, VertexId, VertexId)>> {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..rounds)
+        .map(|_| {
+            let batch = (next() % 4 + 1) as usize;
+            (0..batch)
+                .map(|_| {
+                    let insert = next() % 2 == 0;
+                    if !insert && !edges.is_empty() && next() % 5 != 0 {
+                        let (u, v) = edges[(next() % edges.len() as u64) as usize];
+                        (false, u, v)
+                    } else {
+                        let u = (next() % g.n() as u64) as VertexId;
+                        let v = if next() % 8 == 0 {
+                            u // self loop
+                        } else {
+                            (next() % g.n() as u64) as VertexId
+                        };
+                        (insert, u, v)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The reference model: an explicit edge multiset plus a per-vertex loop
+/// tally, rebuilt into a fresh `Graph` after every batch.
+struct ModelGraph {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    loops: Vec<u32>,
+}
+
+impl ModelGraph {
+    fn of(g: &Graph) -> ModelGraph {
+        ModelGraph {
+            n: g.n(),
+            edges: g.edges().collect(),
+            loops: (0..g.n() as VertexId).map(|v| g.self_loops(v)).collect(),
+        }
+    }
+
+    fn apply(&mut self, insert: bool, u: VertexId, v: VertexId, compensate: bool) {
+        if insert {
+            if u == v {
+                self.loops[u as usize] += 1;
+            } else {
+                self.edges.push((u, v));
+            }
+        } else {
+            if u == v {
+                return; // loop removals are ignored by contract
+            }
+            let hit = self
+                .edges
+                .iter()
+                .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u));
+            if let Some(pos) = hit {
+                self.edges.remove(pos);
+                if compensate {
+                    self.loops[u as usize] += 1;
+                    self.loops[v as usize] += 1;
+                }
+            }
+        }
+    }
+
+    fn build(&self) -> Graph {
+        let mut all = self.edges.clone();
+        for (v, &c) in self.loops.iter().enumerate() {
+            for _ in 0..c {
+                all.push((v as VertexId, v as VertexId));
+            }
+        }
+        Graph::from_edges(self.n, all).unwrap()
+    }
+}
+
 /// Full structural equality between the overlay and a plain graph.
 fn assert_overlay_matches(w: &WorkingGraph, g: &Graph) {
     assert_eq!(w.n(), g.n());
@@ -108,6 +198,144 @@ proptest! {
             overlay.internal_edges(&s),
             rebuilt.internal_edges(&s)
         );
+    }
+
+    #[test]
+    fn overlay_matches_rebuild_under_mixed_churn(
+        g in arb_multigraph(), seed in any::<u64>(), compensate in any::<bool>()
+    ) {
+        let mut overlay = WorkingGraph::new(&g);
+        let mut model = ModelGraph::of(&g);
+        for batch in churn_sequence(&g, seed, 6) {
+            for (insert, u, v) in batch {
+                if insert {
+                    overlay.insert_edges([(u, v)]);
+                } else {
+                    overlay.remove_edges([(u, v)], compensate);
+                }
+                model.apply(insert, u, v, compensate);
+            }
+            let rebuilt = model.build();
+            assert_overlay_matches(&overlay, &rebuilt);
+            // Multiplicity reads through both overlays of a pair.
+            for u in 0..g.n() as VertexId {
+                for v in u..g.n() as VertexId {
+                    let want = if u == v {
+                        rebuilt.self_loops(u) as usize
+                    } else {
+                        rebuilt.neighbors(u).iter().filter(|&&w| w == v).count()
+                    };
+                    prop_assert_eq!(overlay.multiplicity(u, v), want, "({}, {})", u, v);
+                    prop_assert_eq!(overlay.has_edge(u, v), want > 0);
+                }
+            }
+        }
+        // Subgraph extraction reads through the insert overlay too.
+        let rebuilt = model.build();
+        let s = VertexSet::from_fn(g.n(), |v| v % 2 == 0);
+        let via_overlay = Subgraph::loop_augmented(&overlay, &s);
+        let via_rebuild = Subgraph::loop_augmented(&rebuilt, &s);
+        prop_assert_eq!(via_overlay.graph(), via_rebuild.graph());
+        prop_assert_eq!(overlay.internal_edges(&s), rebuilt.internal_edges(&s));
+    }
+
+    #[test]
+    fn compensated_churn_preserves_degrees_up_to_inserts(
+        g in arb_multigraph(), seed in any::<u64>()
+    ) {
+        // Under compensation, degree(v) may only move by the inserts
+        // incident to v — removals are degree-neutral by Theorem 1's
+        // convention. Loop inserts count 1, edge inserts count 1 per end.
+        let mut overlay = WorkingGraph::new(&g);
+        let mut incident = vec![0usize; g.n()];
+        for batch in churn_sequence(&g, seed, 6) {
+            for (insert, u, v) in batch {
+                if insert {
+                    if overlay.insert_edges([(u, v)]) == 1 {
+                        incident[u as usize] += 1;
+                        if u != v {
+                            incident[v as usize] += 1;
+                        }
+                    }
+                } else {
+                    overlay.remove_edges([(u, v)], true);
+                }
+            }
+        }
+        for v in 0..g.n() as VertexId {
+            prop_assert_eq!(
+                overlay.degree(v),
+                g.degree(v) + incident[v as usize],
+                "degree of {}",
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_the_identity(
+        g in arb_multigraph(), seed in any::<u64>()
+    ) {
+        // Tear out a batch of real edges, reinsert the same multiset in a
+        // scrambled order: the overlay must land bit-identical to the
+        // base graph (pure slot resurrection, empty insert rows).
+        let mut overlay = WorkingGraph::new(&g);
+        let victims: Vec<(VertexId, VertexId)> = removal_sequence(&g, seed, 3)
+            .concat()
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let removed: Vec<(VertexId, VertexId)> = victims
+            .iter()
+            .copied()
+            .filter(|&(u, v)| overlay.remove_edges([(u, v)], false) == 1)
+            .collect();
+        let mut back = removed.clone();
+        back.reverse();
+        for (u, v) in back {
+            prop_assert_eq!(overlay.insert_edges([(v, u)]), 1);
+        }
+        assert_overlay_matches(&overlay, &g);
+    }
+
+    #[test]
+    fn vertex_set_promotes_under_insert_growth(
+        n in 256usize..600, seed in any::<u64>()
+    ) {
+        // Growing a sparse set one insert at a time must flip to the
+        // dense mask exactly when the advertised threshold is crossed
+        // (len >= 64 and len·4 >= universe), with observable behaviour
+        // identical throughout.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut set = VertexSet::empty(n);
+        let mut reference = std::collections::BTreeSet::new();
+        prop_assert!(!set.is_dense());
+        for _ in 0..n {
+            let v = (next() % n as u64) as VertexId;
+            prop_assert_eq!(set.insert(v), reference.insert(v));
+            prop_assert_eq!(
+                set.is_dense(),
+                set.len() >= 64 && set.len() * 4 >= n,
+                "promotion point with len {} of {}",
+                set.len(),
+                n
+            );
+        }
+        prop_assert!(set.is_dense(), "n/4 random draws of n cross the threshold");
+        prop_assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
+        for v in 0..n as VertexId {
+            prop_assert_eq!(set.contains(v), reference.contains(&v));
+        }
     }
 
     #[test]
